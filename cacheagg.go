@@ -1,0 +1,287 @@
+// Package cacheagg is a cache-efficient relational GROUP BY / aggregation
+// library, implementing Müller, Sanders, Lacurie, Lehner and Färber:
+// "Cache-Efficient Aggregation: Hashing Is Sorting" (SIGMOD 2015).
+//
+// The operator treats hashing and sorting as the same algorithm: both
+// recursively partition the input by digits of the grouping key's hash
+// until every partition's groups fit in cache. Two interchangeable routines
+// process runs — HASHING (build a cache-sized hash table, split it into
+// per-digit runs; enables early aggregation) and PARTITIONING (radix
+// scatter; ~faster when early aggregation cannot reduce the data) — and
+// the default ADAPTIVE strategy switches between them at run granularity
+// based on the observed reduction factor α, with no optimizer estimate of
+// the output cardinality needed.
+//
+// Quick start:
+//
+//	res, err := cacheagg.Aggregate(cacheagg.Input{
+//		GroupBy: storeIDs,
+//		Columns: [][]int64{revenue},
+//		Aggregates: []cacheagg.AggSpec{
+//			{Func: cacheagg.Count},
+//			{Func: cacheagg.Sum, Col: 0},
+//		},
+//	}, cacheagg.Options{})
+//
+// The result holds one row per distinct group, ordered by hash value —
+// "a hash table built with a sorting algorithm".
+package cacheagg
+
+import (
+	"fmt"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+)
+
+// Func identifies an aggregate function.
+type Func int
+
+// Supported aggregate functions. All are distributive or algebraic
+// (constant-size state); holistic aggregates like MEDIAN are out of scope,
+// as in the paper.
+const (
+	// Count counts the rows of each group; it reads no input column.
+	Count Func = iota
+	// Sum computes the signed 64-bit sum (wrapping).
+	Sum
+	// Min computes the signed minimum.
+	Min
+	// Max computes the signed maximum.
+	Max
+	// Avg computes the arithmetic mean. Integer results are truncated;
+	// use Result.Float to read exact averages.
+	Avg
+)
+
+// String returns the SQL name of the function.
+func (f Func) String() string { return f.kind().String() }
+
+func (f Func) kind() agg.Kind {
+	switch f {
+	case Count:
+		return agg.Count
+	case Sum:
+		return agg.Sum
+	case Min:
+		return agg.Min
+	case Max:
+		return agg.Max
+	case Avg:
+		return agg.Avg
+	default:
+		return agg.Kind(int(f)) // invalid; caught by Validate
+	}
+}
+
+// AggSpec describes one aggregate output column: the function and the
+// index of the input column it consumes (ignored for Count).
+type AggSpec struct {
+	Func Func
+	Col  int
+}
+
+// Input is a column-store aggregation request: group the rows of GroupBy
+// and evaluate every Aggregate over its input column.
+type Input struct {
+	// GroupBy is the grouping key column.
+	GroupBy []uint64
+	// Columns are the aggregate input columns (64-bit signed integers,
+	// matching the paper's all-64-bit-integer datasets).
+	Columns [][]int64
+	// Aggregates lists the aggregate output columns to compute. Empty
+	// computes the plain distinct groups (a DISTINCT query).
+	Aggregates []AggSpec
+}
+
+// Strategy selects the routine-choice policy of the operator.
+type Strategy struct {
+	inner core.Strategy
+}
+
+// Name returns the strategy's display name.
+func (s Strategy) Name() string {
+	if s.inner == nil {
+		return core.DefaultAdaptive().Name()
+	}
+	return s.inner.Name()
+}
+
+// AdaptiveStrategy returns the paper's ADAPTIVE strategy (Section 5) with
+// the default constants α₀ = 11 and c = 10. It is the library default.
+func AdaptiveStrategy() Strategy { return Strategy{core.DefaultAdaptive()} }
+
+// AdaptiveStrategyTuned returns ADAPTIVE with explicit constants: the
+// switching threshold alpha0 (hashing continues while the observed
+// reduction factor stays above it) and the amortization constant c
+// (partitioning runs for c·cacheRows rows before hashing is probed again).
+// Non-positive values select the defaults.
+func AdaptiveStrategyTuned(alpha0 float64, c int) Strategy {
+	return Strategy{core.Adaptive(alpha0, c)}
+}
+
+// HashingOnlyStrategy always uses the HASHING routine (Figure 4(a)).
+func HashingOnlyStrategy() Strategy { return Strategy{core.HashingOnly()} }
+
+// PartitionAlwaysStrategy partitions for the first `passes` levels and
+// finishes with one hashing pass whose tables may exceed the cache
+// (Figure 4(b,c)). passes must be ≥ 1.
+func PartitionAlwaysStrategy(passes int) Strategy { return Strategy{core.PartitionAlways(passes)} }
+
+// PartitionOnlyStrategy always partitions; leaves are finalized by the
+// framework's in-cache hashing pass (Appendix A.1).
+func PartitionOnlyStrategy() Strategy { return Strategy{core.PartitionOnly()} }
+
+// Options tunes an execution. The zero value is a sensible default:
+// adaptive strategy, GOMAXPROCS workers, 4 MiB cache budget.
+type Options struct {
+	// Strategy selects the routine-choice policy; zero value = adaptive.
+	Strategy Strategy
+	// Workers is the thread count; 0 = GOMAXPROCS.
+	Workers int
+	// CacheBytes is the per-worker cache budget sizing the hash tables;
+	// 0 = 4 MiB. Set this to your CPU's per-core L3 share for best
+	// fidelity to the paper's tuning.
+	CacheBytes int
+	// CollectStats enables execution statistics on the result.
+	CollectStats bool
+}
+
+// Stats describes what an execution did. See the fields of the same names
+// in the paper's figures: Passes and LevelNanos back the pass-breakdown
+// plots, HashedRows/PartitionedRows and Switches show the adaptive
+// behaviour.
+type Stats struct {
+	// Passes is the number of recursion levels that processed rows.
+	Passes int
+	// LevelNanos is total worker time per level (index = level).
+	LevelNanos []int64
+	// LevelRows is rows processed per level.
+	LevelRows []int64
+	// HashedRows is the number of rows routed through the HASHING routine.
+	HashedRows int64
+	// PartitionedRows is the number routed through PARTITIONING.
+	PartitionedRows int64
+	// TablesEmitted is the number of hash tables that filled and split.
+	TablesEmitted int64
+	// MeanAlpha is the mean reduction factor of emitted tables.
+	MeanAlpha float64
+	// Switches counts strategy mode changes.
+	Switches int64
+	// DirectEmits counts buckets finalized by one fused hashing pass.
+	DirectEmits int64
+}
+
+// Result is the aggregation output: row r describes one group.
+type Result struct {
+	// Groups holds the distinct grouping keys, ordered by hash.
+	Groups []uint64
+	// Aggs holds one output column per requested Aggregate (Avg rows are
+	// truncated toward zero; see Float).
+	Aggs [][]int64
+	// Stats is populated when Options.CollectStats was set.
+	Stats Stats
+
+	specs  []AggSpec
+	hashes []uint64
+	states *core.Result
+}
+
+// Len returns the number of groups.
+func (r *Result) Len() int { return len(r.Groups) }
+
+// Float returns aggregate column a of row (group) idx as a float64 — the
+// exact value for Avg, the widened integer otherwise.
+func (r *Result) Float(a, idx int) float64 {
+	return r.states.AggsFloat[a][idx]
+}
+
+// Hashes returns the hash digests of the groups (ascending bucket order),
+// exposing the "sorted by hash value" structure of the output.
+func (r *Result) Hashes() []uint64 { return r.hashes }
+
+// Index builds a map from group key to result row, for point lookups into
+// the result. The map is built on demand; for one or two lookups prefer
+// scanning Groups directly.
+func (r *Result) Index() map[uint64]int {
+	idx := make(map[uint64]int, len(r.Groups))
+	for i, g := range r.Groups {
+		idx[g] = i
+	}
+	return idx
+}
+
+func errInvalidFunc(f int) error {
+	return fmt.Errorf("cacheagg: invalid aggregate function %d", f)
+}
+
+// Aggregate executes the GROUP BY described by in.
+func Aggregate(in Input, opt Options) (*Result, error) {
+	specs := make([]agg.Spec, len(in.Aggregates))
+	for i, a := range in.Aggregates {
+		if a.Func < Count || a.Func > Avg {
+			return nil, errInvalidFunc(int(a.Func))
+		}
+		specs[i] = agg.Spec{Kind: a.Func.kind(), Col: a.Col}
+	}
+	cfg := core.Config{
+		Strategy:     opt.Strategy.inner,
+		Workers:      opt.Workers,
+		CacheBytes:   opt.CacheBytes,
+		CollectStats: opt.CollectStats,
+	}
+	cres, err := core.Aggregate(cfg, &core.Input{
+		Keys:    in.GroupBy,
+		AggCols: in.Columns,
+		Specs:   specs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Groups: cres.Keys,
+		Aggs:   cres.Aggs,
+		specs:  in.Aggregates,
+		hashes: cres.Hashes,
+		states: cres,
+	}
+	if opt.CollectStats {
+		st := cres.Stats
+		res.Stats = Stats{
+			Passes:          st.Passes,
+			LevelNanos:      append([]int64(nil), st.LevelNanos[:st.Passes]...),
+			LevelRows:       append([]int64(nil), st.LevelRows[:st.Passes]...),
+			HashedRows:      st.HashedRows,
+			PartitionedRows: st.PartitionedRows,
+			TablesEmitted:   st.TablesEmitted,
+			Switches:        st.Switches,
+			DirectEmits:     st.DirectEmits,
+		}
+		if st.TablesEmitted > 0 {
+			res.Stats.MeanAlpha = st.AlphaSum / float64(st.TablesEmitted)
+		}
+	}
+	return res, nil
+}
+
+// Distinct returns the distinct keys of the column, ordered by hash value.
+func Distinct(keys []uint64, opt Options) ([]uint64, error) {
+	res, err := Aggregate(Input{GroupBy: keys}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Groups, nil
+}
+
+// GroupCount computes COUNT(*) per distinct key — the most common
+// aggregation query, offered as a convenience.
+func GroupCount(keys []uint64, opt Options) (groups []uint64, counts []int64, err error) {
+	res, err := Aggregate(Input{
+		GroupBy:    keys,
+		Aggregates: []AggSpec{{Func: Count}},
+	}, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Groups, res.Aggs[0], nil
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cacheagg/internal/bench"
+	"cacheagg/internal/columnar"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/sortagg"
+	"cacheagg/internal/xrand"
+)
+
+// tblSortDual compares classic sort-based aggregation (textbook sort,
+// merge sort with early aggregation, LSD radix sort) against the paper's
+// operator — the executable form of the "hashing is sorting" duality: the
+// ADAPTIVE operator is itself a radix sort over hash digits with early
+// aggregation, and should behave like the best of the sort algorithms on
+// every input.
+func tblSortDual(sc scale) []*bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("Duality — sort-based aggregation vs the operator, ns/elem (N=2^%d)", sc.logN),
+		"dist", "K", "SortAgg", "MergeAgg(early)", "RadixAgg", "ADAPTIVE")
+	cases := []struct {
+		dist datagen.Dist
+		k    uint64
+	}{
+		{datagen.Uniform, 1 << 10},
+		{datagen.Uniform, uint64(sc.n / 2)},
+		{datagen.Sorted, uint64(sc.n / 4)},
+		{datagen.HeavyHitter, uint64(sc.n / 4)},
+	}
+	for _, c := range cases {
+		keys := datagen.Generate(datagen.Spec{Dist: c.dist, N: sc.n, K: c.k, Seed: 19})
+		et := func(f func()) float64 {
+			return bench.ElementTime(bench.MedianOf(sc.reps, f), 1, sc.n, 1)
+		}
+		sortNs := et(func() { sortagg.SortAggregate(keys) })
+		mergeNs := et(func() { sortagg.MergeAggregate(keys, 0) })
+		radixNs := et(func() { sortagg.RadixAggregate(keys) })
+		cfg := core.Config{Strategy: core.DefaultAdaptive(), Workers: 1, CacheBytes: sc.cache}
+		adaptNs := et(func() {
+			if _, err := core.Distinct(cfg, keys); err != nil {
+				panic(err)
+			}
+		})
+		t.AddRow(c.dist.String(), bench.FormatCount(int64(c.k)), sortNs, mergeNs, radixNs, adaptNs)
+	}
+	return []*bench.Table{t}
+}
+
+// tblColumnar compares the three column-processing models of Section 3.3
+// (Figure 2): row-at-a-time, column-at-a-time with a materialized mapping
+// vector, and block-wise interleaving.
+func tblColumnar(sc scale) []*bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("Section 3.3 — column-processing models, ns/elem (SUM GROUP BY, N=2^%d)", sc.logN),
+		"K", "row-at-a-time", "column-at-a-time", "block-wise")
+	rng := xrand.NewXoshiro256(21)
+	vals := make([]int64, sc.n)
+	for i := range vals {
+		vals[i] = int64(rng.Next() % 1000)
+	}
+	for _, kExp := range []int{8, 14, sc.logN - 2} {
+		k := uint64(1) << uint(kExp)
+		keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: k, Seed: 22})
+		et := func(f func()) float64 {
+			return bench.ElementTime(bench.MedianOf(sc.reps, f), 1, sc.n, 2)
+		}
+		rowNs := et(func() { columnar.SumRowAtATime(keys, vals) })
+		colNs := et(func() { columnar.SumColumnAtATime(keys, vals) })
+		blkNs := et(func() { columnar.SumBlockWise(keys, vals, 0) })
+		t.AddRow(bench.FormatCount(int64(k)), rowNs, colNs, blkNs)
+	}
+	return []*bench.Table{t}
+}
+
+// fig6Interference reproduces the Section 6.2 co-runner experiment: the
+// operator under (a) no load, (b) cache-resident dummy threads, and (c)
+// memory-bandwidth-hogging memcpy dummies. The paper observes (b) to be
+// harmless and (c) to cost up to 2× — evidence that the operator is
+// memory-bandwidth-bound.
+func fig6Interference(sc scale) []*bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("Section 6.2 — co-runner interference (uniform, N=2^%d, P=%d)", sc.logN, sc.workers),
+		"co-runners", "K=2^10 ns/elem", fmt.Sprintf("K=2^%d ns/elem", sc.logN-2))
+	ks := []uint64{1 << 10, 1 << uint(sc.logN-2)}
+	datasets := map[uint64][]uint64{}
+	for _, k := range ks {
+		datasets[k] = datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: k, Seed: 23})
+	}
+	cfg := core.Config{Strategy: core.DefaultAdaptive(), Workers: sc.workers, CacheBytes: sc.cache}
+
+	runWith := func(dummies func(stop *atomic.Bool)) []any {
+		row := []any{}
+		var stop atomic.Bool
+		if dummies != nil {
+			dummies(&stop)
+		}
+		for _, k := range ks {
+			d := bench.MedianOf(sc.reps, func() {
+				if _, err := core.Distinct(cfg, datasets[k]); err != nil {
+					panic(err)
+				}
+			})
+			row = append(row, bench.ElementTime(d, sc.workers, sc.n, 1))
+		}
+		stop.Store(true)
+		return row
+	}
+
+	t.AddRow(append([]any{"none"}, runWith(nil)...)...)
+
+	// Cache-resident dummies: loop over a 256 KiB buffer.
+	t.AddRow(append([]any{"cache-resident"}, runWith(func(stop *atomic.Bool) {
+		for d := 0; d < sc.workers; d++ {
+			go func() {
+				buf := make([]uint64, 32768) // 256 KiB
+				s := uint64(0)
+				for !stop.Load() {
+					for i := range buf {
+						s += buf[i]
+					}
+					buf[0] = s
+				}
+			}()
+		}
+	})...)...)
+
+	// Bandwidth hogs: out-of-cache memcpy loops.
+	t.AddRow(append([]any{"memcpy"}, runWith(func(stop *atomic.Bool) {
+		for d := 0; d < sc.workers; d++ {
+			go func() {
+				src := make([]uint64, 1<<22) // 32 MiB
+				dst := make([]uint64, 1<<22)
+				for !stop.Load() {
+					copy(dst, src)
+				}
+			}()
+		}
+	})...)...)
+	return []*bench.Table{t}
+}
+
+// tblAblation measures the hash-storage design choice: recomputing the
+// hash from the key at every pass (the paper's layout, our default) vs
+// carrying an 8-byte hash column through the runs.
+func tblAblation(sc scale) []*bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("Ablation — hash storage in runs, ns/elem (uniform, N=2^%d)", sc.logN),
+		"K", "recompute (default)", "carry", "carry / recompute")
+	for _, kExp := range []int{10, sc.logN - 4, sc.logN - 1} {
+		k := uint64(1) << uint(kExp)
+		keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: k, Seed: 27})
+		run := func(carry bool) float64 {
+			cfg := core.Config{
+				Strategy:    core.DefaultAdaptive(),
+				Workers:     sc.workers,
+				CacheBytes:  sc.cache,
+				CarryHashes: carry,
+			}
+			d := bench.MedianOf(sc.reps, func() {
+				if _, err := core.Distinct(cfg, keys); err != nil {
+					panic(err)
+				}
+			})
+			return bench.ElementTime(d, sc.workers, sc.n, 1)
+		}
+		rec := run(false)
+		car := run(true)
+		t.AddRow(bench.FormatCount(int64(k)), rec, car, car/rec)
+	}
+	return []*bench.Table{t}
+}

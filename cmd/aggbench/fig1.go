@@ -1,0 +1,58 @@
+package main
+
+import (
+	"cacheagg/internal/bench"
+	"cacheagg/internal/cachesim"
+	"cacheagg/internal/emm"
+)
+
+// fig1 reproduces Figure 1: the number of cache line transfers of the four
+// textbook algorithms as a function of K, from the closed-form external-
+// memory model (exact paper parameters N=2^32, M=2^16, B=16), and — with
+// -sim — the empirical counterpart measured on the cache simulator at
+// reduced scale.
+func fig1(sc scale) []*bench.Table {
+	p := emm.FigureParams()
+	model := bench.NewTable(
+		"Figure 1 — cache line transfers (model, N=2^32, M=2^16, B=16)",
+		"K", "SortAggStatic", "SortAgg", "SortAggOpt", "HashAgg", "HashAggOpt")
+	for _, row := range emm.Figure1(p) {
+		model.AddRow(bench.FormatCount(row.K), row.SortAggStatic, row.SortAgg,
+			row.SortAggOpt, row.HashAgg, row.HashAggOpt)
+	}
+	tables := []*bench.Table{model}
+
+	if sc.sim {
+		// Empirical validation: the same algorithms executed against a
+		// fully-associative LRU cache simulator (M = 2^12 words, B = 16),
+		// N scaled down so the sweep completes quickly.
+		const simN = 1 << 15
+		const cacheWords = 1 << 12
+		const lineWords = 16
+		simTab := bench.NewTable(
+			"Figure 1 (empirical) — transfers on the cache simulator (N=2^15, M=2^12 words, B=16)",
+			"K", "SortAggNaive", "SortAggOpt", "HashAggNaive", "HashAggOpt", "Framework(Adaptive)")
+		for kExp := 2; kExp <= 14; kExp += 2 {
+			k := uint64(1) << uint(kExp)
+			run := func(f func(*cachesim.Machine, cachesim.Array) cachesim.Stats) int64 {
+				m := cachesim.NewMachine(cacheWords, lineWords)
+				in := cachesim.UniformKeys(m, simN, k, 42)
+				return f(m, in).Transfers
+			}
+			sortNaive := run(func(m *cachesim.Machine, in cachesim.Array) cachesim.Stats {
+				return cachesim.SortAggNaive(m, in, 16)
+			})
+			sortOpt := run(func(m *cachesim.Machine, in cachesim.Array) cachesim.Stats {
+				return cachesim.SortAggOpt(m, in, 16)
+			})
+			hashNaive := run(cachesim.HashAggNaive)
+			hashOpt := run(cachesim.HashAggOpt)
+			fw := run(func(m *cachesim.Machine, in cachesim.Array) cachesim.Stats {
+				return cachesim.FrameworkAgg(m, in, cachesim.FrameworkConfig{})
+			})
+			simTab.AddRow(bench.FormatCount(int64(k)), sortNaive, sortOpt, hashNaive, hashOpt, fw)
+		}
+		tables = append(tables, simTab)
+	}
+	return tables
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"time"
+
+	"cacheagg/internal/bench"
+	"cacheagg/internal/columnar"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/partition"
+	"cacheagg/internal/runs"
+	"cacheagg/internal/xrand"
+)
+
+// fig3 reproduces Figure 3: payload bandwidth of the partitioning routine
+// as each tuning step is applied, on uniformly distributed random data.
+//
+//	memcpy      straight copy (the bandwidth ceiling)
+//	key         naive scatter by key digits
+//	hash        naive scatter by hash digits
+//	key+swc     software write-combining, key digits
+//	hash+swc    software write-combining, hash digits (not unrolled)
+//	hash+swc+oo 16-way unrolled hashing ahead of the scatter
+//	two-level   +oo flushing into the two-level list-of-arrays (the final
+//	            routine; the paper measures ~2% below over-allocation)
+//	map         applying a partition mapping vector to an aggregate column
+func fig3(sc scale) []*bench.Table {
+	n := sc.n
+	rng := xrand.NewXoshiro256(7)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Next()
+	}
+	payload := int64(n) * 16 // bytes moved per run: hash + key columns
+
+	t := bench.NewTable(
+		"Figure 3 — partitioning bandwidth (uniform random, N=2^"+itoa(sc.logN)+")",
+		"variant", "MB/s", "vs memcpy")
+
+	measure := func(f func()) float64 {
+		d := bench.MedianOf(sc.reps, f)
+		return bench.BandwidthMBs(d, payload)
+	}
+
+	// memcpy reference: move the same bytes with plain copies.
+	dstA := make([]uint64, n)
+	dstB := make([]uint64, n)
+	memcpy := measure(func() {
+		copy(dstA, keys)
+		copy(dstB, keys)
+	})
+
+	naive := func(hash hashfn.Func) func() {
+		return func() {
+			writers := make([]*runs.Writer, hashfn.Fanout)
+			for p := range writers {
+				writers[p] = runs.NewWriter(0, 0)
+			}
+			for _, k := range keys {
+				h := hash(k)
+				writers[h>>56].Append(h, k, nil)
+			}
+		}
+	}
+	naiveKey := measure(naive(hashfn.Identity))
+	naiveHash := measure(naive(hashfn.Murmur2))
+
+	// SWC without unrolling: one row at a time through the buffers.
+	swc := func(hash hashfn.Func) func() {
+		return func() {
+			s := partition.New(partition.Config{Level: 0})
+			for _, k := range keys {
+				h := hash(k)
+				s.Add(h, k, nil)
+			}
+			s.Flush()
+		}
+	}
+	swcKey := measure(swc(hashfn.Identity))
+	swcHash := measure(swc(hashfn.Murmur2))
+
+	// SWC + out-of-order unrolling: hash a block of 16 ahead, then scatter
+	// the block (the paper's `oo` variant), flushing into the two-level
+	// structure. This is the production routine.
+	hashScratch := make([]uint64, 16)
+	swcOO := measure(func() {
+		s := partition.New(partition.Config{Level: 0})
+		i := 0
+		for ; i+16 <= n; i += 16 {
+			for j := 0; j < 16; j++ {
+				hashScratch[j] = hashfn.Murmur2(keys[i+j])
+			}
+			s.Scatter(hashScratch, keys[i:i+16], nil)
+		}
+		for ; i < n; i++ {
+			s.Add(hashfn.Murmur2(keys[i]), keys[i], nil)
+		}
+		s.Flush()
+	})
+
+	// Over-allocated outputs instead of the two-level structure (the
+	// Wassenberg-style variant the paper rejects for industry systems).
+	overalloc := measure(func() {
+		outH := make([][]uint64, hashfn.Fanout)
+		outK := make([][]uint64, hashfn.Fanout)
+		per := n/hashfn.Fanout*2 + 1024
+		for p := range outH {
+			outH[p] = make([]uint64, 0, per)
+			outK[p] = make([]uint64, 0, per)
+		}
+		for i := 0; i+16 <= n; i += 16 {
+			for j := 0; j < 16; j++ {
+				hashScratch[j] = hashfn.Murmur2(keys[i+j])
+			}
+			for j := 0; j < 16; j++ {
+				h := hashScratch[j]
+				p := h >> 56
+				outH[p] = append(outH[p], h)
+				outK[p] = append(outK[p], keys[i+j])
+			}
+		}
+	})
+
+	// map: apply a partition mapping vector to an aggregate column (the
+	// column movement of Section 3.3). Payload here is the value column.
+	col := make([]uint64, n)
+	for i := range col {
+		col[i] = rng.Next()
+	}
+	mapping, _ := columnar.PartitionMapping(keys, 0)
+	var mapDur time.Duration
+	mapDur = bench.MedianOf(sc.reps, func() {
+		columnar.ApplyMappingSWC(mapping, col)
+	})
+	mapBW := bench.BandwidthMBs(mapDur, int64(n)*8)
+
+	add := func(name string, bw float64) {
+		t.AddRow(name, bw, bw/memcpy)
+	}
+	add("memcpy", memcpy)
+	add("key (naive)", naiveKey)
+	add("hash (naive)", naiveHash)
+	add("key+swc", swcKey)
+	add("hash+swc", swcHash)
+	add("hash+swc+oo (overalloc)", overalloc)
+	add("hash+swc+oo (two-level)", swcOO)
+	add("map (aggregate column)", mapBW)
+	return []*bench.Table{t}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/bench"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/xrand"
+)
+
+// kSweep returns the K values swept by the strategy figures: powers of two
+// from 2^4 up to N.
+func kSweep(sc scale) []int {
+	return bench.Pow2s(4, sc.logN, 2)
+}
+
+// runStrategy executes one Distinct aggregation and returns the median
+// duration plus the (stats-enabled) last result.
+func runStrategy(sc scale, s core.Strategy, keys []uint64) (time.Duration, *core.Result) {
+	cfg := core.Config{
+		Strategy:     s,
+		Workers:      sc.workers,
+		CacheBytes:   sc.cache,
+		CollectStats: true,
+	}
+	var res *core.Result
+	d := bench.MedianOf(sc.reps, func() {
+		r, err := core.Distinct(cfg, keys)
+		if err != nil {
+			panic(err)
+		}
+		res = r
+	})
+	return d, res
+}
+
+// passBreakdown renders per-pass element times like the stacked bars of
+// Figures 4 and 5: "p0/p1/p2" in ns per element per core.
+func passBreakdown(sc scale, res *core.Result) string {
+	out := ""
+	for lvl := 0; lvl < res.Stats.Passes; lvl++ {
+		if lvl > 0 {
+			out += "/"
+		}
+		et := float64(res.Stats.LevelNanos[lvl]) / float64(sc.n)
+		out += fmt.Sprintf("%.1f", et)
+	}
+	return out
+}
+
+// fig4 reproduces Figure 4: the pass breakdown of the illustrative
+// strategies HashingOnly and PartitionAlways(1, 2) over K, on uniform data.
+func fig4(sc scale) []*bench.Table {
+	strategies := []core.Strategy{
+		core.HashingOnly(),
+		core.PartitionAlways(1),
+		core.PartitionAlways(2),
+	}
+	var tables []*bench.Table
+	for _, s := range strategies {
+		t := bench.NewTable(
+			fmt.Sprintf("Figure 4 — %s pass breakdown (uniform, N=2^%d, P=%d)", s.Name(), sc.logN, sc.workers),
+			"K", "ns/elem/core", "passes", "per-pass ns/elem")
+		for _, k := range kSweep(sc) {
+			keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: uint64(k), Seed: 11})
+			d, res := runStrategy(sc, s, keys)
+			t.AddRow(bench.FormatCount(int64(k)),
+				bench.ElementTime(d, sc.workers, sc.n, 1),
+				res.Stats.Passes,
+				passBreakdown(sc, res))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig5 reproduces Figure 5: ADAPTIVE against the illustrative strategies.
+func fig5(sc scale) []*bench.Table {
+	strategies := []core.Strategy{
+		core.HashingOnly(),
+		core.PartitionAlways(1),
+		core.PartitionAlways(2),
+		core.DefaultAdaptive(),
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Figure 5 — Adaptive vs illustrative strategies, ns/elem/core (uniform, N=2^%d, P=%d)", sc.logN, sc.workers),
+		"K", "HashingOnly", "PartitionAlways(1)", "PartitionAlways(2)", "Adaptive")
+	for _, k := range kSweep(sc) {
+		keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: uint64(k), Seed: 11})
+		row := []any{bench.FormatCount(int64(k))}
+		for _, s := range strategies {
+			d, _ := runStrategy(sc, s, keys)
+			row = append(row, bench.ElementTime(d, sc.workers, sc.n, 1))
+		}
+		t.AddRow(row...)
+	}
+	return []*bench.Table{t}
+}
+
+// fig6 reproduces Figure 6: speedup over the single-worker run for
+// different K. (On a single-core host this degenerates to ~1×; the paper's
+// machine reaches ~16× on 20 cores.)
+func fig6(sc scale) []*bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("Figure 6 — speedup vs workers (uniform, N=2^%d)", sc.logN),
+		"workers", "K=2^10", "K=2^16", fmt.Sprintf("K=2^%d", sc.logN-2))
+	ks := []uint64{1 << 10, 1 << 16, 1 << uint(sc.logN-2)}
+	base := make(map[uint64]time.Duration)
+	datasets := make(map[uint64][]uint64)
+	for _, k := range ks {
+		datasets[k] = datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: k, Seed: 12})
+	}
+	for p := 1; p <= sc.workers; p *= 2 {
+		row := []any{p}
+		for _, k := range ks {
+			cfg := core.Config{Strategy: core.DefaultAdaptive(), Workers: p, CacheBytes: sc.cache}
+			d := bench.MedianOf(sc.reps, func() {
+				if _, err := core.Distinct(cfg, datasets[k]); err != nil {
+					panic(err)
+				}
+			})
+			if p == 1 {
+				base[k] = d
+			}
+			row = append(row, float64(base[k])/float64(d))
+		}
+		t.AddRow(row...)
+	}
+	return []*bench.Table{t}
+}
+
+// fig7 reproduces Figure 7: element time vs the number of aggregate
+// columns (all SUMs), for several K. The metric divides by the total
+// column count C = aggregates + 1, so a flat line means the operator moves
+// every additional column at the same per-element cost — the column-wise
+// processing claim of Section 3.3.
+func fig7(sc scale) []*bench.Table {
+	// Shrink N to compensate for the extra columns (the paper does the
+	// same: "just for this plot, we use N=2^28 … to compensate the memory
+	// increase").
+	n := sc.n / 4
+	if n < 1<<12 {
+		n = sc.n
+	}
+	colCounts := []int{0, 1, 2, 4, 8}
+	t := bench.NewTable(
+		fmt.Sprintf("Figure 7 — ns/elem/core vs #aggregate columns (uniform, N=2^%d, P=%d)", sc.logN-2, sc.workers),
+		"agg columns", "K=2^10", "K=2^16", fmt.Sprintf("K=2^%d", sc.logN-4))
+	ks := []uint64{1 << 10, 1 << 16, 1 << uint(sc.logN-4)}
+
+	rng := xrand.NewXoshiro256(9)
+	maxCols := colCounts[len(colCounts)-1]
+	cols := make([][]int64, maxCols)
+	for c := range cols {
+		cols[c] = make([]int64, n)
+		for i := range cols[c] {
+			cols[c][i] = int64(rng.Next() % 1000)
+		}
+	}
+
+	for _, nc := range colCounts {
+		row := []any{nc}
+		for _, k := range ks {
+			keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: n, K: k, Seed: 13})
+			in := &core.Input{Keys: keys, AggCols: cols[:nc]}
+			for c := 0; c < nc; c++ {
+				in.Specs = append(in.Specs, agg.Spec{Kind: agg.Sum, Col: c})
+			}
+			cfg := core.Config{Strategy: core.DefaultAdaptive(), Workers: sc.workers, CacheBytes: sc.cache}
+			d := bench.MedianOf(sc.reps, func() {
+				if _, err := core.Aggregate(cfg, in); err != nil {
+					panic(err)
+				}
+			})
+			row = append(row, bench.ElementTime(d, sc.workers, n, nc+1))
+		}
+		t.AddRow(row...)
+	}
+	return []*bench.Table{t}
+}

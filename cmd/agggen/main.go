@@ -1,0 +1,102 @@
+// Command agggen writes synthetic datasets with the distributions of the
+// paper's evaluation (Section 6.5) to a file or stdout, either as text (one
+// key per line) or as little-endian binary uint64s.
+//
+// Usage:
+//
+//	agggen -dist uniform -n 1048576 -k 65536 -seed 1 -format binary -o keys.bin
+//
+// Distributions: uniform, sequential, sorted, heavy-hitter, moving-cluster,
+// self-similar, zipf.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cacheagg/internal/datagen"
+)
+
+func main() {
+	var (
+		distName = flag.String("dist", "uniform", "distribution name")
+		n        = flag.Int("n", 1<<20, "number of rows")
+		k        = flag.Uint64("k", 1<<16, "key domain size (target group count)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		format   = flag.String("format", "text", "output format: text | binary")
+		out      = flag.String("o", "-", "output file ('-' for stdout)")
+		window   = flag.Uint64("window", 0, "moving-cluster window (0 = paper's 1024)")
+		h        = flag.Float64("h", 0, "self-similar skew h (0 = paper's 0.2)")
+		theta    = flag.Float64("theta", 0, "zipf exponent (0 = paper's 0.5)")
+		hitFrac  = flag.Float64("hitfrac", 0, "heavy-hitter mass on key 1 (0 = paper's 0.5)")
+		stats    = flag.Bool("stats", false, "print realized distinct-key count to stderr")
+	)
+	flag.Parse()
+
+	dist, err := datagen.ParseDist(*distName)
+	if err != nil {
+		fatal(err)
+	}
+	keys := datagen.Generate(datagen.Spec{
+		Dist:        dist,
+		N:           *n,
+		K:           *k,
+		Seed:        *seed,
+		Window:      *window,
+		H:           *h,
+		Theta:       *theta,
+		HitFraction: *hitFrac,
+	})
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := writeKeys(w, keys, *format); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "agggen: %d rows, %d distinct keys\n",
+			len(keys), datagen.CountDistinct(keys))
+	}
+}
+
+// writeKeys encodes the key column in the requested format.
+func writeKeys(w io.Writer, keys []uint64, format string) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	switch format {
+	case "text":
+		for _, key := range keys {
+			fmt.Fprintln(bw, key)
+		}
+	case "binary":
+		var buf [8]byte
+		for _, key := range keys {
+			binary.LittleEndian.PutUint64(buf[:], key)
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return bw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestWriteKeysText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeKeys(&buf, []uint64{1, 42, ^uint64(0)}, "text"); err != nil {
+		t.Fatal(err)
+	}
+	want := "1\n42\n18446744073709551615\n"
+	if buf.String() != want {
+		t.Fatalf("got %q", buf.String())
+	}
+}
+
+func TestWriteKeysBinary(t *testing.T) {
+	var buf bytes.Buffer
+	keys := []uint64{7, 1 << 50}
+	if err := writeKeys(&buf, keys, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 16 {
+		t.Fatalf("wrote %d bytes", len(b))
+	}
+	for i, k := range keys {
+		if binary.LittleEndian.Uint64(b[i*8:]) != k {
+			t.Fatalf("key %d corrupted", i)
+		}
+	}
+}
+
+func TestWriteKeysUnknownFormat(t *testing.T) {
+	err := writeKeys(&bytes.Buffer{}, []uint64{1}, "xml")
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteKeysEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeKeys(&buf, nil, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty input should write nothing")
+	}
+}

@@ -1,0 +1,186 @@
+// Command aggrun executes one aggregation over a dataset — generated on the
+// fly or read from a file produced by agggen — with a chosen strategy, and
+// prints the result summary plus the execution statistics that drive the
+// paper's figures (passes, routine mix, α, switches).
+//
+// Examples:
+//
+//	aggrun -dist uniform -n 1048576 -k 65536 -strategy adaptive
+//	aggrun -in keys.bin -format binary -strategy hashing-only -stats
+//	agggen -dist zipf -n 1000000 -format binary -o /tmp/z.bin && \
+//	  aggrun -in /tmp/z.bin -format binary
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+)
+
+func parseStrategy(name string, passes int) (core.Strategy, error) {
+	switch name {
+	case "adaptive":
+		return core.DefaultAdaptive(), nil
+	case "hashing-only":
+		return core.HashingOnly(), nil
+	case "partition-always":
+		return core.PartitionAlways(passes), nil
+	case "partition-only":
+		return core.PartitionOnly(), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (adaptive | hashing-only | partition-always | partition-only)", name)
+	}
+}
+
+func main() {
+	var (
+		distName = flag.String("dist", "uniform", "distribution for generated input")
+		n        = flag.Int("n", 1<<20, "rows of generated input")
+		k        = flag.Uint64("k", 1<<16, "key domain of generated input")
+		seed     = flag.Uint64("seed", 1, "seed for generated input")
+		in       = flag.String("in", "", "read keys from file instead of generating")
+		format   = flag.String("format", "text", "input file format: text | binary")
+		strat    = flag.String("strategy", "adaptive", "adaptive | hashing-only | partition-always | partition-only")
+		passes   = flag.Int("passes", 1, "partitioning passes for partition-always")
+		workers  = flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "cache budget bytes per worker (0 = 4 MiB)")
+		topN     = flag.Int("top", 0, "print the first N result rows")
+		verify   = flag.Bool("verify", false, "check the result against a reference aggregation")
+	)
+	flag.Parse()
+
+	var keys []uint64
+	if *in != "" {
+		var err error
+		keys, err = readKeys(*in, *format)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		dist, err := datagen.ParseDist(*distName)
+		if err != nil {
+			fatal(err)
+		}
+		keys = datagen.Generate(datagen.Spec{Dist: dist, N: *n, K: *k, Seed: *seed})
+	}
+
+	strategy, err := parseStrategy(*strat, *passes)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		Strategy:     strategy,
+		Workers:      *workers,
+		CacheBytes:   *cache,
+		CollectStats: true,
+	}
+	start := time.Now()
+	res, err := core.Distinct(cfg, keys)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("strategy   %s\n", strategy.Name())
+	fmt.Printf("rows       %d\n", len(keys))
+	fmt.Printf("groups     %d\n", res.Groups())
+	fmt.Printf("time       %v (%.1f ns/row)\n", elapsed.Round(time.Microsecond),
+		float64(elapsed.Nanoseconds())/float64(max(len(keys), 1)))
+	st := res.Stats
+	fmt.Printf("passes     %d\n", st.Passes)
+	for lvl := 0; lvl < st.Passes; lvl++ {
+		fmt.Printf("  level %d  %12d rows  %v worker time\n", lvl,
+			st.LevelRows[lvl], time.Duration(st.LevelNanos[lvl]).Round(time.Microsecond))
+	}
+	fmt.Printf("hashed     %d rows\n", st.HashedRows)
+	fmt.Printf("partitioned%12d rows\n", st.PartitionedRows)
+	fmt.Printf("tables     %d emitted", st.TablesEmitted)
+	if st.TablesEmitted > 0 {
+		fmt.Printf(" (mean α %.1f)", st.AlphaSum/float64(st.TablesEmitted))
+	}
+	fmt.Println()
+	fmt.Printf("switches   %d\n", st.Switches)
+	fmt.Printf("directemit %d buckets\n", st.DirectEmits)
+
+	for i := 0; i < *topN && i < res.Groups(); i++ {
+		fmt.Printf("row %d: key=%d hash=%#016x\n", i, res.Keys[i], res.Hashes[i])
+	}
+
+	if *verify {
+		if err := verifyDistinct(keys, res); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verify     OK (matches reference aggregation)")
+	}
+}
+
+// verifyDistinct checks a Distinct result against a simple map reference.
+func verifyDistinct(keys []uint64, res *core.Result) error {
+	ref := make(map[uint64]struct{}, res.Groups())
+	for _, k := range keys {
+		ref[k] = struct{}{}
+	}
+	if res.Groups() != len(ref) {
+		return fmt.Errorf("verify: %d groups, reference has %d", res.Groups(), len(ref))
+	}
+	seen := make(map[uint64]struct{}, res.Groups())
+	for _, k := range res.Keys {
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("verify: duplicate group %d", k)
+		}
+		seen[k] = struct{}{}
+		if _, ok := ref[k]; !ok {
+			return fmt.Errorf("verify: phantom group %d", k)
+		}
+	}
+	return nil
+}
+
+func readKeys(path, format string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var keys []uint64
+	switch format {
+	case "text":
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			v, err := strconv.ParseUint(sc.Text(), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+			}
+			keys = append(keys, v)
+		}
+		return keys, sc.Err()
+	case "binary":
+		r := bufio.NewReaderSize(f, 1<<20)
+		var buf [8]byte
+		for {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				if err == io.EOF {
+					return keys, nil
+				}
+				return nil, err
+			}
+			keys = append(keys, binary.LittleEndian.Uint64(buf[:]))
+		}
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aggrun:", err)
+	os.Exit(1)
+}

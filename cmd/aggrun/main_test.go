@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cacheagg/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		name   string
+		passes int
+		want   string
+	}{
+		{"adaptive", 1, "Adaptive(α₀=11, c=10)"},
+		{"hashing-only", 1, "HashingOnly"},
+		{"partition-always", 2, "PartitionAlways(2)"},
+		{"partition-only", 1, "PartitionOnly"},
+	}
+	for _, c := range cases {
+		s, err := parseStrategy(c.name, c.passes)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if s.Name() != c.want {
+			t.Fatalf("%s: got %q, want %q", c.name, s.Name(), c.want)
+		}
+	}
+	if _, err := parseStrategy("nope", 1); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}
+
+func TestReadKeysText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.txt")
+	if err := os.WriteFile(path, []byte("5\n7\n5\n18446744073709551615\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := readKeys(path, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{5, 7, 5, ^uint64(0)}
+	if len(keys) != len(want) {
+		t.Fatalf("got %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("got %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestReadKeysBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.bin")
+	want := []uint64{1, 2, 3, 1 << 60}
+	buf := make([]byte, 8*len(want))
+	for i, k := range want {
+		binary.LittleEndian.PutUint64(buf[i*8:], k)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := readKeys(path, "binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("got %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestReadKeysErrors(t *testing.T) {
+	if _, err := readKeys("/nonexistent/file", "text"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("not-a-number\n"), 0o644)
+	if _, err := readKeys(bad, "text"); err == nil {
+		t.Fatal("garbage text should error")
+	}
+	if _, err := readKeys(bad, "weird"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+	// Truncated binary file.
+	trunc := filepath.Join(dir, "trunc.bin")
+	os.WriteFile(trunc, []byte{1, 2, 3}, 0o644)
+	if _, err := readKeys(trunc, "binary"); err == nil {
+		t.Fatal("truncated binary should error")
+	}
+}
+
+func TestVerifyDistinct(t *testing.T) {
+	keys := []uint64{3, 3, 9, 1}
+	res := &core.Result{Keys: []uint64{3, 9, 1}}
+	if err := verifyDistinct(keys, res); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong count.
+	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 9}}); err == nil {
+		t.Fatal("missing group should fail")
+	}
+	// Duplicate.
+	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 3, 9}}); err == nil {
+		t.Fatal("duplicate group should fail")
+	}
+	// Phantom.
+	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 9, 5}}); err == nil {
+		t.Fatal("phantom group should fail")
+	}
+}

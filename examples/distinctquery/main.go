@@ -1,0 +1,58 @@
+// Distinctquery: the paper's Section 6.4 comparison in miniature.
+//
+// It runs the same DISTINCT-style query (how many distinct session ids in a
+// clickstream?) through the adaptive operator and all five prior-work
+// baselines, at two output cardinalities: one where the output fits in
+// cache and one far beyond it. The fixed-pass baselines need the true
+// cardinality up front (they size their tables from an optimizer
+// estimate); the adaptive operator is not told anything.
+//
+// Run with: go run ./examples/distinctquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cacheagg"
+	"cacheagg/internal/baselines"
+	"cacheagg/internal/datagen"
+)
+
+func main() {
+	const n = 2 << 20
+	const cacheBytes = 1 << 20
+
+	for _, k := range []uint64{1 << 10, 1 << 19} {
+		sessions := datagen.Generate(datagen.Spec{
+			Dist: datagen.Uniform, N: n, K: k, Seed: 11,
+		})
+		trueK := datagen.CountDistinct(sessions)
+		fmt.Printf("=== %d rows, %d distinct sessions ===\n", n, trueK)
+		fmt.Printf("%-26s %12s %10s\n", "algorithm", "time", "ns/row")
+
+		report := func(name string, d time.Duration, groups int) {
+			if groups != trueK {
+				log.Fatalf("%s returned %d groups, want %d", name, groups, trueK)
+			}
+			fmt.Printf("%-26s %12v %10.1f\n", name, d.Round(time.Microsecond),
+				float64(d.Nanoseconds())/float64(n))
+		}
+
+		for _, alg := range baselines.All() {
+			cfg := baselines.Config{CacheBytes: cacheBytes, EstimatedGroups: trueK}
+			start := time.Now()
+			res := alg.Run(sessions, cfg)
+			report(alg.Name()+" (needs K)", time.Since(start), res.Groups())
+		}
+
+		start := time.Now()
+		groups, err := cacheagg.Distinct(sessions, cacheagg.Options{CacheBytes: cacheBytes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("ADAPTIVE (no estimate)", time.Since(start), len(groups))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+// Salesreport: a realistic column-store workload — the kind of query the
+// paper's introduction motivates ("queries with a GROUP BY clause" over
+// large analytical tables).
+//
+// It builds a 2-million-row sales fact table with a skewed customer
+// dimension (80–20 self-similar: a few big customers dominate, like real
+// order books), then answers
+//
+//	SELECT customer, COUNT(*), SUM(qty), SUM(price), MAX(price), AVG(qty)
+//	FROM sales GROUP BY customer
+//
+// and prints the top customers by revenue. The execution statistics show
+// the adaptive operator exploiting the skew: most rows are absorbed by the
+// HASHING routine's early aggregation.
+//
+// Run with: go run ./examples/salesreport
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"cacheagg"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/xrand"
+)
+
+func main() {
+	const rows = 2 << 20
+	const customers = 200_000
+
+	// Fact table columns.
+	customer := datagen.Generate(datagen.Spec{
+		Dist: datagen.SelfSimilar, N: rows, K: customers, Seed: 2026,
+	})
+	qty := make([]int64, rows)
+	price := make([]int64, rows)
+	rng := xrand.NewXoshiro256(7)
+	for i := 0; i < rows; i++ {
+		qty[i] = 1 + int64(rng.Uint64n(20))
+		price[i] = 5 + int64(rng.Uint64n(500))
+	}
+
+	start := time.Now()
+	res, err := cacheagg.Aggregate(cacheagg.Input{
+		GroupBy: customer,
+		Columns: [][]int64{qty, price},
+		Aggregates: []cacheagg.AggSpec{
+			{Func: cacheagg.Count},
+			{Func: cacheagg.Sum, Col: 0}, // total quantity
+			{Func: cacheagg.Sum, Col: 1}, // revenue
+			{Func: cacheagg.Max, Col: 1}, // biggest single price
+			{Func: cacheagg.Avg, Col: 0}, // average quantity
+		},
+	}, cacheagg.Options{CollectStats: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("aggregated %d rows into %d customer groups in %v (%.1f ns/row)\n",
+		rows, res.Len(), elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/rows)
+	st := res.Stats
+	fmt.Printf("passes=%d  hashed=%d rows  partitioned=%d rows  switches=%d\n",
+		st.Passes, st.HashedRows, st.PartitionedRows, st.Switches)
+	if st.HashedRows > st.PartitionedRows {
+		fmt.Println("→ the skew was detected: early aggregation did most of the work")
+	}
+
+	// Top 5 customers by revenue.
+	idx := make([]int, res.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return res.Aggs[2][idx[a]] > res.Aggs[2][idx[b]] })
+	fmt.Println("\ncustomer   orders   qty     revenue  max price  avg qty")
+	for rank := 0; rank < 5 && rank < len(idx); rank++ {
+		i := idx[rank]
+		fmt.Printf("%8d  %7d  %6d  %8d  %9d  %7.2f\n",
+			res.Groups[i], res.Aggs[0][i], res.Aggs[1][i], res.Aggs[2][i],
+			res.Aggs[3][i], res.Float(4, i))
+	}
+}

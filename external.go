@@ -1,0 +1,88 @@
+package cacheagg
+
+// Out-of-core aggregation: the disk level of the external memory model.
+// See internal/external for the algorithm (chunked in-memory
+// pre-aggregation → hash-partitioned spill files → recursive merge).
+
+import (
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/external"
+)
+
+// ExternalOptions tunes an out-of-core aggregation.
+type ExternalOptions struct {
+	// MemoryBudgetRows caps the rows held in memory at a time; inputs
+	// larger than this are processed in chunks with spilling. 0 selects
+	// 1Mi rows.
+	MemoryBudgetRows int
+	// TempDir hosts the spill files ("" = system temp directory). Files
+	// are removed when the call returns.
+	TempDir string
+}
+
+// ExternalStats describes the spill behaviour of an out-of-core run.
+type ExternalStats struct {
+	// Chunks is the number of input chunks pre-aggregated in memory.
+	Chunks int
+	// SpilledRows and SpilledBytes count the partial-group records that
+	// went through disk.
+	SpilledRows  int64
+	SpilledBytes int64
+	// MergeLevels is the deepest disk-level partitioning recursion.
+	MergeLevels int
+}
+
+// ExternalResult is the result of AggregateExternal.
+type ExternalResult struct {
+	// Groups holds the distinct grouping keys.
+	Groups []uint64
+	// Aggs holds one output column per requested aggregate (AVG rows are
+	// truncated integer quotients).
+	Aggs [][]int64
+	// Stats describes the spill behaviour.
+	Stats ExternalStats
+}
+
+// Len returns the number of groups.
+func (r *ExternalResult) Len() int { return len(r.Groups) }
+
+// AggregateExternal executes the GROUP BY with bounded memory, spilling
+// partial aggregates to disk when the input exceeds the budget. The
+// in-memory operator (configured by opt) serves as the in-RAM leaf, so all
+// of its adaptivity applies within each chunk.
+func AggregateExternal(in Input, opt Options, ext ExternalOptions) (*ExternalResult, error) {
+	specs := make([]agg.Spec, len(in.Aggregates))
+	for i, a := range in.Aggregates {
+		if a.Func < Count || a.Func > Avg {
+			return nil, errInvalidFunc(int(a.Func))
+		}
+		specs[i] = agg.Spec{Kind: a.Func.kind(), Col: a.Col}
+	}
+	res, err := external.Aggregate(external.Config{
+		MemoryBudgetRows: ext.MemoryBudgetRows,
+		TempDir:          ext.TempDir,
+		Core: core.Config{
+			Strategy:   opt.Strategy.inner,
+			Workers:    opt.Workers,
+			CacheBytes: opt.CacheBytes,
+		},
+	}, &core.Input{
+		Keys:    in.GroupBy,
+		AggCols: in.Columns,
+		Specs:   specs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ExternalResult{
+		Groups: res.Keys,
+		Aggs:   res.Aggs,
+		Stats: ExternalStats{
+			Chunks:       res.Stats.Chunks,
+			SpilledRows:  res.Stats.SpilledRows,
+			SpilledBytes: res.Stats.SpilledBytes,
+			MergeLevels:  res.Stats.MergeLevels,
+		},
+	}, nil
+}

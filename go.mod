@@ -1,0 +1,3 @@
+module cacheagg
+
+go 1.22

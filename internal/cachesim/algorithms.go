@@ -1,0 +1,346 @@
+package cachesim
+
+import (
+	"sort"
+
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/xrand"
+)
+
+// This file contains instrumented implementations of the four textbook
+// algorithms of paper Section 2. Every data access goes through the
+// simulated cache; the transfer counts they produce validate the emm model
+// curves empirically (same shapes, reduced scale).
+//
+// Representation: the input is an array of keys (one word per row — the
+// model's "row"); the output is an array of (key, count) pairs, i.e. the
+// aggregation query is SELECT key, COUNT(*) GROUP BY key. Partial
+// aggregates are (key, count) pairs as well, so all algorithms produce
+// identical results.
+
+// Stats captures the simulated cost of one algorithm execution.
+type Stats struct {
+	Groups    int64 // distinct keys found
+	Transfers int64 // cache line transfers (misses + writebacks)
+	Hits      int64
+	Misses    int64
+	Out       Array // the (key, count) result pairs, for verification
+}
+
+func captureStats(m *Machine, groups int64, out Array) Stats {
+	m.Cache.Flush()
+	return Stats{
+		Groups:    groups,
+		Transfers: m.Cache.Transfers(),
+		Hits:      m.Cache.Hits(),
+		Misses:    m.Cache.Misses(),
+		Out:       out,
+	}
+}
+
+// UniformKeys fills a new array with n keys drawn uniformly from [0, k),
+// without charging the cache (dataset setup is outside the model).
+func UniformKeys(m *Machine, n int, k uint64, seed uint64) Array {
+	a := m.NewArray(n)
+	rng := xrand.NewXoshiro256(seed)
+	for i := 0; i < n; i++ {
+		a.Poke(i, rng.Uint64n(k))
+	}
+	return a
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// distinctOf counts distinct keys of a slice of simulated memory without
+// charging the cache (used to size tables the way the model assumes:
+// "even with a perfect cache", the model knows K).
+func distinctOf(a Array, lo, hi int) int {
+	seen := make(map[uint64]struct{}, hi-lo)
+	for i := lo; i < hi; i++ {
+		seen[a.Peek(i)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// hashInto aggregates rows [lo, hi) of input into a (key+1, count) open
+// addressing table of the given slot count allocated in simulated memory,
+// then appends (key, count) pairs to out starting at outPos. It returns the
+// new outPos. Collisions probe linearly over the whole table (the textbook
+// algorithm — not the blocked table of the real operator).
+func hashInto(m *Machine, input Array, lo, hi int, slots int, out Array, outPos int) int {
+	table := m.NewArray(slots * 2)
+	mask := slots - 1
+	for i := lo; i < hi; i++ {
+		k := input.Read(i)
+		s := int(hashfn.Murmur2(k)) & mask
+		for {
+			stored := table.Read(2 * s)
+			if stored == 0 {
+				table.Write(2*s, k+1)
+				table.Write(2*s+1, 1)
+				break
+			}
+			if stored == k+1 {
+				table.Write(2*s+1, table.Read(2*s+1)+1)
+				break
+			}
+			s = (s + 1) & mask
+		}
+	}
+	for s := 0; s < slots; s++ {
+		if stored := table.Read(2 * s); stored != 0 {
+			out.Write(2*outPos, stored-1)
+			out.Write(2*outPos+1, table.Read(2*s+1))
+			outPos++
+		}
+	}
+	return outPos
+}
+
+// HashAggNaive is naive HASHAGGREGATION: a single hash table sized for all
+// K groups, built in one pass. When the table exceeds the cache, nearly
+// every row misses.
+func HashAggNaive(m *Machine, input Array) Stats {
+	k := distinctOf(input, 0, input.Len())
+	slots := nextPow2(2 * k)
+	if slots < 16 {
+		slots = 16
+	}
+	out := m.NewArray(2 * k)
+	groups := hashInto(m, input, 0, input.Len(), slots, out, 0)
+	return captureStats(m, int64(groups), out)
+}
+
+// digitFunc extracts the partitioning digit of a key for a recursion level.
+type digitFunc func(key uint64, level int) int
+
+// partitionRec recursively partitions rows [lo, hi) of input by digit until
+// the partition's groups fit an in-cache table, then aggregates it in cache
+// and appends results to out. It returns the new output position.
+//
+// Partitions are over-allocated to the parent's size (the Wassenberg trick;
+// in simulated memory untouched words cost nothing), so no counting pass is
+// needed — matching the paper's tuned routine.
+func partitionRec(m *Machine, input Array, lo, hi int, level int, fanout int,
+	tableBudgetWords int, digit digitFunc, out Array, outPos int) int {
+	n := hi - lo
+	if n == 0 {
+		return outPos
+	}
+	k := distinctOf(input, lo, hi)
+	slots := nextPow2(2 * k)
+	if slots < 16 {
+		slots = 16
+	}
+	if 2*slots <= tableBudgetWords || level >= hashfn.MaxLevels {
+		// Leaf: aggregate in cache (fused final pass: read partition,
+		// write only the aggregates).
+		return hashInto(m, input, lo, hi, slots, out, outPos)
+	}
+	// Partition pass: scatter into fanout over-allocated children.
+	parts := make([]Array, fanout)
+	fill := make([]int, fanout)
+	for p := range parts {
+		parts[p] = m.NewArray(n)
+	}
+	for i := lo; i < hi; i++ {
+		key := input.Read(i)
+		p := digit(key, level)
+		parts[p].Write(fill[p], key)
+		fill[p]++
+	}
+	for p := 0; p < fanout; p++ {
+		outPos = partitionRec(m, parts[p], 0, fill[p], level+1, fanout,
+			tableBudgetWords, digit, out, outPos)
+	}
+	return outPos
+}
+
+// simFanout picks the partitioning fan-out for the machine: at most half
+// the cache lines so that every partition's current output line plus the
+// input stream stay resident (the model's M/B buffer argument).
+func simFanout(m *Machine) int {
+	f := m.Cache.CapacityLines() / 2
+	if f > hashfn.Fanout {
+		f = hashfn.Fanout
+	}
+	if f < 2 {
+		f = 2
+	}
+	// Round down to a power of two so digit extraction is a mask.
+	return 1 << (bitsLen(uint(f)) - 1)
+}
+
+func bitsLen(x uint) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func hashDigit(fanout int) digitFunc {
+	bits := bitsLen(uint(fanout)) - 1
+	return func(key uint64, level int) int {
+		h := hashfn.Murmur2(key)
+		shift := 64 - bits*(level+1)
+		if shift < 0 {
+			shift = 0
+		}
+		return int(h >> uint(shift) & uint64(fanout-1))
+	}
+}
+
+// keyDigit partitions by the bits of the key itself (bucket sort on a
+// dense domain [0, keyBits)): level 0 takes the most significant digit.
+func keyDigit(fanout, keyBits int) digitFunc {
+	bits := bitsLen(uint(fanout)) - 1
+	return func(key uint64, level int) int {
+		shift := keyBits - bits*(level+1)
+		if shift < 0 {
+			shift = 0
+		}
+		return int(key >> uint(shift) & uint64(fanout-1))
+	}
+}
+
+// HashAggOpt is HASHAGGREGATION-OPTIMIZED: recursive partitioning by hash
+// value until each partition aggregates in cache.
+func HashAggOpt(m *Machine, input Array) Stats {
+	k := distinctOf(input, 0, input.Len())
+	out := m.NewArray(2 * max(k, 1))
+	fanout := simFanout(m)
+	budget := m.Cache.CapacityLines() * m.Cache.LineWords() / 2
+	groups := partitionRec(m, input, 0, input.Len(), 0, fanout, budget,
+		hashDigit(fanout), out, 0)
+	return captureStats(m, int64(groups), out)
+}
+
+// SortAggOpt is SORTAGGREGATION-OPTIMIZED: identical recursion but
+// partitioning by the key's own (dense-domain) digits, with the final
+// bucket-sort pass fused with aggregation. That it shares its entire
+// implementation with HashAggOpt except for the digit function is the
+// paper's thesis in code form.
+func SortAggOpt(m *Machine, input Array, keyBits int) Stats {
+	k := distinctOf(input, 0, input.Len())
+	out := m.NewArray(2 * max(k, 1))
+	fanout := simFanout(m)
+	budget := m.Cache.CapacityLines() * m.Cache.LineWords() / 2
+	groups := partitionRec(m, input, 0, input.Len(), 0, fanout, budget,
+		keyDigit(fanout, keyBits), out, 0)
+	return captureStats(m, int64(groups), out)
+}
+
+// sortRec recursively bucket-sorts rows [lo, hi) of input in place-ish:
+// partitions fitting in cache are sorted in cache and written to dst at
+// position pos; larger ones are scattered and recursed. Returns new pos.
+func sortRec(m *Machine, input Array, lo, hi int, level int, fanout int,
+	cacheBudgetWords int, digit digitFunc, dst Array, pos int) int {
+	n := hi - lo
+	if n == 0 {
+		return pos
+	}
+	if n <= cacheBudgetWords || level >= hashfn.MaxLevels {
+		// Sort in cache: load partition (charged), sort underlying
+		// storage (in-cache compute, accesses hit), write out.
+		keys := make([]uint64, 0, n)
+		for i := lo; i < hi; i++ {
+			keys = append(keys, input.Read(i))
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for i, k := range keys {
+			dst.Write(pos+i, k)
+		}
+		return pos + n
+	}
+	parts := make([]Array, fanout)
+	fill := make([]int, fanout)
+	for p := range parts {
+		parts[p] = m.NewArray(n)
+	}
+	for i := lo; i < hi; i++ {
+		key := input.Read(i)
+		p := digit(key, level)
+		parts[p].Write(fill[p], key)
+		fill[p]++
+	}
+	for p := 0; p < fanout; p++ {
+		pos = sortRec(m, parts[p], 0, fill[p], level+1, fanout,
+			cacheBudgetWords, digit, dst, pos)
+	}
+	return pos
+}
+
+// SortAggNaive is textbook SORTAGGREGATION: fully sort the input (bucket
+// sort to cache-sized partitions, in-cache sort of each), then a separate
+// aggregation pass over the sorted data.
+func SortAggNaive(m *Machine, input Array, keyBits int) Stats {
+	n := input.Len()
+	fanout := simFanout(m)
+	budget := m.Cache.CapacityLines() * m.Cache.LineWords() / 2
+	sorted := m.NewArray(n)
+	end := sortRec(m, input, 0, n, 0, fanout, budget, keyDigit(fanout, keyBits), sorted, 0)
+	if end != n {
+		panic("cachesim: sort lost rows")
+	}
+	k := distinctOf(sorted, 0, n)
+	out := m.NewArray(2 * max(k, 1))
+	// Separate aggregation pass: read all rows, write one (key, count)
+	// per group boundary.
+	groups := 0
+	if n > 0 {
+		cur := sorted.Read(0)
+		count := uint64(1)
+		for i := 1; i < n; i++ {
+			k := sorted.Read(i)
+			if k == cur {
+				count++
+				continue
+			}
+			out.Write(2*groups, cur)
+			out.Write(2*groups+1, count)
+			groups++
+			cur, count = k, 1
+		}
+		out.Write(2*groups, cur)
+		out.Write(2*groups+1, count)
+		groups++
+	}
+	return captureStats(m, int64(groups), out)
+}
+
+// VerifyCounts recomputes the aggregation result of input outside the
+// simulation and compares it with the (key, count) pairs in out[0:2*groups].
+// It returns false on any mismatch. Tests use it to prove the instrumented
+// algorithms are real implementations, not transfer-count stubs.
+func VerifyCounts(input Array, out Array, groups int64) bool {
+	want := map[uint64]uint64{}
+	for i := 0; i < input.Len(); i++ {
+		want[input.Peek(i)]++
+	}
+	if int64(len(want)) != groups {
+		return false
+	}
+	got := map[uint64]uint64{}
+	for g := int64(0); g < groups; g++ {
+		k := out.Peek(int(2 * g))
+		c := out.Peek(int(2*g + 1))
+		if _, dup := got[k]; dup {
+			return false
+		}
+		got[k] = c
+	}
+	for k, c := range want {
+		if got[k] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package cachesim
+
+import (
+	"testing"
+)
+
+// simMachine builds the reduced-scale Figure 1 machine used in tests:
+// M = 2^12 words of cache, B = 16 words per line.
+func simMachine() *Machine { return NewMachine(1<<12, 16) }
+
+func TestAllAlgorithmsProduceCorrectResults(t *testing.T) {
+	const n = 1 << 14
+	for _, k := range []uint64{1, 7, 256, 1 << 10, 1 << 13} {
+		check := func(name string, f func(m *Machine, in Array) Stats) {
+			m := simMachine()
+			in := UniformKeys(m, n, k, 42)
+			st := f(m, in)
+			if !VerifyCounts(in, st.Out, st.Groups) {
+				t.Fatalf("%s with K=%d produced wrong aggregation result", name, k)
+			}
+		}
+		check("HashAggNaive", HashAggNaive)
+		check("HashAggOpt", HashAggOpt)
+		check("SortAggOpt", func(m *Machine, in Array) Stats { return SortAggOpt(m, in, 16) })
+		check("SortAggNaive", func(m *Machine, in Array) Stats { return SortAggNaive(m, in, 16) })
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	m := simMachine()
+	in := m.NewArray(0)
+	for _, st := range []Stats{
+		HashAggNaive(m, in),
+		HashAggOpt(m, in),
+		SortAggOpt(m, in, 16),
+		SortAggNaive(m, in, 16),
+	} {
+		if st.Groups != 0 {
+			t.Fatalf("empty input produced %d groups", st.Groups)
+		}
+	}
+}
+
+// TestHashAggExplosionShape reproduces the key shape of Figure 1: naive
+// hash aggregation is cheap while the table fits in cache and explodes
+// beyond it, while the optimized variant degrades only gradually.
+func TestHashAggExplosionShape(t *testing.T) {
+	const n = 1 << 15
+	cacheWords := 1 << 12
+
+	costNaive := func(k uint64) int64 {
+		m := NewMachine(cacheWords, 16)
+		return HashAggNaive(m, UniformKeys(m, n, k, 1)).Transfers
+	}
+	costOpt := func(k uint64) int64 {
+		m := NewMachine(cacheWords, 16)
+		return HashAggOpt(m, UniformKeys(m, n, k, 1)).Transfers
+	}
+
+	small := uint64(64)        // table ≪ cache
+	large := uint64(1 << 13)   // table ≫ cache (2·2·2^13 words > 2^12)
+	nSmall := costNaive(small) // ~N/B
+	nLarge := costNaive(large)
+	if nLarge < 8*nSmall {
+		t.Fatalf("expected naive hash explosion: small-K %d, large-K %d", nSmall, nLarge)
+	}
+	oLarge := costOpt(large)
+	if oLarge >= nLarge/2 {
+		t.Fatalf("optimized (%d) should be far cheaper than naive (%d) for large K", oLarge, nLarge)
+	}
+	// In cache, naive and optimized behave the same (single pass).
+	oSmall := costOpt(small)
+	ratio := float64(oSmall) / float64(nSmall)
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Fatalf("in-cache costs should match: naive %d vs opt %d", nSmall, oSmall)
+	}
+}
+
+// TestHashingIsSortingEmpirically: the optimized hash- and sort-based
+// algorithms must transfer a similar number of lines across the whole K
+// range — the empirical counterpart of emm.TestHashingIsSorting. Hash
+// digits spread groups slightly differently than dense key digits, so we
+// allow a modest band rather than exact equality.
+func TestHashingIsSortingEmpirically(t *testing.T) {
+	const n = 1 << 15
+	for _, k := range []uint64{16, 1 << 8, 1 << 11, 1 << 13, 1 << 14} {
+		mh := NewMachine(1<<12, 16)
+		h := HashAggOpt(mh, UniformKeys(mh, n, k, 7)).Transfers
+		ms := NewMachine(1<<12, 16)
+		s := SortAggOpt(ms, UniformKeys(ms, n, k, 7), 16).Transfers
+		lo, hi := h*2/3, h*3/2
+		if s < lo || s > hi {
+			t.Fatalf("K=%d: sort-opt %d outside [%d, %d] around hash-opt %d", k, s, lo, hi, h)
+		}
+	}
+}
+
+// TestNaiveSortPaysExtraPass: textbook sort aggregation sorts fully and
+// then aggregates in a separate pass, so it must cost measurably more than
+// the fused optimized variant for moderate K.
+func TestNaiveSortPaysExtraPass(t *testing.T) {
+	const n = 1 << 15
+	k := uint64(1 << 12)
+	mn := NewMachine(1<<12, 16)
+	naive := SortAggNaive(mn, UniformKeys(mn, n, k, 3), 16).Transfers
+	mo := NewMachine(1<<12, 16)
+	opt := SortAggOpt(mo, UniformKeys(mo, n, k, 3), 16).Transfers
+	if naive <= opt {
+		t.Fatalf("naive sort (%d) should cost more than optimized (%d)", naive, opt)
+	}
+}
+
+// TestOptSinglePassInCache: for K small enough, the optimized algorithms
+// read the input once and write the output once — no recursion.
+func TestOptSinglePassInCache(t *testing.T) {
+	const n = 1 << 14
+	m := NewMachine(1<<12, 16)
+	in := UniformKeys(m, n, 32, 5)
+	st := HashAggOpt(m, in)
+	// Input: n/16 lines. Output + table noise: small. Everything beyond
+	// ~1.3× the input read indicates a spurious extra pass.
+	inputLines := int64(n / 16)
+	if st.Transfers > inputLines*13/10 {
+		t.Fatalf("in-cache aggregation cost %d transfers, input is only %d lines",
+			st.Transfers, inputLines)
+	}
+}
+
+// TestMonotoneDegradationOpt: the optimized algorithm's cost grows as a
+// staircase: more groups can only cost more transfers (within noise).
+func TestMonotoneDegradationOpt(t *testing.T) {
+	const n = 1 << 15
+	prev := int64(0)
+	for _, k := range []uint64{4, 64, 1 << 10, 1 << 12, 1 << 14} {
+		m := NewMachine(1<<12, 16)
+		cur := HashAggOpt(m, UniformKeys(m, n, k, 9)).Transfers
+		if cur < prev*9/10 {
+			t.Fatalf("cost dropped sharply from %d to %d at K=%d", prev, cur, k)
+		}
+		if cur > prev {
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package cachesim provides an execution substrate for validating the
+// external-memory analysis of paper Section 2 empirically: a
+// fully-associative LRU cache model in front of a word-addressed memory,
+// counting cache-line transfers, plus instrumented implementations of the
+// four textbook aggregation algorithms whose closed-form costs internal/emm
+// computes.
+//
+// The paper measures its claims on real hardware; this repository cannot
+// fix cache sizes of the host machine, so the simulator substitutes for
+// hardware performance counters: the algorithms below perform every data
+// access through the simulated cache, and the resulting transfer counts can
+// be compared directly against the model curves of Figure 1 (shape-exact at
+// reduced scale).
+//
+// The cache is fully associative with perfect LRU — the idealized cache of
+// the external memory model. One transfer is counted per line read into the
+// cache (miss) and per dirty line written back (writeback).
+package cachesim
+
+import "fmt"
+
+// Cache is a fully-associative write-back, write-allocate LRU cache.
+type Cache struct {
+	lineWords     int
+	capacityLines int
+
+	// Intrusive LRU list over nodes, most recently used at head.
+	lines map[int64]*node
+	head  *node
+	tail  *node
+	free  []*node
+
+	hits       int64
+	misses     int64
+	writebacks int64
+}
+
+type node struct {
+	addr  int64 // line address (word address / lineWords)
+	dirty bool
+	prev  *node
+	next  *node
+}
+
+// NewCache creates a cache holding capacityWords words in lines of
+// lineWords words each.
+func NewCache(capacityWords, lineWords int) *Cache {
+	if lineWords <= 0 || capacityWords < lineWords {
+		panic(fmt.Sprintf("cachesim: invalid cache geometry %d/%d", capacityWords, lineWords))
+	}
+	return &Cache{
+		lineWords:     lineWords,
+		capacityLines: capacityWords / lineWords,
+		lines:         make(map[int64]*node),
+	}
+}
+
+// LineWords returns B, the words per line.
+func (c *Cache) LineWords() int { return c.lineWords }
+
+// CapacityLines returns M/B, the number of lines the cache holds.
+func (c *Cache) CapacityLines() int { return c.capacityLines }
+
+// Hits returns the number of accesses served from cache.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of lines read from memory.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Writebacks returns the number of dirty lines written back to memory.
+func (c *Cache) Writebacks() int64 { return c.writebacks }
+
+// Transfers returns the total number of cache line transfers: misses plus
+// writebacks — the quantity of the external memory model.
+func (c *Cache) Transfers() int64 { return c.misses + c.writebacks }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.hits, c.misses, c.writebacks = 0, 0, 0 }
+
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.next = c.head
+	n.prev = nil
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Access simulates one word access at the given word address.
+func (c *Cache) Access(wordAddr int64, write bool) {
+	line := wordAddr / int64(c.lineWords)
+	if n, ok := c.lines[line]; ok {
+		c.hits++
+		if write {
+			n.dirty = true
+		}
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return
+	}
+	c.misses++
+	var n *node
+	if len(c.lines) >= c.capacityLines {
+		// Evict LRU.
+		n = c.tail
+		c.unlink(n)
+		delete(c.lines, n.addr)
+		if n.dirty {
+			c.writebacks++
+		}
+	} else if len(c.free) > 0 {
+		n = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		n = &node{}
+	}
+	n.addr = line
+	n.dirty = write
+	c.lines[line] = n
+	c.pushFront(n)
+}
+
+// Flush writes back all dirty lines and empties the cache. It counts a
+// writeback per dirty line, modeling the final drain of results to memory.
+func (c *Cache) Flush() {
+	for addr, n := range c.lines {
+		if n.dirty {
+			c.writebacks++
+		}
+		delete(c.lines, addr)
+		c.free = append(c.free, n)
+	}
+	c.head, c.tail = nil, nil
+}
+
+// Machine couples the cache with a bump-allocated word-addressed memory and
+// hands out typed arrays whose every element access goes through the cache.
+type Machine struct {
+	Cache *Cache
+	next  int64
+}
+
+// NewMachine creates a machine with the given cache geometry.
+func NewMachine(cacheWords, lineWords int) *Machine {
+	return &Machine{Cache: NewCache(cacheWords, lineWords)}
+}
+
+// Array is a line-aligned array in simulated memory.
+type Array struct {
+	m    *Machine
+	base int64
+	data []uint64
+}
+
+// NewArray allocates a line-aligned array of n words.
+func (m *Machine) NewArray(n int) Array {
+	lw := int64(m.Cache.lineWords)
+	base := (m.next + lw - 1) / lw * lw
+	m.next = base + int64(n)
+	return Array{m: m, base: base, data: make([]uint64, n)}
+}
+
+// Len returns the number of words in the array.
+func (a Array) Len() int { return len(a.data) }
+
+// Read returns element i, charging a simulated read access.
+func (a Array) Read(i int) uint64 {
+	a.m.Cache.Access(a.base+int64(i), false)
+	return a.data[i]
+}
+
+// Write stores element i, charging a simulated write access.
+func (a Array) Write(i int, v uint64) {
+	a.m.Cache.Access(a.base+int64(i), true)
+	a.data[i] = v
+}
+
+// Peek reads without charging the cache (for test verification only).
+func (a Array) Peek(i int) uint64 { return a.data[i] }
+
+// Poke writes without charging the cache (for test setup only).
+func (a Array) Poke(i int, v uint64) { a.data[i] = v }

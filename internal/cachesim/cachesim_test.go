@@ -1,0 +1,175 @@
+package cachesim
+
+import "testing"
+
+func TestCacheGeometry(t *testing.T) {
+	c := NewCache(1024, 16)
+	if c.LineWords() != 16 || c.CapacityLines() != 64 {
+		t.Fatalf("geometry %d/%d", c.LineWords(), c.CapacityLines())
+	}
+}
+
+func TestNewCachePanicsOnBadGeometry(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewCache(8, 16) },
+		func() { NewCache(16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSequentialReadsMissOncePerLine(t *testing.T) {
+	m := NewMachine(1024, 16)
+	a := m.NewArray(160) // 10 lines
+	for i := 0; i < a.Len(); i++ {
+		a.Read(i)
+	}
+	if m.Cache.Misses() != 10 {
+		t.Fatalf("misses = %d, want 10", m.Cache.Misses())
+	}
+	if m.Cache.Hits() != 150 {
+		t.Fatalf("hits = %d, want 150", m.Cache.Hits())
+	}
+	if m.Cache.Writebacks() != 0 {
+		t.Fatalf("writebacks = %d, want 0", m.Cache.Writebacks())
+	}
+}
+
+func TestRepeatedAccessWithinCapacityHits(t *testing.T) {
+	m := NewMachine(1024, 16)
+	a := m.NewArray(512) // 32 lines, fits in 64-line cache
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < a.Len(); i++ {
+			a.Read(i)
+		}
+	}
+	if m.Cache.Misses() != 32 {
+		t.Fatalf("misses = %d, want 32 (compulsory only)", m.Cache.Misses())
+	}
+}
+
+func TestThrashingBeyondCapacity(t *testing.T) {
+	m := NewMachine(256, 16) // 16 lines
+	a := m.NewArray(512)     // 32 lines
+	// Two sequential passes over 2× the cache: LRU evicts everything
+	// before reuse, so every line misses in both passes.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < a.Len(); i += 16 {
+			a.Read(i)
+		}
+	}
+	if m.Cache.Misses() != 64 {
+		t.Fatalf("misses = %d, want 64", m.Cache.Misses())
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	m := NewMachine(256, 16) // 16 lines
+	a := m.NewArray(16 * 17) // 17 lines
+	for i := 0; i < a.Len(); i += 16 {
+		a.Write(i, 1)
+	}
+	// 17 misses; the 17th access evicts one dirty line.
+	if m.Cache.Misses() != 17 {
+		t.Fatalf("misses = %d", m.Cache.Misses())
+	}
+	if m.Cache.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", m.Cache.Writebacks())
+	}
+}
+
+func TestFlushWritesBackDirtyLines(t *testing.T) {
+	m := NewMachine(1024, 16)
+	a := m.NewArray(64) // 4 lines
+	for i := 0; i < a.Len(); i++ {
+		a.Write(i, uint64(i))
+	}
+	b := m.NewArray(32) // 2 lines, read-only
+	for i := 0; i < b.Len(); i++ {
+		b.Read(i)
+	}
+	m.Cache.Flush()
+	if m.Cache.Writebacks() != 4 {
+		t.Fatalf("writebacks = %d, want 4 (only dirty lines)", m.Cache.Writebacks())
+	}
+	if m.Cache.Transfers() != 6+4 {
+		t.Fatalf("transfers = %d, want 10", m.Cache.Transfers())
+	}
+}
+
+func TestLRUOrderIsExact(t *testing.T) {
+	m := NewMachine(32, 16) // 2 lines
+	a := m.NewArray(48)     // 3 lines: L0, L1, L2
+	a.Read(0)               // L0 in
+	a.Read(16)              // L1 in
+	a.Read(0)               // L0 MRU
+	a.Read(32)              // L2 evicts L1 (LRU)
+	m.Cache.ResetStats()
+	a.Read(0) // must still hit
+	if m.Cache.Misses() != 0 {
+		t.Fatal("L0 was evicted but should have been MRU")
+	}
+	a.Read(16) // must miss (was evicted)
+	if m.Cache.Misses() != 1 {
+		t.Fatal("L1 should have been evicted")
+	}
+}
+
+func TestArrayDataIntegrity(t *testing.T) {
+	m := NewMachine(256, 16)
+	a := m.NewArray(1000)
+	for i := 0; i < a.Len(); i++ {
+		a.Write(i, uint64(i*i))
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Read(i) != uint64(i*i) {
+			t.Fatalf("element %d corrupted", i)
+		}
+	}
+}
+
+func TestArraysAreLineAligned(t *testing.T) {
+	m := NewMachine(256, 16)
+	a := m.NewArray(1) // 1 word
+	b := m.NewArray(1)
+	// Accessing a and b must touch different lines despite tiny sizes.
+	a.Read(0)
+	b.Read(0)
+	if m.Cache.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2 (arrays must not share lines)", m.Cache.Misses())
+	}
+}
+
+func TestPeekPokeFree(t *testing.T) {
+	m := NewMachine(256, 16)
+	a := m.NewArray(64)
+	a.Poke(3, 42)
+	if a.Peek(3) != 42 {
+		t.Fatal("poke/peek roundtrip failed")
+	}
+	if m.Cache.Transfers() != 0 || m.Cache.Hits() != 0 {
+		t.Fatal("peek/poke must not touch the cache")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := NewMachine(256, 16)
+	a := m.NewArray(64)
+	a.Read(0)
+	m.Cache.ResetStats()
+	if m.Cache.Misses() != 0 || m.Cache.Hits() != 0 || m.Cache.Writebacks() != 0 {
+		t.Fatal("stats not reset")
+	}
+	// Contents survive reset.
+	a.Read(0)
+	if m.Cache.Hits() != 1 {
+		t.Fatal("cache contents should survive ResetStats")
+	}
+}

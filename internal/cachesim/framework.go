@@ -1,0 +1,308 @@
+package cachesim
+
+import "cacheagg/internal/hashfn"
+
+// This file runs a single-threaded rendition of the paper's Algorithm 2 on
+// the simulated cache — HASHING and PARTITIONING routines mixed by the
+// ADAPTIVE rule — so the operator's cache-line transfer count can be
+// compared against the textbook curves of Figure 1. It models the
+// DISTINCT query of the paper's Section 6.4 comparison (no aggregate
+// payload, C = 1): runs hold bare keys at every level and hashing
+// deduplicates. The expected result (asserted by tests) is that the
+// framework matches the optimized staircase for uniform data and beats
+// forced partitioning when locality allows early aggregation.
+
+// FrameworkConfig tunes the simulated operator.
+type FrameworkConfig struct {
+	// TableWords is the simulated hash table size in words (one word per
+	// slot); 0 selects half the cache.
+	TableWords int
+	// Alpha0 is the adaptive switching threshold; 0 selects 4 (the sim
+	// has different constants than the real build; tests derive the
+	// value the same way Appendix A.1 does).
+	Alpha0 float64
+	// C is the partitioning amortization constant; 0 selects 10.
+	C int
+	// ForceHashing / ForcePartitioning pin the routine (the HashingOnly
+	// and PartitionOnly strategies).
+	ForceHashing      bool
+	ForcePartitioning bool
+}
+
+// FrameworkAgg runs the DISTINCT query over the input with the mixed
+// hashing/partitioning framework on the simulated machine. Stats.Out holds
+// the distinct keys (one word per group); Stats.Groups their count.
+func FrameworkAgg(m *Machine, input Array, cfg FrameworkConfig) Stats {
+	if cfg.TableWords == 0 {
+		cfg.TableWords = m.Cache.CapacityLines() * m.Cache.LineWords() / 2
+	}
+	if cfg.Alpha0 == 0 {
+		cfg.Alpha0 = 4
+	}
+	if cfg.C == 0 {
+		cfg.C = 10
+	}
+	// Fan-out: at most cache-lines/2 (the model's buffer argument) and at
+	// most one cache line's worth of rows per split run (maxRows/B), so
+	// table splits never emit under-filled lines. The paper's cache-sized
+	// tables satisfy this trivially (millions of rows across 256 runs);
+	// the reduced-scale simulator must scale the fan-out down with the
+	// table.
+	fanout := simFanout(m)
+	maxRows := nextPow2(cfg.TableWords) / 4
+	for fanout > 2 && fanout > maxRows/m.Cache.LineWords() {
+		fanout /= 2
+	}
+	f := &fwExec{m: m, cfg: cfg, fanout: fanout}
+	k := distinctOf(input, 0, input.Len())
+	f.out = m.NewArray(max(k, 1))
+	f.processBucket([]span{{input, 0, input.Len()}}, 0)
+	return captureStats(m, int64(f.groups), f.out)
+}
+
+// VerifyDistinct checks that out[0:groups] is exactly the distinct key set
+// of the input (order-insensitive), reading via Peek (uncharged).
+func VerifyDistinct(input Array, out Array, groups int64) bool {
+	want := map[uint64]struct{}{}
+	for i := 0; i < input.Len(); i++ {
+		want[input.Peek(i)] = struct{}{}
+	}
+	if int64(len(want)) != groups {
+		return false
+	}
+	seen := map[uint64]struct{}{}
+	for g := int64(0); g < groups; g++ {
+		k := out.Peek(int(g))
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+		if _, ok := want[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// span is a view into a simulated key array (a "run").
+type span struct {
+	arr    Array
+	lo, hi int
+}
+
+func (s span) len() int { return s.hi - s.lo }
+
+type fwExec struct {
+	m      *Machine
+	cfg    FrameworkConfig
+	fanout int
+	out    Array
+	outPos int
+	groups int
+
+	// Reusable tables, mirroring the real operator's per-worker reuse:
+	// a fresh allocation per table fill would charge compulsory misses
+	// the real machine never pays (its table stays cache resident).
+	// Clearing instead costs writes that hit in cache.
+	routineTable Array
+	leafTable    Array
+}
+
+// zeroFill zeroes arr[0:n] through the cache (hits when resident).
+func zeroFill(arr Array, n int) {
+	for i := 0; i < n; i++ {
+		arr.Write(i, 0)
+	}
+}
+
+// tableSlots returns the slot count of a cache-sized table (one word per
+// slot, rounded to a power of two).
+func (f *fwExec) tableSlots() int { return nextPow2(f.cfg.TableWords) }
+
+func (f *fwExec) maxRows() int { return f.tableSlots() / 4 } // 25 % fill
+
+// processBucket is Algorithm 2: drain all runs of the bucket through the
+// strategy-selected routine, then recurse into the produced sub-buckets.
+func (f *fwExec) processBucket(bucket []span, level int) {
+	total := 0
+	for _, s := range bucket {
+		total += s.len()
+	}
+	if total == 0 {
+		return
+	}
+	// Leaf: one fused in-cache pass suffices.
+	if total <= f.maxRows()*2 || level >= hashfn.MaxLevels {
+		f.finalize(bucket)
+		return
+	}
+
+	partitioning := f.cfg.ForcePartitioning
+	partBudget := 0
+
+	sub := make([][]span, f.fanout)
+	bits := bitsLen(uint(f.fanout)) - 1
+	digit := func(key uint64) int {
+		shift := 64 - bits*(level+1)
+		if shift < 0 {
+			shift = 0
+		}
+		return int(hashfn.Murmur2(key) >> uint(shift) & uint64(f.fanout-1))
+	}
+
+	// HASHING routine state: one-word slots storing key+1.
+	var table Array
+	var tMask int
+	var tRows, tIn int
+	newTable := func() {
+		if f.routineTable.m == nil {
+			f.routineTable = f.m.NewArray(f.tableSlots())
+		} else {
+			zeroFill(f.routineTable, f.tableSlots())
+		}
+		table = f.routineTable
+		tMask = f.tableSlots() - 1
+		tRows, tIn = 0, 0
+	}
+	splitTable := func() {
+		runs := make([]Array, f.fanout)
+		fill := make([]int, f.fanout)
+		for p := range runs {
+			runs[p] = f.m.NewArray(tRows + 1)
+		}
+		for s := 0; s <= tMask; s++ {
+			stored := table.Read(s)
+			if stored == 0 {
+				continue
+			}
+			key := stored - 1
+			d := digit(key)
+			runs[d].Write(fill[d], key)
+			fill[d]++
+		}
+		for p := range runs {
+			if fill[p] > 0 {
+				sub[p] = append(sub[p], span{runs[p], 0, fill[p]})
+			}
+		}
+	}
+
+	// PARTITIONING routine state: over-allocated children (free in sim).
+	var parts []Array
+	partFill := make([]int, f.fanout)
+	newParts := func() {
+		parts = make([]Array, f.fanout)
+		for p := range parts {
+			parts[p] = f.m.NewArray(total)
+		}
+	}
+
+	for _, s := range bucket {
+		for i := s.lo; i < s.hi; i++ {
+			key := s.arr.Read(i)
+			if partitioning && !f.cfg.ForcePartitioning && partBudget <= 0 {
+				partitioning = false // amortized: probe with hashing again
+			}
+			if partitioning {
+				if parts == nil {
+					newParts()
+				}
+				d := digit(key)
+				parts[d].Write(partFill[d], key)
+				partFill[d]++
+				partBudget--
+				continue
+			}
+			if table.m == nil {
+				newTable()
+			}
+			slot := int(hashfn.Murmur2(key)) & tMask
+			for {
+				stored := table.Read(slot)
+				if stored == 0 {
+					if tRows >= f.maxRows() {
+						// Table full: α decision, split, fresh table.
+						alpha := float64(tIn) / float64(max(tRows, 1))
+						splitTable()
+						newTable()
+						if !f.cfg.ForceHashing && alpha < f.cfg.Alpha0 {
+							partitioning = true
+							partBudget = f.cfg.C * f.maxRows()
+						}
+						slot = int(hashfn.Murmur2(key)) & tMask
+						continue
+					}
+					table.Write(slot, key+1)
+					tRows++
+					tIn++
+					break
+				}
+				if stored == key+1 {
+					tIn++ // duplicate absorbed: early aggregation
+					break
+				}
+				slot = (slot + 1) & tMask
+			}
+		}
+	}
+	if table.m != nil && tRows > 0 {
+		splitTable()
+	}
+	for p := range sub {
+		if parts != nil && partFill[p] > 0 {
+			sub[p] = append(sub[p], span{parts[p], 0, partFill[p]})
+		}
+		if len(sub[p]) > 0 {
+			f.processBucket(sub[p], level+1)
+		}
+	}
+}
+
+// finalize deduplicates a leaf bucket in cache and writes the output.
+func (f *fwExec) finalize(bucket []span) {
+	total := 0
+	for _, s := range bucket {
+		total += s.len()
+	}
+	slots := nextPow2(2*total + 2)
+	if slots < 16 {
+		slots = 16
+	}
+	// Reuse (and clear) the shared leaf table when it is big enough;
+	// leaves are bounded by 2·maxRows so one allocation serves all.
+	var table Array
+	if slots <= nextPow2(4*f.maxRows()+16) {
+		if f.leafTable.m == nil {
+			f.leafTable = f.m.NewArray(nextPow2(4*f.maxRows() + 16))
+		}
+		zeroFill(f.leafTable, slots)
+		table = f.leafTable
+	} else {
+		table = f.m.NewArray(slots)
+	}
+	mask := slots - 1
+	for _, s := range bucket {
+		for i := s.lo; i < s.hi; i++ {
+			key := s.arr.Read(i)
+			slot := int(hashfn.Murmur2(key)) & mask
+			for {
+				stored := table.Read(slot)
+				if stored == 0 {
+					table.Write(slot, key+1)
+					break
+				}
+				if stored == key+1 {
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+		}
+	}
+	for s := 0; s < slots; s++ {
+		if stored := table.Read(s); stored != 0 {
+			f.out.Write(f.outPos, stored-1)
+			f.outPos++
+			f.groups++
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package cachesim
+
+import "fmt"
+
+// TLB is a fully-associative LRU translation lookaside buffer model.
+//
+// The paper's Section 4.2 motivates software write-combining with two
+// costs of naive 256-way partitioning, cache-line read-before-write AND
+// "the number of TLB misses inherent in partitioning, which writes to a
+// high number of memory pages": 256 output streams touch 256 distinct
+// pages, while first-level data TLBs of the paper's machine hold only 64
+// entries. This model makes that argument measurable: run the same access
+// trace through Walk and compare miss counts for the naive scatter (every
+// row touches one of 256 stream pages) versus the SWC layout (rows touch
+// a handful of contiguous buffer pages; streams are touched once per
+// 64-row flush).
+type TLB struct {
+	pageWords int
+	entries   int
+
+	pages map[int64]uint64 // page → last-use stamp
+	clock uint64
+
+	hits   int64
+	misses int64
+}
+
+// NewTLB creates a TLB with the given number of entries over pages of
+// pageWords words (the paper's machine: 64 L1 dTLB entries, 4 KiB pages =
+// 512 words).
+func NewTLB(entries, pageWords int) *TLB {
+	if entries <= 0 || pageWords <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid TLB geometry %d/%d", entries, pageWords))
+	}
+	return &TLB{
+		pageWords: pageWords,
+		entries:   entries,
+		pages:     make(map[int64]uint64, entries),
+	}
+}
+
+// Hits returns the number of accesses whose page was resident.
+func (t *TLB) Hits() int64 { return t.hits }
+
+// Misses returns the number of page-table walks.
+func (t *TLB) Misses() int64 { return t.misses }
+
+// Access touches one word address.
+func (t *TLB) Access(wordAddr int64) {
+	page := wordAddr / int64(t.pageWords)
+	t.clock++
+	if _, ok := t.pages[page]; ok {
+		t.hits++
+		t.pages[page] = t.clock
+		return
+	}
+	t.misses++
+	if len(t.pages) >= t.entries {
+		// Evict LRU.
+		var victim int64
+		oldest := ^uint64(0)
+		for p, age := range t.pages {
+			if age < oldest {
+				victim, oldest = p, age
+			}
+		}
+		delete(t.pages, victim)
+	}
+	t.pages[page] = t.clock
+}
+
+// PartitionTLBMisses runs a synthetic 256-way partitioning of n rows
+// through the TLB model and returns the miss counts of the naive scatter
+// (each row written directly to its partition's stream page) and of the
+// software-write-combined scatter (rows written to a contiguous buffer
+// block; a stream page is touched only once per bufRows flush). digits
+// supplies each row's partition. The input stream itself is included in
+// both traces.
+func PartitionTLBMisses(entries, pageWords, bufRows int, digits []uint8) (naive, swc int64) {
+	const fanout = 256
+	streamBase := make([]int64, fanout)
+	for p := range streamBase {
+		// Distinct, far-apart stream regions: one region per partition.
+		streamBase[p] = int64(1<<30 + p*1<<16)
+	}
+
+	// Naive: input read + direct scatter write per row.
+	{
+		tlb := NewTLB(entries, pageWords)
+		pos := make([]int64, fanout)
+		for i, d := range digits {
+			tlb.Access(int64(i)) // sequential input
+			tlb.Access(streamBase[d] + pos[d])
+			pos[d]++
+		}
+		naive = tlb.Misses()
+	}
+
+	// SWC: input read + buffer write per row; stream pages touched once
+	// per flush of bufRows rows. Buffers are one contiguous region.
+	{
+		tlb := NewTLB(entries, pageWords)
+		bufBase := int64(1 << 28)
+		bufLen := make([]int, fanout)
+		pos := make([]int64, fanout)
+		for i, d := range digits {
+			tlb.Access(int64(i)) // sequential input
+			idx := int64(d)*int64(bufRows) + int64(bufLen[d])
+			tlb.Access(bufBase + idx)
+			bufLen[d]++
+			if bufLen[d] == bufRows {
+				// Flush: one burst of writes to the stream (page-granular
+				// cost is what matters; model the first word of each line
+				// of the flushed block).
+				for w := 0; w < bufRows; w += pageWords {
+					tlb.Access(streamBase[d] + pos[d] + int64(w))
+				}
+				pos[d] += int64(bufRows)
+				bufLen[d] = 0
+			}
+		}
+		swc = tlb.Misses()
+	}
+	return naive, swc
+}

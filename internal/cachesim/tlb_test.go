@@ -1,0 +1,92 @@
+package cachesim
+
+import (
+	"testing"
+
+	"cacheagg/internal/xrand"
+)
+
+func TestTLBGeometryPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewTLB(0, 512) },
+		func() { NewTLB(64, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTLBSequentialScan(t *testing.T) {
+	// A sequential scan misses once per page.
+	tlb := NewTLB(64, 512)
+	for i := int64(0); i < 512*10; i++ {
+		tlb.Access(i)
+	}
+	if tlb.Misses() != 10 {
+		t.Fatalf("misses = %d, want 10", tlb.Misses())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2, 512) // 2 entries
+	tlb.Access(0)         // page 0
+	tlb.Access(512)       // page 1
+	tlb.Access(0)         // page 0 MRU
+	tlb.Access(1024)      // page 2 evicts page 1
+	m := tlb.Misses()
+	tlb.Access(0) // must hit
+	if tlb.Misses() != m {
+		t.Fatal("page 0 was MRU and should have survived")
+	}
+	tlb.Access(512) // must miss
+	if tlb.Misses() != m+1 {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+// TestPartitioningTLBThrash reproduces the Section 4.2 argument: with 256
+// output streams and a 64-entry TLB, the naive scatter misses on a large
+// fraction of rows, while software write-combining keeps the working set
+// to a handful of buffer pages and amortizes stream-page touches over
+// whole flushes — at least an order of magnitude fewer misses.
+func TestPartitioningTLBThrash(t *testing.T) {
+	const n = 100000
+	rng := xrand.NewXoshiro256(9)
+	digits := make([]uint8, n)
+	for i := range digits {
+		digits[i] = uint8(rng.Uint64n(256))
+	}
+	// The paper's machine: 64 dTLB entries, 4 KiB pages (512 words),
+	// 64-row SWC buffers.
+	naive, swc := PartitionTLBMisses(64, 512, 64, digits)
+	if naive < int64(n)/2 {
+		t.Fatalf("naive scatter should thrash the TLB: %d misses for %d rows", naive, n)
+	}
+	if swc*10 > naive {
+		t.Fatalf("SWC should cut TLB misses ≥10×: naive %d, swc %d", naive, swc)
+	}
+}
+
+// TestPartitioningTLBFitsWhenFanoutSmall: with few partitions the naive
+// scatter's working set fits the TLB and both variants are cheap — the
+// problem is specifically the 256-way fan-out.
+func TestPartitioningTLBFitsWhenFanoutSmall(t *testing.T) {
+	const n = 50000
+	rng := xrand.NewXoshiro256(10)
+	digits := make([]uint8, n)
+	for i := range digits {
+		digits[i] = uint8(rng.Uint64n(16)) // only 16 partitions
+	}
+	naive, _ := PartitionTLBMisses(64, 512, 64, digits)
+	// 16 streams + input fit in 64 entries: only compulsory misses
+	// (one per newly touched page).
+	if naive > int64(n)/50 {
+		t.Fatalf("16-way scatter should not thrash a 64-entry TLB: %d misses", naive)
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements the paper's aggregation operator: the algorithmic
+// framework of Section 3 (mixing the HASHING and PARTITIONING routines over
+// recursive runs), the tuned routines of Section 4 (via internal/hashtable
+// and internal/partition), and the locality-adaptive strategy of Section 5.
+//
+// Execution outline (Algorithm 2 of the paper):
+//
+//  1. Intake: the input columns are consumed morsel-wise by all workers in
+//     parallel (work stealing over an atomic morsel counter). Each worker
+//     runs the strategy's per-run decision loop, producing level-0 runs
+//     grouped into 256 buckets by the most significant hash digit. Rows get
+//     their 64-bit MurmurHash2 digest here, carried through all later
+//     levels, and their aggregate states are initialized (so all deeper
+//     merges uniformly use super-aggregate functions).
+//  2. Recursion: every non-empty bucket becomes an independent task for the
+//     work-stealing pool. A task processes its bucket's runs at level d —
+//     again choosing HASHING or PARTITIONING per run — and either emits the
+//     final aggregates directly (when one hash table absorbed the entire
+//     bucket without filling: the fused final pass of Section 2.1) or
+//     spawns child tasks for the 256 sub-buckets at level d+1.
+//  3. Assembly: finalized chunks are concatenated in hash order — the
+//     output is "a hash table like HASHAGGREGATION would produce, but built
+//     with a sorting algorithm" (Section 3.1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/hashtable"
+)
+
+// DefaultCacheBytes is the default per-worker cache budget for hash tables.
+// The paper's machine has 3 MB of L3 per core; 4 MiB is a comparable
+// present-day default. Experiments override it to provoke recursion at
+// laptop scale.
+const DefaultCacheBytes = 4 << 20
+
+// Config configures one aggregation execution.
+type Config struct {
+	// Strategy picks the routine per run; nil selects DefaultAdaptive().
+	Strategy Strategy
+	// Workers is the parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// CacheBytes is the per-worker cache budget that sizes hash tables
+	// (and thereby all recursion thresholds); 0 selects DefaultCacheBytes.
+	CacheBytes int
+	// MaxFill is the hash-table fill limit; 0 selects the paper's 0.25.
+	MaxFill float64
+	// ChunkRows is the run chunk size; 0 selects runs.DefaultChunkRows.
+	ChunkRows int
+	// MorselRows is the intake work-stealing grain; 0 selects
+	// sched.DefaultGrain.
+	MorselRows int
+	// CollectStats enables per-level timing and decision statistics
+	// (small overhead; benchmarks that only need totals leave it off).
+	CollectStats bool
+	// CarryHashes stores the 64-bit hash of every row in the intermediate
+	// runs instead of recomputing it from the key at every pass. The
+	// paper's layout is recompute (the default, false): MurmurHash2 costs
+	// about a nanosecond while a carried hash costs 8 bytes of memory
+	// traffic per row per pass in each direction. Carrying is kept as an
+	// ablation switch for the hash-storage design choice.
+	CarryHashes bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == nil {
+		c.Strategy = DefaultAdaptive()
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.MaxFill <= 0 {
+		c.MaxFill = hashtable.DefaultMaxFill
+	}
+	return c
+}
+
+// Input is the operator's column-store input: one grouping column and any
+// number of aggregate input columns, all of equal length.
+type Input struct {
+	// Keys is the grouping column.
+	Keys []uint64
+	// AggCols are the aggregate input columns referenced by Specs.
+	AggCols [][]int64
+	// Specs are the aggregate functions to compute per group.
+	Specs []agg.Spec
+}
+
+// Validate checks the structural invariants of the input.
+func (in *Input) Validate() error {
+	lay := agg.NewLayout(in.Specs)
+	if maxCol := lay.MaxInputCol(); maxCol >= len(in.AggCols) {
+		return fmt.Errorf("core: spec references input column %d but only %d columns given",
+			maxCol, len(in.AggCols))
+	}
+	for i, col := range in.AggCols {
+		if len(col) != len(in.Keys) {
+			return fmt.Errorf("core: aggregate column %d has %d rows, keys have %d",
+				i, len(col), len(in.Keys))
+		}
+	}
+	return nil
+}
+
+// Result is the operator's output: one row per group, ordered by hash value
+// (the concatenation of the final runs).
+type Result struct {
+	// Keys holds the group keys.
+	Keys []uint64
+	// Hashes holds the corresponding hash digests (ascending bucket order).
+	Hashes []uint64
+	// Aggs holds one finalized column per input spec.
+	Aggs [][]int64
+	// AggsFloat holds the same columns finalized as float64 (exact for
+	// AVG, widened integers otherwise).
+	AggsFloat [][]float64
+	// Stats holds execution statistics (populated when CollectStats).
+	Stats Stats
+}
+
+// Groups returns the number of groups in the result.
+func (r *Result) Groups() int { return len(r.Keys) }
+
+// MaxPasses is the deepest possible recursion: one level per radix-256
+// digit of the 64-bit hash, plus one pseudo-level for forced finalization.
+const MaxPasses = hashfn.MaxLevels + 1
+
+// Stats reports what the execution did, mirroring the measurements behind
+// the paper's figures: per-pass work time (Figures 4, 5), rows routed
+// through each routine, tables emitted with their reduction factors, and
+// strategy switches (Figure 9's solid markers).
+type Stats struct {
+	// LevelNanos is the total worker time spent processing each level.
+	LevelNanos [MaxPasses]int64
+	// LevelRows counts rows processed (moved or aggregated) per level.
+	LevelRows [MaxPasses]int64
+	// HashedRows and PartitionedRows count rows routed through each
+	// routine (intake and recursion combined).
+	HashedRows      int64
+	PartitionedRows int64
+	// TablesEmitted counts hash tables that filled up and were split.
+	TablesEmitted int64
+	// AlphaSum accumulates the reduction factors of emitted tables;
+	// AlphaSum/TablesEmitted is the mean observed α.
+	AlphaSum float64
+	// Switches counts strategy mode changes.
+	Switches int64
+	// DirectEmits counts buckets finalized by a single fused hashing pass.
+	DirectEmits int64
+	// Tasks counts bucket tasks executed (including intake tasks).
+	Tasks int64
+	// Passes is the deepest level that processed any rows, plus one.
+	Passes int
+}
+
+func (s *Stats) merge(o *workerStats) {
+	for i := range s.LevelNanos {
+		s.LevelNanos[i] += o.levelNanos[i]
+		s.LevelRows[i] += o.levelRows[i]
+	}
+	s.HashedRows += o.hashedRows
+	s.PartitionedRows += o.partitionedRows
+	s.TablesEmitted += o.tablesEmitted
+	s.AlphaSum += o.alphaSum
+	s.Switches += o.switches
+	s.DirectEmits += o.directEmits
+	s.Tasks += o.tasks
+}
+
+// workerStats is the per-worker, contention-free statistics accumulator.
+type workerStats struct {
+	levelNanos      [MaxPasses]int64
+	levelRows       [MaxPasses]int64
+	hashedRows      int64
+	partitionedRows int64
+	tablesEmitted   int64
+	alphaSum        float64
+	switches        int64
+	directEmits     int64
+	tasks           int64
+}
+
+// chunk is one finalized output fragment: all groups of one bucket, tagged
+// with the bucket's hash prefix for ordered assembly.
+type chunk struct {
+	sortKey uint64 // bucket prefix left-aligned to 64 bits
+	hashes  []uint64
+	keys    []uint64
+	states  [][]uint64 // packed state columns, finalized at assembly
+}
+
+// collector gathers finalized chunks from concurrent tasks.
+type collector struct {
+	mu     sync.Mutex
+	chunks []chunk
+	groups int
+}
+
+func (c *collector) add(ch chunk) {
+	c.mu.Lock()
+	c.chunks = append(c.chunks, ch)
+	c.groups += len(ch.keys)
+	c.mu.Unlock()
+}
+
+// Aggregate executes the operator over the input.
+func Aggregate(cfg Config, in *Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	e := newExec(cfg, in)
+	e.run()
+	return e.assemble(), nil
+}
+
+// Distinct computes the distinct grouping keys of the column (a GROUP BY
+// with no aggregates — the query class of the paper's Section 6.4
+// comparison). The result rows are the distinct keys in hash order.
+func Distinct(cfg Config, keys []uint64) (*Result, error) {
+	return Aggregate(cfg, &Input{Keys: keys})
+}
+
+// assemble sorts the finalized chunks by bucket prefix and concatenates
+// them into the final result, finalizing aggregate states column-wise.
+func (e *exec) assemble() *Result {
+	c := &e.out
+	sort.Slice(c.chunks, func(i, j int) bool { return c.chunks[i].sortKey < c.chunks[j].sortKey })
+
+	res := &Result{
+		Keys:      make([]uint64, 0, c.groups),
+		Hashes:    make([]uint64, 0, c.groups),
+		Aggs:      make([][]int64, len(e.layout.Specs)),
+		AggsFloat: make([][]float64, len(e.layout.Specs)),
+	}
+	for i := range res.Aggs {
+		res.Aggs[i] = make([]int64, 0, c.groups)
+		res.AggsFloat[i] = make([]float64, 0, c.groups)
+	}
+	scratch := make([]uint64, 2) // widest state is AVG's two words
+	for _, ch := range c.chunks {
+		res.Hashes = append(res.Hashes, ch.hashes...)
+		res.Keys = append(res.Keys, ch.keys...)
+		for si, sp := range e.layout.Specs {
+			off := e.layout.Offsets[si]
+			w := sp.Kind.Width()
+			col := res.Aggs[si]
+			fcol := res.AggsFloat[si]
+			for r := 0; r < len(ch.keys); r++ {
+				st := scratch[:w]
+				for x := 0; x < w; x++ {
+					st[x] = ch.states[off+x][r]
+				}
+				col = append(col, sp.Kind.FinalizeInt(st))
+				fcol = append(fcol, sp.Kind.FinalizeFloat(st))
+			}
+			res.Aggs[si] = col
+			res.AggsFloat[si] = fcol
+		}
+	}
+	// Merge stats.
+	if e.cfg.CollectStats {
+		for w := range e.workers {
+			res.Stats.merge(&e.workers[w].stats)
+		}
+		for lvl := MaxPasses - 1; lvl >= 0; lvl-- {
+			if res.Stats.LevelRows[lvl] > 0 {
+				res.Stats.Passes = lvl + 1
+				break
+			}
+		}
+	}
+	return res
+}
+
+// timed runs fn and charges its wall time to the given level of the
+// worker's stats (no-op when stats are off).
+func (e *exec) timed(ws *workerState, level int, fn func()) {
+	if !e.cfg.CollectStats {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	ws.stats.levelNanos[level] += time.Since(start).Nanoseconds()
+}

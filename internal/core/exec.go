@@ -1,0 +1,550 @@
+package core
+
+import (
+	"sync"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/hashtable"
+	"cacheagg/internal/partition"
+	"cacheagg/internal/runs"
+	"cacheagg/internal/sched"
+)
+
+// scratchRows is the block size of the intake loop: hashes and initial
+// aggregate states of up to this many rows are materialized at a time
+// before being handed to a routine. The block stays cache resident.
+const scratchRows = 4096
+
+// exec holds one execution's shared state.
+type exec struct {
+	cfg     Config
+	in      *Input
+	layout  *agg.Layout
+	wordOps []agg.WordOp
+	words   int
+
+	cacheRows int // capacity of a cache-sized table
+	finalRows int // its fill limit: the leaf threshold of the recursion
+
+	pool    *sched.Pool
+	morsels *sched.Morsels
+	workers []workerState
+
+	rootMu sync.Mutex
+	root   [hashfn.Fanout]runs.Bucket
+
+	out collector
+}
+
+// workerState is the per-worker reusable machinery: one cache-sized hash
+// table, one scatterer (whose SWC buffers are reused across tasks), and the
+// intake scratch blocks. Tasks on one worker never interleave, so no
+// locking is needed — the paper's share-nothing design.
+type workerState struct {
+	table *hashtable.Table
+	// finalTables are reusable leaf-finalization tables, keyed by
+	// capacity: a leaf bucket of n rows gets the smallest power-of-two
+	// table ≥ 4n (capped at the cache size), so the post-aggregation
+	// emit scan touches ~4 slots per row instead of the whole
+	// cache-sized table for every small leaf.
+	finalTables map[int]*hashtable.Table
+	scat        *partition.Scatterer
+
+	hashScratch  []uint64
+	stateScratch [][]uint64 // words × scratchRows, for intake partitioning
+	stateViews   [][]uint64 // reusable column-view scratch
+	rowScratch   []uint64   // one packed state row
+
+	stats workerStats
+}
+
+func newExec(cfg Config, in *Input) *exec {
+	lay := agg.NewLayout(in.Specs)
+	e := &exec{
+		cfg:     cfg,
+		in:      in,
+		layout:  lay,
+		wordOps: lay.WordOps(),
+		words:   lay.Words,
+	}
+	e.cacheRows = hashtable.CapacityForCache(cfg.CacheBytes, e.words)
+	if e.cacheRows < hashfn.Fanout*hashtable.MinBlockRows {
+		e.cacheRows = hashfn.Fanout * hashtable.MinBlockRows
+	}
+	// The leaf threshold: the fused final pass may fill its table up to
+	// half (vs the routine tables' 25 %) — the paper's "factor B more
+	// partitions" optimization, bounded at 50 % to keep probing cheap.
+	e.finalRows = e.cacheRows / 2
+	if e.finalRows < 1 {
+		e.finalRows = 1
+	}
+	e.pool = sched.NewPool(cfg.Workers)
+	e.workers = make([]workerState, e.pool.Workers())
+	for w := range e.workers {
+		ws := &e.workers[w]
+		ws.table = hashtable.New(hashtable.Config{
+			CapacityRows:     e.cacheRows,
+			Blocks:           hashfn.Fanout,
+			MaxFill:          cfg.MaxFill,
+			Words:            e.words,
+			OmitHashesInRuns: !cfg.CarryHashes,
+		})
+		ws.finalTables = make(map[int]*hashtable.Table)
+		ws.scat = partition.New(partition.Config{
+			Level:      0,
+			Words:      e.words,
+			ChunkRows:  cfg.ChunkRows,
+			DropHashes: !cfg.CarryHashes,
+		})
+		ws.hashScratch = make([]uint64, scratchRows)
+		ws.stateScratch = make([][]uint64, e.words)
+		for i := range ws.stateScratch {
+			ws.stateScratch[i] = make([]uint64, scratchRows)
+		}
+		ws.stateViews = make([][]uint64, e.words)
+		ws.rowScratch = make([]uint64, e.words)
+	}
+	return e
+}
+
+// run executes the two phases: parallel intake, then parallel recursion.
+func (e *exec) run() {
+	// Phase A — intake: split the input into runs (Algorithm 2, line 5).
+	e.morsels = sched.NewMorsels(len(e.in.Keys), e.cfg.MorselRows)
+	nWorkers := e.pool.Workers()
+	e.pool.Run(func(ctx *sched.Ctx) {
+		// One intake task per worker; morsel stealing balances them.
+		for w := 1; w < nWorkers; w++ {
+			ctx.Spawn(e.intake)
+		}
+		e.intake(ctx)
+	})
+
+	// Phase B — recursion into the buckets (Algorithm 2, line 8).
+	e.pool.Run(func(ctx *sched.Ctx) {
+		for d := range e.root {
+			if e.root[d].Rows() == 0 {
+				continue
+			}
+			b := &e.root[d]
+			prefix := uint64(d)
+			ctx.Spawn(func(c *sched.Ctx) { e.processBucket(c, b, 1, prefix) })
+		}
+	})
+}
+
+// sliceStates fills the worker's reusable view scratch with states[w][lo:hi].
+func (ws *workerState) sliceStates(states [][]uint64, lo, hi int) [][]uint64 {
+	for w := range ws.stateViews {
+		ws.stateViews[w] = states[w][lo:hi]
+	}
+	return ws.stateViews
+}
+
+// intake is one worker's main loop over the input: grab morsels, run the
+// strategy's decision loop on raw rows, produce level-0 runs.
+func (e *exec) intake(ctx *sched.Ctx) {
+	ws := &e.workers[ctx.Worker]
+	ws.stats.tasks++
+	st := e.cfg.Strategy.NewState(0, e.cacheRows)
+	table := ws.table
+	table.Reset()
+	table.SetLevel(0)
+	scat := ws.scat
+	scat.Reset(0)
+	var local [hashfn.Fanout]runs.Bucket
+
+	keys := e.in.Keys
+	cols := e.in.AggCols
+	for {
+		lo, hi, ok := e.morsels.Next()
+		if !ok {
+			break
+		}
+		e.timed(ws, 0, func() {
+			i := lo
+			for i < hi {
+				switch st.NextMode() {
+				case ModePartition:
+					blk := min(hi-i, scratchRows)
+					e.scatterRaw(ws, scat, keys, cols, i, i+blk)
+					st.OnPartitioned(blk)
+					ws.stats.partitionedRows += int64(blk)
+					i += blk
+				default: // ModeHash (ModeFinal cannot occur at intake)
+					i = e.hashRaw(ws, st, table, keys, cols, i, hi, &local)
+				}
+			}
+			ws.stats.levelRows[0] += int64(hi - lo)
+		})
+	}
+
+	// Flush residual state into the local buckets.
+	e.timed(ws, 0, func() {
+		if table.Len() > 0 {
+			splits := table.SplitRuns()
+			for d, r := range splits {
+				local[d].Add(r)
+			}
+		}
+		scat.Flush()
+		views := make([]*runs.Bucket, hashfn.Fanout)
+		for d := range local {
+			views[d] = &local[d]
+		}
+		scat.SealInto(views)
+	})
+
+	// Publish into the shared root buckets (the only intake-side
+	// synchronization, once per worker).
+	e.rootMu.Lock()
+	for d := range local {
+		e.root[d].AddAll(&local[d])
+	}
+	e.rootMu.Unlock()
+}
+
+// hashRaw inserts raw input rows [i, hi) into the table until the table
+// fills or the range is exhausted; on fill it splits the table into the
+// local buckets and informs the strategy. Returns the index of the first
+// unconsumed row.
+func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table,
+	keys []uint64, cols [][]int64, i, hi int, local *[hashfn.Fanout]runs.Bucket) int {
+	for i < hi {
+		k := keys[i]
+		h := hashfn.Murmur2(k)
+		if !table.InsertRawCols(h, k, cols, i, e.wordOps) {
+			alpha := table.Alpha()
+			ws.stats.tablesEmitted++
+			ws.stats.alphaSum += alpha
+			splits := table.SplitRuns()
+			for d, r := range splits {
+				local[d].Add(r)
+			}
+			st.OnTableEmit(alpha)
+			if st.NextMode() != ModeHash {
+				ws.stats.switches++
+				return i // row not consumed; caller re-dispatches
+			}
+			continue // fresh table, retry same row
+		}
+		ws.stats.hashedRows++
+		i++
+	}
+	return i
+}
+
+// scatterRaw hashes a block of raw rows, materializes their initial
+// aggregate states, and scatters them (the intake variant of the
+// PARTITIONING routine).
+func (e *exec) scatterRaw(ws *workerState, scat *partition.Scatterer,
+	keys []uint64, cols [][]int64, lo, hi int) {
+	n := hi - lo
+	hs := ws.hashScratch[:n]
+	for j := 0; j < n; j++ {
+		hs[j] = hashfn.Murmur2(keys[lo+j])
+	}
+	for w, op := range e.wordOps {
+		dst := ws.stateScratch[w][:n]
+		if op.Src == agg.SrcOne {
+			for j := range dst {
+				dst[j] = 1
+			}
+		} else {
+			src := cols[op.Col][lo:hi]
+			for j := range dst {
+				dst[j] = uint64(src[j])
+			}
+		}
+	}
+	views := ws.sliceStates(ws.stateScratch, 0, n)
+	scat.Scatter(hs, keys[lo:hi], views)
+}
+
+// child is a sub-bucket produced by doBucket, awaiting recursion.
+type child struct {
+	b      *runs.Bucket
+	prefix uint64
+}
+
+// processBucket is the recursive call of Algorithm 2 for one bucket at the
+// given level; prefix is the bucket's fixed hash-digit path.
+//
+// Leaf-sized children are processed inline rather than spawned: spawning a
+// task per 256th of a bucket would drown the scheduler in micro-tasks (the
+// paper's equivalent is that its task recursion stops creating parallel
+// work once buckets are small).
+func (e *exec) processBucket(ctx *sched.Ctx, b *runs.Bucket, level int, prefix uint64) {
+	ws := &e.workers[ctx.Worker]
+	ws.stats.tasks++
+	n := b.Rows()
+	if n == 0 {
+		return
+	}
+	var children []child
+	e.timed(ws, min(level, MaxPasses-1), func() {
+		ws.stats.levelRows[min(level, MaxPasses-1)] += int64(n)
+		children = e.doBucket(ctx, ws, b, level, prefix)
+	})
+	for _, c := range children {
+		if c.b.Rows() <= e.finalRows {
+			e.processBucket(ctx, c.b, level+1, c.prefix)
+		} else {
+			c := c
+			nextLevel := level + 1
+			ctx.Spawn(func(cc *sched.Ctx) { e.processBucket(cc, c.b, nextLevel, c.prefix) })
+		}
+	}
+}
+
+func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level int, prefix uint64) []child {
+	n := b.Rows()
+
+	// Out of hash digits: all rows share the full 64-bit hash. Finalize
+	// with a table sized to the bucket (a 64-bit collision bucket is
+	// tiny). The level is passed through unclamped so the chunk sort key
+	// keeps the full 64-bit prefix; finalizeGrown clamps the table level
+	// itself.
+	if level >= hashfn.MaxLevels {
+		e.finalizeGrown(ws, b, prefix, level)
+		return nil
+	}
+
+	// Leaf rule: a bucket whose rows fit one cache-sized table (at the
+	// relaxed leaf fill, the paper's fused final pass holding "a factor B
+	// more partitions") certainly has few enough groups for a single
+	// in-cache pass (groups ≤ rows), independent of the strategy.
+	if n <= e.finalRows {
+		e.finalizeLeaf(ws, b, level, prefix)
+		return nil
+	}
+
+	st := e.cfg.Strategy.NewState(level, e.cacheRows)
+	if st.NextMode() == ModeFinal {
+		// Fixed-pass strategy demands its single growing hashing pass.
+		e.finalizeGrown(ws, b, prefix, level)
+		return nil
+	}
+
+	table := ws.table
+	table.Reset()
+	table.SetLevel(level)
+	scat := ws.scat
+	scat.Reset(level)
+	sub := make([]runs.Bucket, hashfn.Fanout)
+	pure := true // no table emitted, no scatter used → direct output legal
+	usedScatter := false
+
+	for _, r := range b.Runs {
+		i := 0
+		for i < r.Len() {
+			switch st.NextMode() {
+			case ModePartition:
+				blk := min(r.Len()-i, scratchRows)
+				hs := r.Hashes
+				if hs == nil {
+					hs = ws.hashScratch[:blk]
+					for j := 0; j < blk; j++ {
+						hs[j] = hashfn.Murmur2(r.Keys[i+j])
+					}
+				} else {
+					hs = hs[i : i+blk]
+				}
+				scat.Scatter(hs, r.Keys[i:i+blk], ws.sliceStates(r.States, i, i+blk))
+				st.OnPartitioned(blk)
+				ws.stats.partitionedRows += int64(blk)
+				i += blk
+				pure = false
+				usedScatter = true
+			default: // ModeHash; ModeFinal cannot occur mid-bucket for our strategies
+				var emitted bool
+				i, emitted = e.hashRun(ws, st, table, r, i, sub)
+				if emitted {
+					pure = false
+				}
+			}
+		}
+	}
+
+	if pure && table.Len() > 0 {
+		// The single table absorbed the entire bucket: this IS the final
+		// pass, fused with aggregation (Section 2.1's optimization).
+		e.emitTable(ws, table, prefix, level)
+		ws.stats.directEmits++
+		return nil
+	}
+
+	if table.Len() > 0 {
+		splits := table.SplitRuns()
+		for d, r := range splits {
+			sub[d].Add(r)
+		}
+	}
+	if usedScatter {
+		views := make([]*runs.Bucket, hashfn.Fanout)
+		for d := range sub {
+			views[d] = &sub[d]
+		}
+		scat.SealInto(views)
+	}
+
+	var children []child
+	for d := range sub {
+		if sub[d].Rows() == 0 {
+			continue
+		}
+		children = append(children, child{b: &sub[d], prefix: prefix<<hashfn.DigitBits | uint64(d)})
+	}
+	return children
+}
+
+// hashRun inserts rows [start, …) of a run into the table until it fills or
+// the run ends. On fill it splits the table into sub and informs the
+// strategy; emitted reports whether a split happened.
+func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table,
+	r *runs.Run, start int, sub []runs.Bucket) (next int, emitted bool) {
+	carried := r.Hashes != nil
+	i := start
+	for i < r.Len() {
+		h := uint64(0)
+		if carried {
+			h = r.Hashes[i]
+		} else {
+			h = hashfn.Murmur2(r.Keys[i])
+		}
+		if !table.InsertStateCols(h, r.Keys[i], r.States, i, e.wordOps) {
+			alpha := table.Alpha()
+			ws.stats.tablesEmitted++
+			ws.stats.alphaSum += alpha
+			splits := table.SplitRuns()
+			for d, run := range splits {
+				sub[d].Add(run)
+			}
+			st.OnTableEmit(alpha)
+			if st.NextMode() != ModeHash {
+				ws.stats.switches++
+			}
+			return i, true
+		}
+		ws.stats.hashedRows++
+		i++
+	}
+	return i, false
+}
+
+// leafTable returns a reusable worker-local table for finalizing a leaf
+// bucket of n rows: capacity = smallest power of two ≥ 4n, capped at the
+// cache size, unblocked (leaves never split), fill limit 0.55 — the fused
+// final pass "allows us to hold a factor B more partitions" (Section 2.1).
+func (e *exec) leafTable(ws *workerState, n, level int) *hashtable.Table {
+	capRows := 256
+	for capRows < 4*n && capRows < e.cacheRows {
+		capRows <<= 1
+	}
+	t := ws.finalTables[capRows]
+	if t == nil {
+		t = hashtable.New(hashtable.Config{
+			CapacityRows: capRows,
+			Blocks:       1,
+			MaxFill:      0.55,
+			Words:        e.words,
+		})
+		ws.finalTables[capRows] = t
+	}
+	t.Reset()
+	t.SetLevel(min(level, hashfn.MaxLevels-1))
+	return t
+}
+
+// finalizeLeaf aggregates a leaf bucket with one in-cache hashing pass and
+// emits the result. The table is sized to the bucket (emitting scans the
+// whole table, so a cache-sized table would waste a full scan on a 64-row
+// bucket). In the impossible-in-practice case of overflow it falls back to
+// a grown throwaway table.
+func (e *exec) finalizeLeaf(ws *workerState, b *runs.Bucket, level int, prefix uint64) {
+	n := b.Rows()
+	table := e.leafTable(ws, n, level)
+	for _, r := range b.Runs {
+		carried := r.Hashes != nil
+		for i := 0; i < r.Len(); i++ {
+			h := uint64(0)
+			if carried {
+				h = r.Hashes[i]
+			} else {
+				h = hashfn.Murmur2(r.Keys[i])
+			}
+			if !table.InsertStateCols(h, r.Keys[i], r.States, i, e.wordOps) {
+				table.Reset()
+				e.finalizeGrown(ws, b, prefix, level)
+				return
+			}
+			ws.stats.hashedRows++
+		}
+	}
+	e.emitTable(ws, table, prefix, level)
+	ws.stats.directEmits++
+}
+
+// finalizeGrown aggregates a bucket with a single hashing pass whose
+// unblocked table is sized to the bucket's row count, growing beyond the
+// cache budget if necessary. Used for fixed-pass strategies (ModeFinal),
+// for 64-bit hash-collision buckets, and as the leaf fallback.
+func (e *exec) finalizeGrown(ws *workerState, b *runs.Bucket, prefix uint64, level int) {
+	n := b.Rows()
+	capRows := 64
+	for capRows < 4*n {
+		capRows *= 2
+	}
+	table := hashtable.New(hashtable.Config{
+		CapacityRows: capRows,
+		Blocks:       1,
+		MaxFill:      0.5,
+		Words:        e.words,
+		Level:        min(level, hashfn.MaxLevels-1),
+	})
+	for _, r := range b.Runs {
+		carried := r.Hashes != nil
+		for i := 0; i < r.Len(); i++ {
+			h := uint64(0)
+			if carried {
+				h = r.Hashes[i]
+			} else {
+				h = hashfn.Murmur2(r.Keys[i])
+			}
+			if !table.InsertStateCols(h, r.Keys[i], r.States, i, e.wordOps) {
+				// Cannot happen: capacity ≥ 4·rows ≥ 4·groups with fill 0.5.
+				panic("core: grown finalization table overflowed")
+			}
+			ws.stats.hashedRows++
+		}
+	}
+	e.emitTable(ws, table, prefix, level)
+	ws.stats.directEmits++
+}
+
+// emitTable converts the table's contents into an output chunk tagged with
+// the bucket's prefix and hands it to the collector. Rows are emitted in
+// block order, i.e. ordered by the next hash digit — concatenating all
+// chunks in prefix order yields the hash-ordered result.
+func (e *exec) emitTable(ws *workerState, table *hashtable.Table, prefix uint64, level int) {
+	n := table.Len()
+	ch := chunk{
+		sortKey: prefix << uint(64-hashfn.DigitBits*min(level, hashfn.MaxLevels)),
+		hashes:  make([]uint64, 0, n),
+		keys:    make([]uint64, 0, n),
+		states:  make([][]uint64, e.words),
+	}
+	for w := range ch.states {
+		ch.states[w] = make([]uint64, 0, n)
+	}
+	table.Emit(func(h, k uint64, st []uint64) {
+		ch.hashes = append(ch.hashes, h)
+		ch.keys = append(ch.keys, k)
+		for w := 0; w < e.words; w++ {
+			ch.states[w] = append(ch.states[w], st[w])
+		}
+	})
+	table.Reset()
+	e.out.add(ch)
+}

@@ -1,0 +1,288 @@
+// Package datagen reimplements the synthetic data generators of Cieslewicz
+// and Ross that the paper uses for its skew-resistance evaluation
+// (Section 6.5): heavy-hitter, moving-cluster, self-similar, sequential,
+// sorted, uniform, and zipf. Keys are 64-bit integers in [1, K]; any
+// combination of N and K can be generated (for skewed distributions the
+// realized number of distinct keys only approximates K, exactly as the
+// paper notes — "since data cannot have K = N groups and be skewed at the
+// same time, K is only approximated").
+//
+// All generators are deterministic functions of their Spec (including the
+// seed), so every experiment in this repository is exactly reproducible.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"cacheagg/internal/xrand"
+)
+
+// Dist enumerates the supported distributions.
+type Dist int
+
+const (
+	// Uniform draws keys independently and uniformly from [1, K].
+	Uniform Dist = iota
+	// Sequential cycles deterministically through 1, 2, …, K, 1, 2, …
+	Sequential
+	// Sorted produces the sorted uniform multiset: N/K consecutive copies
+	// of each key in increasing order (maximal locality).
+	Sorted
+	// HeavyHitter gives 50 % of the rows (configurable via HitFraction)
+	// the key 1; the rest are uniform in [2, K].
+	HeavyHitter
+	// MovingCluster draws keys uniformly from a window of Window
+	// consecutive keys that slides from 1 to K over the course of the
+	// input (the paper's window size is 1024).
+	MovingCluster
+	// SelfSimilar is Gray et al.'s self-similar distribution with an
+	// 80–20 proportion (configurable via H).
+	SelfSimilar
+	// Zipf is the Zipfian distribution with exponent 0.5 (configurable
+	// via Theta), sampled exactly with Hörmann & Derflinger's
+	// rejection-inversion method.
+	Zipf
+
+	numDists
+)
+
+// Dists lists all distributions in a stable order (the order of the
+// paper's Figure 9 legend, alphabetical).
+func Dists() []Dist {
+	return []Dist{HeavyHitter, MovingCluster, SelfSimilar, Sequential, Sorted, Uniform, Zipf}
+}
+
+// String returns the paper's name of the distribution.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Sequential:
+		return "sequential"
+	case Sorted:
+		return "sorted"
+	case HeavyHitter:
+		return "heavy-hitter"
+	case MovingCluster:
+		return "moving-cluster"
+	case SelfSimilar:
+		return "self-similar"
+	case Zipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// ParseDist maps a distribution name back to its Dist value.
+func ParseDist(s string) (Dist, error) {
+	for _, d := range Dists() {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("datagen: unknown distribution %q", s)
+}
+
+// Spec describes one dataset.
+type Spec struct {
+	Dist Dist
+	N    int    // number of rows
+	K    uint64 // key domain size (target group count)
+	Seed uint64
+
+	// Window is the moving-cluster window size; 0 selects the paper's 1024.
+	Window uint64
+	// H is the self-similar skew (fraction of keys receiving 1-H of the
+	// mass); 0 selects the paper's 80–20 rule (H = 0.2).
+	H float64
+	// Theta is the Zipf exponent; 0 selects the paper's 0.5.
+	Theta float64
+	// HitFraction is the heavy-hitter mass on key 1; 0 selects the
+	// paper's 0.5.
+	HitFraction float64
+}
+
+// String renders the spec like "uniform(N=1024, K=64, seed=1)".
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(N=%d, K=%d, seed=%d)", s.Dist, s.N, s.K, s.Seed)
+}
+
+// Generate materializes the dataset as a key column.
+func Generate(s Spec) []uint64 {
+	if s.N < 0 {
+		panic("datagen: negative N")
+	}
+	if s.K < 1 {
+		panic("datagen: K must be at least 1")
+	}
+	keys := make([]uint64, s.N)
+	Fill(keys, s)
+	return keys
+}
+
+// Fill writes the dataset into the provided slice (len(keys) rows,
+// overriding s.N).
+func Fill(keys []uint64, s Spec) {
+	n := len(keys)
+	rng := xrand.NewXoshiro256(s.Seed)
+	switch s.Dist {
+	case Uniform:
+		for i := range keys {
+			keys[i] = 1 + rng.Uint64n(s.K)
+		}
+	case Sequential:
+		for i := range keys {
+			keys[i] = 1 + uint64(i)%s.K
+		}
+	case Sorted:
+		// N/K consecutive copies of each key: key = 1 + floor(i*K/N).
+		for i := range keys {
+			keys[i] = 1 + uint64(math.Floor(float64(i)*float64(s.K)/float64(n)))
+			if keys[i] > s.K {
+				keys[i] = s.K
+			}
+		}
+	case HeavyHitter:
+		frac := s.HitFraction
+		if frac == 0 {
+			frac = 0.5
+		}
+		thresh := uint64(frac * float64(1<<63) * 2)
+		for i := range keys {
+			if rng.Next() < thresh || s.K == 1 {
+				keys[i] = 1
+			} else {
+				keys[i] = 2 + rng.Uint64n(s.K-1)
+			}
+		}
+	case MovingCluster:
+		w := s.Window
+		if w == 0 {
+			w = 1024
+		}
+		if w > s.K {
+			w = s.K
+		}
+		span := s.K - w // window start slides over [0, span]
+		for i := range keys {
+			var lo uint64
+			if n > 1 {
+				lo = uint64(float64(span) * float64(i) / float64(n-1))
+			}
+			keys[i] = 1 + lo + rng.Uint64n(w)
+		}
+	case SelfSimilar:
+		h := s.H
+		if h == 0 {
+			h = 0.2
+		}
+		// Gray et al.: key = 1 + floor(K * u^(log h / log(1-h))).
+		exp := math.Log(h) / math.Log(1-h)
+		for i := range keys {
+			u := rng.Float64()
+			k := uint64(float64(s.K) * math.Pow(u, exp))
+			if k >= s.K {
+				k = s.K - 1
+			}
+			keys[i] = 1 + k
+		}
+	case Zipf:
+		theta := s.Theta
+		if theta == 0 {
+			theta = 0.5
+		}
+		z := newZipf(theta, s.K)
+		for i := range keys {
+			keys[i] = z.sample(rng)
+		}
+	default:
+		panic(fmt.Sprintf("datagen: unknown distribution %d", int(s.Dist)))
+	}
+}
+
+// CountDistinct returns the number of distinct keys in the column — the
+// realized K of a generated dataset.
+func CountDistinct(keys []uint64) int {
+	seen := make(map[uint64]struct{}, 1024)
+	for _, k := range keys {
+		seen[k] = struct{}{}
+	}
+	return len(seen)
+}
+
+// zipf samples Zipf-distributed integers in [1, K] with P(k) ∝ k^-theta
+// using the rejection-inversion method of Hörmann & Derflinger ("Rejection-
+// inversion to generate variates from monotone discrete distributions").
+// Exact for any theta > 0, theta ≠ 1 handled via the general integral.
+type zipf struct {
+	theta            float64
+	k                uint64
+	hIntegralX1      float64
+	hIntegralNumElem float64
+	s                float64
+}
+
+func newZipf(theta float64, k uint64) *zipf {
+	if theta <= 0 {
+		panic("datagen: zipf exponent must be positive")
+	}
+	z := &zipf{theta: theta, k: k}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNumElem = z.hIntegral(float64(k) + 0.5)
+	z.s = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// hIntegral is ∫ x^-theta dx = (x^(1-theta) - 1)/(1-theta), continued as
+// log(x) at theta = 1.
+func (z *zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2((1-z.theta)*logX) * logX
+}
+
+func (z *zipf) h(x float64) float64 { return math.Exp(-z.theta * math.Log(x)) }
+
+func (z *zipf) hIntegralInverse(x float64) float64 {
+	t := x * (1 - z.theta)
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with the x→0 limit.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x with the x→0 limit.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+x*0.25))
+}
+
+func (z *zipf) sample(rng *xrand.Xoshiro256) uint64 {
+	if z.k == 1 {
+		return 1
+	}
+	for {
+		u := z.hIntegralNumElem + rng.Float64()*(z.hIntegralX1-z.hIntegralNumElem)
+		x := z.hIntegralInverse(u)
+		k := math.Round(x)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.k) {
+			k = float64(z.k)
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k)
+		}
+	}
+}

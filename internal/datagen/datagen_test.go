@@ -1,0 +1,290 @@
+package datagen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestAllDistributionsInBounds(t *testing.T) {
+	for _, d := range Dists() {
+		keys := Generate(Spec{Dist: d, N: 20000, K: 1000, Seed: 1})
+		if len(keys) != 20000 {
+			t.Fatalf("%v: wrong length", d)
+		}
+		for i, k := range keys {
+			if k < 1 || k > 1000 {
+				t.Fatalf("%v: key %d at %d out of [1, 1000]", d, k, i)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, d := range Dists() {
+		a := Generate(Spec{Dist: d, N: 5000, K: 500, Seed: 9})
+		b := Generate(Spec{Dist: d, N: 5000, K: 500, Seed: 9})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: nondeterministic at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeRandomDists(t *testing.T) {
+	for _, d := range []Dist{Uniform, HeavyHitter, MovingCluster, SelfSimilar, Zipf} {
+		a := Generate(Spec{Dist: d, N: 1000, K: 500, Seed: 1})
+		b := Generate(Spec{Dist: d, N: 1000, K: 500, Seed: 2})
+		same := 0
+		for i := range a {
+			if a[i] == b[i] {
+				same++
+			}
+		}
+		if same == len(a) {
+			t.Fatalf("%v: identical output for different seeds", d)
+		}
+	}
+}
+
+func TestUniformCoversDomain(t *testing.T) {
+	keys := Generate(Spec{Dist: Uniform, N: 100000, K: 100, Seed: 3})
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	if len(counts) != 100 {
+		t.Fatalf("uniform hit %d of 100 keys", len(counts))
+	}
+	for k, c := range counts {
+		if c < 500 || c > 2000 {
+			t.Fatalf("key %d count %d far from expected 1000", k, c)
+		}
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	keys := Generate(Spec{Dist: Sequential, N: 10, K: 3, Seed: 0})
+	want := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("sequential[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestSortedIsSortedAndBalanced(t *testing.T) {
+	keys := Generate(Spec{Dist: Sorted, N: 10000, K: 100, Seed: 0})
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("sorted distribution is not sorted")
+	}
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	if len(counts) != 100 {
+		t.Fatalf("sorted hit %d of 100 keys", len(counts))
+	}
+	for k, c := range counts {
+		if c != 100 {
+			t.Fatalf("key %d has %d rows, want exactly 100", k, c)
+		}
+	}
+}
+
+func TestHeavyHitterHalfMass(t *testing.T) {
+	keys := Generate(Spec{Dist: HeavyHitter, N: 100000, K: 1000, Seed: 4})
+	ones := 0
+	for _, k := range keys {
+		if k == 1 {
+			ones++
+		}
+	}
+	if ones < 48000 || ones > 52000 {
+		t.Fatalf("heavy hitter has %d/100000 rows on key 1, want ~50000", ones)
+	}
+}
+
+func TestHeavyHitterCustomFraction(t *testing.T) {
+	keys := Generate(Spec{Dist: HeavyHitter, N: 100000, K: 1000, Seed: 4, HitFraction: 0.9})
+	ones := 0
+	for _, k := range keys {
+		if k == 1 {
+			ones++
+		}
+	}
+	if ones < 88000 || ones > 92000 {
+		t.Fatalf("hit fraction 0.9 gave %d/100000", ones)
+	}
+}
+
+func TestMovingClusterWindow(t *testing.T) {
+	const n = 100000
+	const k = 50000
+	const w = 1024
+	keys := Generate(Spec{Dist: MovingCluster, N: n, K: k, Seed: 5})
+	for i, key := range keys {
+		lo := uint64(float64(k-w) * float64(i) / float64(n-1))
+		if key < 1+lo || key >= 1+lo+w {
+			t.Fatalf("row %d: key %d outside window [%d, %d)", i, key, 1+lo, 1+lo+w)
+		}
+	}
+	// Early rows never see late keys: locality.
+	for _, key := range keys[:1000] {
+		if key > 3*w {
+			t.Fatalf("early row has far key %d", key)
+		}
+	}
+}
+
+func TestSelfSimilar8020(t *testing.T) {
+	const n = 200000
+	const k = 10000
+	keys := Generate(Spec{Dist: SelfSimilar, N: n, K: k, Seed: 6})
+	inTop := 0
+	for _, key := range keys {
+		if key <= k/5 { // first 20% of the key domain
+			inTop++
+		}
+	}
+	frac := float64(inTop) / float64(n)
+	if frac < 0.76 || frac > 0.84 {
+		t.Fatalf("first 20%% of keys got %.3f of mass, want ~0.80", frac)
+	}
+}
+
+func TestZipfSkewShape(t *testing.T) {
+	const n = 200000
+	const k = 1000
+	keys := Generate(Spec{Dist: Zipf, N: n, K: k, Seed: 7})
+	counts := make([]int, k+1)
+	for _, key := range keys {
+		counts[key]++
+	}
+	// With theta = 0.5, P(1)/P(k) = sqrt(k) ≈ 31.6.
+	if counts[1] < counts[k]*5 {
+		t.Fatalf("zipf not skewed: count(1)=%d count(%d)=%d", counts[1], k, counts[k])
+	}
+	// Expected frequency of key 1: 1 / (sum_{i=1}^{k} i^-0.5) ≈ 1/61.8.
+	expect := float64(n) / 61.8
+	if float64(counts[1]) < expect*0.7 || float64(counts[1]) > expect*1.3 {
+		t.Fatalf("zipf count(1) = %d, expected ≈ %.0f", counts[1], expect)
+	}
+	// Monotone non-increasing in aggregate: compare decade sums.
+	first := 0
+	last := 0
+	for i := 1; i <= 100; i++ {
+		first += counts[i]
+	}
+	for i := k - 99; i <= k; i++ {
+		last += counts[i]
+	}
+	if first <= last {
+		t.Fatalf("zipf head (%d) should outweigh tail (%d)", first, last)
+	}
+}
+
+func TestZipfThetaLarger(t *testing.T) {
+	// Higher exponent → more skew on key 1.
+	n := 100000
+	c := func(theta float64) int {
+		keys := Generate(Spec{Dist: Zipf, N: n, K: 1000, Seed: 8, Theta: theta})
+		ones := 0
+		for _, k := range keys {
+			if k == 1 {
+				ones++
+			}
+		}
+		return ones
+	}
+	if c(1.2) <= c(0.5) {
+		t.Fatal("theta=1.2 should concentrate more mass on key 1 than theta=0.5")
+	}
+}
+
+func TestKOne(t *testing.T) {
+	for _, d := range Dists() {
+		keys := Generate(Spec{Dist: d, N: 100, K: 1, Seed: 1})
+		for _, k := range keys {
+			if k != 1 {
+				t.Fatalf("%v with K=1 produced key %d", d, k)
+			}
+		}
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	if CountDistinct([]uint64{}) != 0 {
+		t.Fatal("empty")
+	}
+	if CountDistinct([]uint64{5, 5, 5}) != 1 {
+		t.Fatal("single")
+	}
+	if CountDistinct([]uint64{1, 2, 3, 2, 1}) != 3 {
+		t.Fatal("three")
+	}
+}
+
+func TestParseDistRoundTrip(t *testing.T) {
+	for _, d := range Dists() {
+		got, err := ParseDist(d.String())
+		if err != nil || got != d {
+			t.Fatalf("round trip failed for %v: %v %v", d, got, err)
+		}
+	}
+	if _, err := ParseDist("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestGeneratePanicsOnBadSpec(t *testing.T) {
+	for i, s := range []Spec{
+		{Dist: Uniform, N: -1, K: 5},
+		{Dist: Uniform, N: 5, K: 0},
+		{Dist: Dist(99), N: 5, K: 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Generate(s)
+		}()
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Dist: Uniform, N: 10, K: 5, Seed: 3}
+	if s.String() != "uniform(N=10, K=5, seed=3)" {
+		t.Fatalf("got %q", s.String())
+	}
+}
+
+func TestFillMatchesGenerate(t *testing.T) {
+	s := Spec{Dist: Uniform, N: 1000, K: 100, Seed: 11}
+	a := Generate(s)
+	b := make([]uint64, 1000)
+	Fill(b, s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Fill and Generate disagree")
+		}
+	}
+}
+
+func BenchmarkUniform(b *testing.B) {
+	keys := make([]uint64, 1<<16)
+	b.SetBytes(int64(len(keys) * 8))
+	for i := 0; i < b.N; i++ {
+		Fill(keys, Spec{Dist: Uniform, N: len(keys), K: 1 << 20, Seed: uint64(i)})
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	keys := make([]uint64, 1<<16)
+	b.SetBytes(int64(len(keys) * 8))
+	for i := 0; i < b.N; i++ {
+		Fill(keys, Spec{Dist: Zipf, N: len(keys), K: 1 << 20, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,165 @@
+// Package emm implements the external-memory-model cost analysis of paper
+// Section 2 (Figure 1): closed-form cache-line-transfer counts for the four
+// textbook aggregation algorithms, as functions of
+//
+//	N — input rows,
+//	K — number of groups (output rows),
+//	M — fast-memory (cache) capacity in rows, and
+//	B — rows per cache line.
+//
+// The model charges one transfer per cache line moved between fast and slow
+// memory. A full pass over the data therefore costs N/B reads, and a pass
+// that also materializes its output costs another N/B writes.
+package emm
+
+import "math"
+
+// Params bundles the machine model. The paper's running example (Figure 1)
+// is N = 2³², M = 2¹⁶, B = 16 — "typical values for modern CPU caches".
+type Params struct {
+	N int64 // input rows
+	M int64 // cache capacity in rows
+	B int64 // rows per cache line
+}
+
+// FigureParams are the exact parameters of the paper's Figure 1.
+func FigureParams() Params { return Params{N: 1 << 32, M: 1 << 16, B: 16} }
+
+// Valid reports whether the parameters describe a sensible machine:
+// at least one line of cache and lines of at least one row.
+func (p Params) Valid() bool {
+	return p.N > 0 && p.B > 0 && p.M >= p.B
+}
+
+// fanout is the partitioning fan-out of one bucket-sort pass: M/B output
+// buffers of one line each fit in cache.
+func (p Params) fanout() int64 { return p.M / p.B }
+
+// passesToLeaves returns ⌈log_fanout(leaves)⌉ — the number of partitioning
+// passes needed until the call tree has the given number of leaves — as a
+// non-negative integer computed without floating point (repeated
+// multiplication), so the staircase of Figure 1 is exact.
+func (p Params) passesToLeaves(leaves int64) int64 {
+	if leaves <= 1 {
+		return 0
+	}
+	f := p.fanout()
+	if f < 2 {
+		// Degenerate cache (one line): every pass halves nothing; model
+		// breaks down. Return +inf-ish sentinel.
+		return math.MaxInt32
+	}
+	passes := int64(0)
+	reach := int64(1)
+	for reach < leaves {
+		// Guard overflow: once reach*f would overflow it certainly
+		// exceeds leaves.
+		if reach > leaves/f+1 {
+			return passes + 1
+		}
+		reach *= f
+		passes++
+	}
+	return passes
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ceilDiv is ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// SortAggStatic is the first-iteration analysis of SORTAGGREGATION
+// (Section 2.1): bucket sort with a static recursion depth of
+// ⌈log_{M/B}(N/M)⌉ followed by a separate aggregation pass.
+//
+//	2·(N/B)·⌈log_{M/B}(N/M)⌉ + N/B + K/B
+func SortAggStatic(p Params, K int64) int64 {
+	leaves := ceilDiv(p.N, p.M)
+	passes := p.passesToLeaves(leaves)
+	return 2*ceilDiv(p.N, p.B)*passes + ceilDiv(p.N, p.B) + ceilDiv(K, p.B)
+}
+
+// SortAgg is the multiset-aware analysis: the recursion stops once every
+// partition holds a single group, so the call tree has min(N/M, K) leaves.
+//
+//	2·(N/B)·⌈log_{M/B}(min(N/M, K))⌉ + N/B + K/B
+//
+// This matches the lower bound for multiset sorting (Matias et al.),
+// so no aggregation-by-sorting algorithm can do asymptotically better.
+func SortAgg(p Params, K int64) int64 {
+	leaves := minI(ceilDiv(p.N, p.M), K)
+	passes := p.passesToLeaves(leaves)
+	return 2*ceilDiv(p.N, p.B)*passes + ceilDiv(p.N, p.B) + ceilDiv(K, p.B)
+}
+
+// SortAggOpt is SORTAGGREGATION-OPTIMIZED (Section 2.1, third iteration):
+// the last bucket-sort pass is merged with the aggregation pass, which
+// eliminates one full pass and lets the final pass keep M groups (a factor
+// B more partitions) — the call tree then has only K/M leaves:
+//
+//	N/B + 2·(N/B)·passes + K/B   with passes = ⌈log_{M/B}(K/M)⌉
+//
+// For K ≤ M this degenerates to a single read of the input plus writing
+// the output: the whole result is computed in cache.
+func SortAggOpt(p Params, K int64) int64 {
+	leaves := ceilDiv(K, p.M)
+	passes := p.passesToLeaves(leaves)
+	return ceilDiv(p.N, p.B) + 2*ceilDiv(p.N, p.B)*passes + ceilDiv(K, p.B)
+}
+
+// HashAgg is naive HASHAGGREGATION (Section 2.2): one pass building a hash
+// table of K entries in place. While the table fits in cache (K ≤ M) the
+// cost is reading the input and writing the output. Beyond that, only a
+// fraction M/K of the groups is cache resident, so a 1−M/K fraction of the
+// input rows each incur a full cache miss: one line written back and one
+// line read (2 transfers per row — not per line, which is why the curve
+// explodes by a factor of ~2B in Figure 1).
+func HashAgg(p Params, K int64) int64 {
+	base := ceilDiv(p.N, p.B) + ceilDiv(K, p.B)
+	if K <= p.M {
+		return base
+	}
+	missFrac := 1 - float64(p.M)/float64(K)
+	return base + int64(2*float64(p.N)*missFrac)
+}
+
+// HashAggOpt is HASHAGGREGATION-OPTIMIZED (Section 2.2): recursive
+// partitioning by hash value until each partition's groups fit in cache,
+// then in-cache hashing. The analysis "works the same way as the one for
+// SortAggregationOptimized" and yields the identical formula — this
+// equality is the paper's headline claim that hashing is sorting.
+func HashAggOpt(p Params, K int64) int64 {
+	return SortAggOpt(p, K)
+}
+
+// Row is one row of the Figure 1 table.
+type Row struct {
+	K             int64
+	SortAggStatic int64
+	SortAgg       int64
+	SortAggOpt    int64
+	HashAgg       int64
+	HashAggOpt    int64
+}
+
+// Figure1 evaluates all model curves for K = 2^0 … 2^log2N, one row per
+// power of two, reproducing the data behind the paper's Figure 1.
+func Figure1(p Params) []Row {
+	var out []Row
+	for K := int64(1); K <= p.N; K *= 2 {
+		out = append(out, Row{
+			K:             K,
+			SortAggStatic: SortAggStatic(p, K),
+			SortAgg:       SortAgg(p, K),
+			SortAggOpt:    SortAggOpt(p, K),
+			HashAgg:       HashAgg(p, K),
+			HashAggOpt:    HashAggOpt(p, K),
+		})
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package emm
+
+import "testing"
+
+func fp() Params { return FigureParams() }
+
+func TestParamsValid(t *testing.T) {
+	if !fp().Valid() {
+		t.Fatal("figure params must be valid")
+	}
+	if (Params{N: 0, M: 16, B: 16}).Valid() {
+		t.Fatal("N=0 should be invalid")
+	}
+	if (Params{N: 1, M: 8, B: 16}).Valid() {
+		t.Fatal("M<B should be invalid")
+	}
+}
+
+func TestPassesToLeaves(t *testing.T) {
+	p := fp() // fanout = 2^16/16 = 4096
+	cases := []struct {
+		leaves int64
+		want   int64
+	}{
+		{1, 0}, {2, 1}, {4096, 1}, {4097, 2}, {4096 * 4096, 2}, {4096*4096 + 1, 3},
+	}
+	for _, c := range cases {
+		if got := p.passesToLeaves(c.leaves); got != c.want {
+			t.Errorf("passesToLeaves(%d) = %d, want %d", c.leaves, got, c.want)
+		}
+	}
+}
+
+func TestSortAggOptInCacheIsSinglePass(t *testing.T) {
+	p := fp()
+	// K ≤ M: read input once, write output once.
+	for _, K := range []int64{1, 100, p.M} {
+		want := p.N/p.B + (K+p.B-1)/p.B
+		if got := SortAggOpt(p, K); got != want {
+			t.Errorf("SortAggOpt(K=%d) = %d, want %d", K, got, want)
+		}
+	}
+}
+
+func TestHashAggInCacheMatchesOpt(t *testing.T) {
+	p := fp()
+	for _, K := range []int64{1, p.M / 2, p.M} {
+		if HashAgg(p, K) != SortAggOpt(p, K) {
+			t.Errorf("K=%d: in-cache hash %d != opt %d", K, HashAgg(p, K), SortAggOpt(p, K))
+		}
+	}
+}
+
+func TestHashAggExplodesBeyondCache(t *testing.T) {
+	p := fp()
+	inCache := HashAgg(p, p.M)
+	justOver := HashAgg(p, p.M*4)
+	// At K = 4M, 3/4 of rows miss: ~1.5·N extra transfers vs N/B base —
+	// more than an order of magnitude more than the in-cache cost.
+	if justOver < inCache*10 {
+		t.Fatalf("expected explosion: in-cache %d, 4M %d", inCache, justOver)
+	}
+	// Monotone growth toward 2N asymptote.
+	if HashAgg(p, p.N) <= justOver {
+		t.Fatal("HashAgg must keep growing with K")
+	}
+	if HashAgg(p, p.N) > 2*p.N+p.N/p.B+p.N/p.B+p.B {
+		t.Fatal("HashAgg exceeded its 2N asymptote")
+	}
+}
+
+func TestHashingIsSorting(t *testing.T) {
+	// The paper's central claim: the two optimized algorithms have exactly
+	// the same cost for every K.
+	p := fp()
+	for K := int64(1); K <= p.N; K *= 2 {
+		if HashAggOpt(p, K) != SortAggOpt(p, K) {
+			t.Fatalf("K=%d: HashAggOpt %d != SortAggOpt %d", K, HashAggOpt(p, K), SortAggOpt(p, K))
+		}
+	}
+}
+
+func TestOptimizedNeverWorseThanNaive(t *testing.T) {
+	p := fp()
+	for K := int64(1); K <= p.N; K *= 2 {
+		if SortAggOpt(p, K) > SortAgg(p, K) {
+			t.Errorf("K=%d: opt sort %d worse than naive %d", K, SortAggOpt(p, K), SortAgg(p, K))
+		}
+		if HashAggOpt(p, K) > HashAgg(p, K) {
+			t.Errorf("K=%d: opt hash %d worse than naive %d", K, HashAggOpt(p, K), HashAgg(p, K))
+		}
+		if SortAgg(p, K) > SortAggStatic(p, K) {
+			t.Errorf("K=%d: multiset-aware sort %d worse than static %d", K, SortAgg(p, K), SortAggStatic(p, K))
+		}
+	}
+}
+
+func TestSortAggStaircase(t *testing.T) {
+	// The multiset-aware sort cost is a non-decreasing staircase in K with
+	// at most 4 pass levels for the figure parameters (log values 1..3 in
+	// the paper's plot, plus the in-cache level).
+	p := fp()
+	prev := int64(0)
+	levels := map[int64]bool{}
+	for K := int64(1); K <= p.N; K *= 2 {
+		c := SortAgg(p, K)
+		if c < prev {
+			t.Fatalf("cost decreased at K=%d", K)
+		}
+		prev = c
+		leaves := minI(ceilDiv(p.N, p.M), K)
+		levels[p.passesToLeaves(leaves)] = true
+	}
+	if len(levels) > 4 {
+		t.Fatalf("too many staircase levels: %v", levels)
+	}
+}
+
+func TestSortAggOptEliminatesOnePass(t *testing.T) {
+	// For large K (where both do the maximum number of passes), the
+	// optimized variant must save exactly one full read+write pass:
+	// 2·(N/B) transfers.
+	p := fp()
+	// K = 2^25: naive needs 2 partition passes + separate aggregation
+	// pass, optimized needs 1 partition pass + fused final pass.
+	K := int64(1) << 25
+	diff := SortAgg(p, K) - SortAggOpt(p, K)
+	if diff < 2*(p.N/p.B)-int64(p.B) {
+		t.Fatalf("optimization saved only %d transfers, expected ≥ one pass (%d)", diff, 2*(p.N/p.B))
+	}
+}
+
+func TestFigure1Rows(t *testing.T) {
+	rows := Figure1(fp())
+	if len(rows) != 33 { // K = 2^0 .. 2^32
+		t.Fatalf("got %d rows, want 33", len(rows))
+	}
+	if rows[0].K != 1 || rows[32].K != 1<<32 {
+		t.Fatalf("K range wrong: %d .. %d", rows[0].K, rows[32].K)
+	}
+	for _, r := range rows {
+		if r.HashAggOpt != r.SortAggOpt {
+			t.Fatalf("K=%d: figure rows must show equal optimized costs", r.K)
+		}
+	}
+}
+
+func TestDegenerateCacheDoesNotLoopForever(t *testing.T) {
+	p := Params{N: 1024, M: 16, B: 16} // fanout 1: degenerate
+	if got := p.passesToLeaves(100); got < 1<<20 {
+		t.Fatalf("degenerate fanout should yield sentinel, got %d", got)
+	}
+}

@@ -1,0 +1,379 @@
+// Package external implements out-of-core (spilling) aggregation on top of
+// the in-memory operator — the disk level of the external memory model.
+//
+// The paper's Section 2 analysis is deliberately general: "this model holds
+// in the cache setting as well as in the disk-based setting". This package
+// is the disk instantiation of HASHAGGREGATION-OPTIMIZED, with the paper's
+// in-memory operator as its in-"cache" (= in-RAM) leaf:
+//
+//  1. The input is consumed in chunks sized to the memory budget. Each
+//     chunk is aggregated in memory by the core operator — early
+//     aggregation at the RAM level, exactly like the HASHING routine's
+//     role at the cache level.
+//  2. Each chunk's partial groups are appended to one of 256 spill
+//     partitions chosen by the first digit of the group's hash. Partition
+//     files hold (key, partial...) records — "runs" on disk, in the
+//     original sense of the word.
+//  3. Every partition is merged with the super-aggregate functions (COUNT
+//     partials merge by SUM, and AVG is decomposed into SUM and COUNT up
+//     front). Partitions still exceeding the budget recurse on the next
+//     hash digit — Algorithm 2, one storage level up.
+//
+// Like the in-memory operator, the algorithm needs no estimate of the
+// output cardinality, degrades gracefully with K, and benefits from input
+// locality through the chunk-level early aggregation of step 1.
+package external
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/hashfn"
+)
+
+// Config configures an external aggregation.
+type Config struct {
+	// MemoryBudgetRows caps the rows aggregated in memory at a time
+	// (chunk size and partition-merge threshold). 0 selects 1<<20.
+	MemoryBudgetRows int
+	// TempDir hosts the spill files; "" selects the system default.
+	TempDir string
+	// Core configures the in-memory operator used for the leaves.
+	Core core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBudgetRows <= 0 {
+		c.MemoryBudgetRows = 1 << 20
+	}
+	return c
+}
+
+// Stats reports what the external pass did.
+type Stats struct {
+	// Chunks is the number of input chunks pre-aggregated in memory.
+	Chunks int
+	// SpilledRows / SpilledBytes count partial-group records written.
+	SpilledRows  int64
+	SpilledBytes int64
+	// MergeLevels is the deepest disk-level recursion reached.
+	MergeLevels int
+}
+
+// Result is the aggregation output plus spill statistics. Group order is
+// hash order (by construction of the partition recursion).
+type Result struct {
+	Keys  []uint64
+	Aggs  [][]int64
+	Stats Stats
+}
+
+// Groups returns the number of groups.
+func (r *Result) Groups() int { return len(r.Keys) }
+
+// plan decomposes the original specs into width-1 partials that can be
+// finalized, spilled and merged independently: AVG becomes (SUM, COUNT),
+// everything else is itself. mergeKind holds the super-aggregate of each
+// decomposed column.
+type plan struct {
+	orig      []agg.Spec
+	dec       []agg.Spec
+	mergeKind []agg.Kind
+	off       []int // first decomposed column of each original spec
+}
+
+func buildPlan(specs []agg.Spec) *plan {
+	p := &plan{orig: specs}
+	for _, s := range specs {
+		p.off = append(p.off, len(p.dec))
+		switch s.Kind {
+		case agg.Count:
+			p.dec = append(p.dec, agg.Spec{Kind: agg.Count})
+			p.mergeKind = append(p.mergeKind, agg.Sum)
+		case agg.Sum:
+			p.dec = append(p.dec, agg.Spec{Kind: agg.Sum, Col: s.Col})
+			p.mergeKind = append(p.mergeKind, agg.Sum)
+		case agg.Min:
+			p.dec = append(p.dec, agg.Spec{Kind: agg.Min, Col: s.Col})
+			p.mergeKind = append(p.mergeKind, agg.Min)
+		case agg.Max:
+			p.dec = append(p.dec, agg.Spec{Kind: agg.Max, Col: s.Col})
+			p.mergeKind = append(p.mergeKind, agg.Max)
+		case agg.Avg:
+			p.dec = append(p.dec,
+				agg.Spec{Kind: agg.Sum, Col: s.Col},
+				agg.Spec{Kind: agg.Count})
+			p.mergeKind = append(p.mergeKind, agg.Sum, agg.Sum)
+		default:
+			panic("external: invalid aggregate kind")
+		}
+	}
+	return p
+}
+
+// width returns the number of decomposed partial columns.
+func (p *plan) width() int { return len(p.dec) }
+
+// Aggregate executes the out-of-core GROUP BY.
+func Aggregate(cfg Config, in *core.Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	p := buildPlan(in.Specs)
+
+	dir, err := os.MkdirTemp(cfg.TempDir, "cacheagg-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("external: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	e := &extExec{cfg: cfg, plan: p, dir: dir}
+
+	parts, err := e.spillInput(in)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Aggs: make([][]int64, len(in.Specs))}
+	for d := 0; d < hashfn.Fanout; d++ {
+		if parts[d] == nil {
+			continue
+		}
+		if err := parts[d].finish(); err != nil {
+			return nil, err
+		}
+		if err := e.mergePartition(parts[d].path, 1, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats = e.stats
+	return res, nil
+}
+
+type extExec struct {
+	cfg    Config
+	plan   *plan
+	dir    string
+	stats  Stats
+	nextID int
+}
+
+// recSize is the byte size of one spilled record: key + decomposed partials.
+func (e *extExec) recSize() int { return 8 + 8*e.plan.width() }
+
+// spillInput runs phase 1 and returns one open spill writer per non-empty
+// level-0 partition.
+func (e *extExec) spillInput(in *core.Input) ([]*spillWriter, error) {
+	writers := make([]*spillWriter, hashfn.Fanout)
+	budget := e.cfg.MemoryBudgetRows
+	n := len(in.Keys)
+	for lo := 0; lo < n; lo += budget {
+		hi := min(lo+budget, n)
+		chunk := &core.Input{Keys: in.Keys[lo:hi], Specs: e.plan.dec}
+		chunk.AggCols = make([][]int64, len(in.AggCols))
+		for c := range in.AggCols {
+			chunk.AggCols[c] = in.AggCols[c][lo:hi]
+		}
+		part, err := core.Aggregate(e.cfg.Core, chunk)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.Chunks++
+		if err := e.spillPartial(part, writers); err != nil {
+			return nil, err
+		}
+	}
+	return writers, nil
+}
+
+// spillPartial appends each group of an in-memory partial result to the
+// level-0 spill partition of its hash digit. Because every decomposed
+// partial is width-1 and distributive, the finalized columns of the core
+// result ARE the partial states.
+func (e *extExec) spillPartial(part *core.Result, writers []*spillWriter) error {
+	rec := make([]byte, e.recSize())
+	for r := 0; r < part.Groups(); r++ {
+		d := hashfn.Digit(part.Hashes[r], 0)
+		w := writers[d]
+		if w == nil {
+			var err error
+			w, err = e.newWriter()
+			if err != nil {
+				return err
+			}
+			writers[d] = w
+		}
+		binary.LittleEndian.PutUint64(rec, part.Keys[r])
+		for c := 0; c < e.plan.width(); c++ {
+			binary.LittleEndian.PutUint64(rec[8+8*c:], uint64(part.Aggs[c][r]))
+		}
+		if err := w.write(rec); err != nil {
+			return err
+		}
+		e.stats.SpilledRows++
+		e.stats.SpilledBytes += int64(len(rec))
+	}
+	return nil
+}
+
+type spillWriter struct {
+	path string
+	f    *os.File
+	buf  *bufio.Writer
+}
+
+func (e *extExec) newWriter() (*spillWriter, error) {
+	e.nextID++
+	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", e.nextID))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (w *spillWriter) write(rec []byte) error {
+	_, err := w.buf.Write(rec)
+	return err
+}
+
+func (w *spillWriter) finish() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// mergePartition aggregates all partial records of one partition file,
+// recursing on the next hash digit when the partition exceeds the memory
+// budget. The file is deleted after reading.
+func (e *extExec) mergePartition(path string, level int, res *Result) error {
+	if level > e.stats.MergeLevels {
+		e.stats.MergeLevels = level
+	}
+	keys, partials, err := e.readSpill(path)
+	if err != nil {
+		return err
+	}
+	os.Remove(path)
+
+	if len(keys) > e.cfg.MemoryBudgetRows && level < hashfn.MaxLevels {
+		// Too big for an in-memory merge: re-partition by the next digit.
+		writers := make([]*spillWriter, hashfn.Fanout)
+		rec := make([]byte, e.recSize())
+		for i := range keys {
+			d := hashfn.Digit(hashfn.Murmur2(keys[i]), level)
+			w := writers[d]
+			if w == nil {
+				w, err = e.newWriter()
+				if err != nil {
+					return err
+				}
+				writers[d] = w
+			}
+			binary.LittleEndian.PutUint64(rec, keys[i])
+			for c := 0; c < e.plan.width(); c++ {
+				binary.LittleEndian.PutUint64(rec[8+8*c:], partials[c][i])
+			}
+			if err := w.write(rec); err != nil {
+				return err
+			}
+			e.stats.SpilledRows++
+			e.stats.SpilledBytes += int64(len(rec))
+		}
+		keys, partials = nil, nil
+		for _, w := range writers {
+			if w == nil {
+				continue
+			}
+			if err := w.finish(); err != nil {
+				return err
+			}
+			if err := e.mergePartition(w.path, level+1, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	e.mergeInMemory(keys, partials, res)
+	return nil
+}
+
+// mergeInMemory merges partial rows by key with the per-column
+// super-aggregates and appends finalized groups to res.
+func (e *extExec) mergeInMemory(keys []uint64, partials [][]uint64, res *Result) {
+	index := make(map[uint64]int, 1024)
+	var outKeys []uint64
+	width := e.plan.width()
+	out := make([][]uint64, width)
+	for i := range keys {
+		k := keys[i]
+		s, ok := index[k]
+		if !ok {
+			s = len(outKeys)
+			index[k] = s
+			outKeys = append(outKeys, k)
+			for c := 0; c < width; c++ {
+				out[c] = append(out[c], partials[c][i])
+			}
+			continue
+		}
+		for c := 0; c < width; c++ {
+			st := [1]uint64{out[c][s]}
+			src := [1]uint64{partials[c][i]}
+			e.plan.mergeKind[c].Merge(st[:], src[:])
+			out[c][s] = st[0]
+		}
+	}
+	res.Keys = append(res.Keys, outKeys...)
+	for si, s := range e.plan.orig {
+		off := e.plan.off[si]
+		col := res.Aggs[si]
+		for g := range outKeys {
+			if s.Kind == agg.Avg {
+				sum := int64(out[off][g])
+				cnt := int64(out[off+1][g])
+				if cnt == 0 {
+					col = append(col, 0)
+				} else {
+					col = append(col, sum/cnt)
+				}
+			} else {
+				col = append(col, int64(out[off][g]))
+			}
+		}
+		res.Aggs[si] = col
+	}
+}
+
+// readSpill loads a partition file into columnar form.
+func (e *extExec) readSpill(path string) ([]uint64, [][]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	rec := make([]byte, e.recSize())
+	var keys []uint64
+	partials := make([][]uint64, e.plan.width())
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF {
+				return keys, partials, nil
+			}
+			return nil, nil, fmt.Errorf("external: corrupt spill file %s: %w", path, err)
+		}
+		keys = append(keys, binary.LittleEndian.Uint64(rec))
+		for c := range partials {
+			partials[c] = append(partials[c], binary.LittleEndian.Uint64(rec[8+8*c:]))
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package external
+
+import (
+	"os"
+	"testing"
+	"testing/quick"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/xrand"
+)
+
+func testCfg(budgetRows int) Config {
+	return Config{
+		MemoryBudgetRows: budgetRows,
+		Core:             core.Config{Workers: 2, CacheBytes: 32 << 10},
+	}
+}
+
+func refAggregate(in *core.Input) map[uint64][]int64 {
+	lay := agg.NewLayout(in.Specs)
+	states := map[uint64][]uint64{}
+	for i, k := range in.Keys {
+		i := i
+		vals := func(c int) int64 { return in.AggCols[c][i] }
+		if st, ok := states[k]; ok {
+			lay.FoldRow(st, vals)
+		} else {
+			st := make([]uint64, lay.Words)
+			lay.InitRow(st, vals)
+			states[k] = st
+		}
+	}
+	out := map[uint64][]int64{}
+	for k, st := range states {
+		out[k] = lay.FinalizeRow(st, nil)
+	}
+	return out
+}
+
+func checkResult(t *testing.T, res *Result, in *core.Input) {
+	t.Helper()
+	want := refAggregate(in)
+	if res.Groups() != len(want) {
+		t.Fatalf("groups = %d, want %d", res.Groups(), len(want))
+	}
+	seen := map[uint64]bool{}
+	for r, k := range res.Keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+		wantRow, ok := want[k]
+		if !ok {
+			t.Fatalf("phantom key %d", k)
+		}
+		for si := range in.Specs {
+			if res.Aggs[si][r] != wantRow[si] {
+				t.Fatalf("key %d spec %v: %d != %d", k, in.Specs[si], res.Aggs[si][r], wantRow[si])
+			}
+		}
+	}
+}
+
+func mkInput(dist datagen.Dist, n int, k uint64, seed uint64) *core.Input {
+	keys := datagen.Generate(datagen.Spec{Dist: dist, N: n, K: k, Seed: seed})
+	rng := xrand.NewXoshiro256(seed + 1)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Next()%2001) - 1000
+	}
+	return &core.Input{
+		Keys:    keys,
+		AggCols: [][]int64{vals},
+		Specs: []agg.Spec{
+			{Kind: agg.Count},
+			{Kind: agg.Sum, Col: 0},
+			{Kind: agg.Min, Col: 0},
+			{Kind: agg.Max, Col: 0},
+			{Kind: agg.Avg, Col: 0},
+		},
+	}
+}
+
+func TestExternalMatchesReference(t *testing.T) {
+	for _, dist := range []datagen.Dist{datagen.Uniform, datagen.Sorted, datagen.HeavyHitter} {
+		for _, k := range []uint64{1, 100, 20000} {
+			in := mkInput(dist, 50000, k, 7)
+			res, err := Aggregate(testCfg(8192), in)
+			if err != nil {
+				t.Fatalf("%v/K=%d: %v", dist, k, err)
+			}
+			checkResult(t, res, in)
+			if res.Stats.Chunks != (50000+8191)/8192 {
+				t.Fatalf("chunks = %d", res.Stats.Chunks)
+			}
+			if res.Stats.SpilledRows == 0 {
+				t.Fatal("nothing spilled")
+			}
+		}
+	}
+}
+
+func TestExternalDeepRecursion(t *testing.T) {
+	// All-distinct keys with a tiny budget: level-0 partitions exceed the
+	// budget and must recurse to deeper digits.
+	const n = 60000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	in := &core.Input{Keys: keys}
+	res, err := Aggregate(testCfg(200), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups() != n {
+		t.Fatalf("groups = %d, want %d", res.Groups(), n)
+	}
+	if res.Stats.MergeLevels < 2 {
+		t.Fatalf("expected disk-level recursion, MergeLevels = %d", res.Stats.MergeLevels)
+	}
+}
+
+func TestExternalEarlyAggregationShrinksSpill(t *testing.T) {
+	// Low-cardinality input: each chunk pre-aggregates to K groups, so the
+	// spill volume must be ~chunks·K records, far below N.
+	const n = 100000
+	const k = 50
+	in := mkInput(datagen.Uniform, n, k, 3)
+	res, err := Aggregate(testCfg(10000), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	maxSpill := int64((n/10000 + 1) * k)
+	if res.Stats.SpilledRows > maxSpill {
+		t.Fatalf("spilled %d rows, early aggregation should cap at ~%d",
+			res.Stats.SpilledRows, maxSpill)
+	}
+}
+
+func TestExternalEmptyInput(t *testing.T) {
+	res, err := Aggregate(testCfg(100), &core.Input{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups() != 0 {
+		t.Fatalf("groups = %d", res.Groups())
+	}
+}
+
+func TestExternalSingleChunkNoRecursion(t *testing.T) {
+	in := mkInput(datagen.Uniform, 1000, 100, 5)
+	res, err := Aggregate(testCfg(1<<20), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	if res.Stats.Chunks != 1 || res.Stats.MergeLevels != 1 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+}
+
+func TestExternalValidatesInput(t *testing.T) {
+	in := &core.Input{
+		Keys:  []uint64{1},
+		Specs: []agg.Spec{{Kind: agg.Sum, Col: 3}},
+	}
+	if _, err := Aggregate(testCfg(100), in); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestExternalQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, domRaw uint8) bool {
+		n := int(nRaw)%4000 + 1
+		dom := uint64(domRaw)%500 + 1
+		rng := xrand.NewXoshiro256(seed)
+		keys := make([]uint64, n)
+		vals := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Next() % dom
+			vals[i] = int64(rng.Next()%101) - 50
+		}
+		in := &core.Input{
+			Keys:    keys,
+			AggCols: [][]int64{vals},
+			Specs:   []agg.Spec{{Kind: agg.Count}, {Kind: agg.Avg, Col: 0}},
+		}
+		budget := int(seed%1000) + 50
+		res, err := Aggregate(testCfg(budget), in)
+		if err != nil {
+			return false
+		}
+		want := refAggregate(in)
+		if res.Groups() != len(want) {
+			return false
+		}
+		for r, k := range res.Keys {
+			w, ok := want[k]
+			if !ok || res.Aggs[0][r] != w[0] || res.Aggs[1][r] != w[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPlanShapes(t *testing.T) {
+	p := buildPlan([]agg.Spec{
+		{Kind: agg.Count},
+		{Kind: agg.Avg, Col: 2},
+		{Kind: agg.Min, Col: 1},
+	})
+	if p.width() != 4 {
+		t.Fatalf("width = %d, want 4 (count + avg(sum,count) + min)", p.width())
+	}
+	wantOff := []int{0, 1, 3}
+	for i, w := range wantOff {
+		if p.off[i] != w {
+			t.Fatalf("off = %v", p.off)
+		}
+	}
+	wantMerge := []agg.Kind{agg.Sum, agg.Sum, agg.Sum, agg.Min}
+	for i, w := range wantMerge {
+		if p.mergeKind[i] != w {
+			t.Fatalf("mergeKind = %v", p.mergeKind)
+		}
+	}
+}
+
+func TestReadSpillCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	e := &extExec{
+		cfg:  testCfg(100).withDefaults(),
+		plan: buildPlan([]agg.Spec{{Kind: agg.Count}}),
+		dir:  dir,
+	}
+	path := dir + "/bad.spill"
+	// Record size is 16 bytes (key + one partial); write 10 bytes.
+	if err := writeFile(path, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.readSpill(path); err == nil {
+		t.Fatal("truncated spill file should error")
+	}
+	if _, _, err := e.readSpill(dir + "/missing.spill"); err == nil {
+		t.Fatal("missing spill file should error")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

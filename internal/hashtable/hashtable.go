@@ -1,0 +1,516 @@
+// Package hashtable implements the hash table of the HASHING routine
+// (paper Section 4.1): a single-level table with linear probing, fixed to
+// the size of the cache, considered full at a low fill rate (25 %), with
+// probing adapted to work within blocks so that a full table can be split
+// cleanly into one contiguous range per partition — "merely a logical
+// operation" (Section 3.1).
+//
+// Design notes mirrored from the paper:
+//
+//   - Collisions are resolved by linear probing confined to the entry's
+//     block (1/fanout of the table). This keeps all rows of one radix digit
+//     in one contiguous range so SplitRuns is a per-block compaction.
+//   - The table never grows: when an insert cannot proceed (global fill
+//     limit reached, or the entry's block has no free slot), the insert
+//     reports failure and the caller splits the table into runs and starts
+//     a fresh one. This is the mechanism that bounds the working set to the
+//     cache.
+//   - The table tracks how many input rows it absorbed (rowsIn) so the
+//     ADAPTIVE strategy can read the reduction factor α = rowsIn/rowsOut at
+//     split time (Section 5).
+//
+// Occupancy uses epoch versioning so Reset is O(1) and tables can be reused
+// without re-zeroing cache-sized arrays.
+package hashtable
+
+import (
+	"fmt"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/runs"
+)
+
+// DefaultMaxFill is the fill rate at which the table declares itself full.
+// The paper uses 25 %: "we fix the hash table to the size of the L3 cache
+// and consider it full at a very low fill rate of 25 %", making collisions
+// "very rare or even non-existing".
+const DefaultMaxFill = 0.25
+
+// MinBlockRows is the minimum rows per block; smaller blocks make in-block
+// probing degenerate.
+const MinBlockRows = 8
+
+// Config configures a Table.
+type Config struct {
+	// CapacityRows is the total number of slots. It is rounded up to a
+	// power of two and to at least Blocks*MinBlockRows.
+	CapacityRows int
+	// Blocks is the number of split ranges, normally the partitioning
+	// fan-out (256). Must be a power of two.
+	Blocks int
+	// MaxFill is the fraction of slots that may be occupied before the
+	// table reports full; 0 selects DefaultMaxFill.
+	MaxFill float64
+	// Words is the number of aggregate state words per row.
+	Words int
+	// Level is the recursion level; an entry's block is the radix digit of
+	// its hash at this level.
+	Level int
+	// OmitHashesInRuns drops the hash column from the runs produced by
+	// SplitRuns (the paper's layout: downstream passes recompute hashes
+	// from the keys). The table always stores hashes internally for
+	// probing either way.
+	OmitHashesInRuns bool
+}
+
+// Table is a block-structured linear-probing hash table.
+type Table struct {
+	capRows   int
+	blockRows int
+	blockMask uint64
+	blocks    int
+	level     int
+	words     int
+	maxRows   int
+	shift     uint // digit shift for this level
+
+	rows      int
+	rowsIn    int
+	omitInRun bool
+
+	hashes  []uint64
+	keys    []uint64
+	states  [][]uint64
+	version []uint32
+	epoch   uint32
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New creates a table from cfg.
+func New(cfg Config) *Table {
+	if cfg.Blocks <= 0 || cfg.Blocks&(cfg.Blocks-1) != 0 {
+		panic(fmt.Sprintf("hashtable: blocks %d must be a positive power of two", cfg.Blocks))
+	}
+	if cfg.Level < 0 || cfg.Level >= 8 {
+		panic(fmt.Sprintf("hashtable: level %d out of range", cfg.Level))
+	}
+	capRows := ceilPow2(cfg.CapacityRows)
+	if min := cfg.Blocks * MinBlockRows; capRows < min {
+		capRows = min
+	}
+	fill := cfg.MaxFill
+	if fill <= 0 {
+		fill = DefaultMaxFill
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	maxRows := int(float64(capRows) * fill)
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	t := &Table{
+		capRows:   capRows,
+		blockRows: capRows / cfg.Blocks,
+		blocks:    cfg.Blocks,
+		level:     cfg.Level,
+		words:     cfg.Words,
+		maxRows:   maxRows,
+		omitInRun: cfg.OmitHashesInRuns,
+		shift:     uint(64 - 8*(cfg.Level+1)),
+		hashes:    make([]uint64, capRows),
+		keys:      make([]uint64, capRows),
+		states:    make([][]uint64, cfg.Words),
+		version:   make([]uint32, capRows),
+		epoch:     1,
+	}
+	t.blockMask = uint64(t.blockRows - 1)
+	for i := range t.states {
+		t.states[i] = make([]uint64, capRows)
+	}
+	return t
+}
+
+// CapacityRows returns the total slot count (after rounding).
+func (t *Table) CapacityRows() int { return t.capRows }
+
+// SetLevel re-targets an empty table to a different recursion level, so a
+// worker can reuse one cache-sized allocation across bucket tasks. It
+// panics if the table still holds rows or the level is out of range.
+func (t *Table) SetLevel(level int) {
+	if t.rows != 0 {
+		panic("hashtable: SetLevel on non-empty table")
+	}
+	if level < 0 || level >= 8 {
+		panic(fmt.Sprintf("hashtable: level %d out of range", level))
+	}
+	t.level = level
+	t.shift = uint(64 - 8*(level+1))
+}
+
+// MaxRows returns the fill limit in rows.
+func (t *Table) MaxRows() int { return t.maxRows }
+
+// Len returns the number of occupied slots (distinct groups stored).
+func (t *Table) Len() int { return t.rows }
+
+// RowsIn returns the number of input rows absorbed since the last Reset.
+func (t *Table) RowsIn() int { return t.rowsIn }
+
+// Level returns the recursion level the table was built for.
+func (t *Table) Level() int { return t.level }
+
+// Alpha returns the reduction factor α = rowsIn / rowsOut observed so far.
+// An empty table has α = +Inf by convention (nothing disproves locality yet);
+// the strategy only consults α on non-empty tables.
+func (t *Table) Alpha() float64 {
+	if t.rows == 0 {
+		if t.rowsIn == 0 {
+			return 1
+		}
+		return 1 // unreachable: rowsIn>0 implies rows>0
+	}
+	return float64(t.rowsIn) / float64(t.rows)
+}
+
+// Full reports whether the global fill limit has been reached.
+func (t *Table) Full() bool { return t.rows >= t.maxRows }
+
+// block returns the block index of hash h at the table's level.
+func (t *Table) block(h uint64) int {
+	return int(h >> t.shift & uint64(t.blocks-1))
+}
+
+// slot probing: position within block derived from the LOW bits of the
+// hash, which no recursion level consumes (digits come from the top), so
+// in-block placement stays independent of the partitioning digits.
+func (t *Table) probeStart(h uint64) int {
+	return int(h & t.blockMask)
+}
+
+// find locates key (with hash h) in its block. It returns the slot index
+// and true if present; otherwise the first free slot and false, or -1 and
+// false if the block is completely full.
+func (t *Table) find(h, key uint64) (int, bool) {
+	base := t.block(h) * t.blockRows
+	start := t.probeStart(h)
+	for i := 0; i < t.blockRows; i++ {
+		s := base + int((uint64(start+i))&t.blockMask)
+		if t.version[s] != t.epoch {
+			return s, false
+		}
+		if t.hashes[s] == h && t.keys[s] == key {
+			return s, true
+		}
+	}
+	return -1, false
+}
+
+// InsertState inserts (or merges) a row carrying an initialized aggregate
+// state vector. It returns false — without modifying the table — if the
+// row is new and the table is full (fill limit reached or block exhausted);
+// the caller must then split the table and retry on a fresh one.
+func (t *Table) InsertState(h, key uint64, state []uint64, lay *agg.Layout) bool {
+	s, found := t.find(h, key)
+	if found {
+		if lay != nil {
+			for i, sp := range lay.Specs {
+				off := lay.Offsets[i]
+				w := sp.Kind.Width()
+				// Merge in place on the column-decomposed state.
+				mergeColumns(sp.Kind, t.states[off:off+w], s, state[off:off+w])
+			}
+		}
+		t.rowsIn++
+		return true
+	}
+	if s < 0 || t.rows >= t.maxRows {
+		return false
+	}
+	t.version[s] = t.epoch
+	t.hashes[s] = h
+	t.keys[s] = key
+	for i := 0; i < t.words; i++ {
+		t.states[i][s] = state[i]
+	}
+	t.rows++
+	t.rowsIn++
+	return true
+}
+
+// InsertRaw inserts (or folds) a raw input row whose aggregate inputs are
+// provided by values. It returns false, without modifying the table, when
+// the row is new and the table is full.
+func (t *Table) InsertRaw(h, key uint64, values func(col int) int64, lay *agg.Layout) bool {
+	s, found := t.find(h, key)
+	if found {
+		if lay != nil {
+			for i, sp := range lay.Specs {
+				off := lay.Offsets[i]
+				var v int64
+				if sp.Kind != agg.Count {
+					v = values(sp.Col)
+				}
+				foldColumns(sp.Kind, t.states[off:off+sp.Kind.Width()], s, v)
+			}
+		}
+		t.rowsIn++
+		return true
+	}
+	if s < 0 || t.rows >= t.maxRows {
+		return false
+	}
+	t.version[s] = t.epoch
+	t.hashes[s] = h
+	t.keys[s] = key
+	if lay != nil {
+		for i, sp := range lay.Specs {
+			off := lay.Offsets[i]
+			var v int64
+			if sp.Kind != agg.Count {
+				v = values(sp.Col)
+			}
+			initColumns(sp.Kind, t.states[off:off+sp.Kind.Width()], s, v)
+		}
+	}
+	t.rows++
+	t.rowsIn++
+	return true
+}
+
+// mergeColumns applies kind's super-aggregate merge at row s of the
+// column-decomposed state storage.
+func mergeColumns(k agg.Kind, cols [][]uint64, s int, src []uint64) {
+	switch k {
+	case agg.Count, agg.Sum:
+		cols[0][s] = uint64(int64(cols[0][s]) + int64(src[0]))
+	case agg.Min:
+		if int64(src[0]) < int64(cols[0][s]) {
+			cols[0][s] = src[0]
+		}
+	case agg.Max:
+		if int64(src[0]) > int64(cols[0][s]) {
+			cols[0][s] = src[0]
+		}
+	case agg.Avg:
+		cols[0][s] = uint64(int64(cols[0][s]) + int64(src[0]))
+		cols[1][s] += src[1]
+	default:
+		panic("hashtable: invalid kind")
+	}
+}
+
+func foldColumns(k agg.Kind, cols [][]uint64, s int, v int64) {
+	switch k {
+	case agg.Count:
+		cols[0][s]++
+	case agg.Sum:
+		cols[0][s] = uint64(int64(cols[0][s]) + v)
+	case agg.Min:
+		if v < int64(cols[0][s]) {
+			cols[0][s] = uint64(v)
+		}
+	case agg.Max:
+		if v > int64(cols[0][s]) {
+			cols[0][s] = uint64(v)
+		}
+	case agg.Avg:
+		cols[0][s] = uint64(int64(cols[0][s]) + v)
+		cols[1][s]++
+	default:
+		panic("hashtable: invalid kind")
+	}
+}
+
+func initColumns(k agg.Kind, cols [][]uint64, s int, v int64) {
+	switch k {
+	case agg.Count:
+		cols[0][s] = 1
+	case agg.Sum, agg.Min, agg.Max:
+		cols[0][s] = uint64(v)
+	case agg.Avg:
+		cols[0][s] = uint64(v)
+		cols[1][s] = 1
+	default:
+		panic("hashtable: invalid kind")
+	}
+}
+
+// InsertStateCols inserts or merges row `row` of column-decomposed partial
+// states (the layout of runs.Run.States), combining word-wise with the
+// layout's word operations. This is the columnar fast path of the engine:
+// no per-row state gathering. Returns false when the row is new and the
+// table is full.
+func (t *Table) InsertStateCols(h, key uint64, states [][]uint64, row int, ops []agg.WordOp) bool {
+	s, found := t.find(h, key)
+	if found {
+		for w := range ops {
+			t.states[w][s] = ops[w].Op.Apply(t.states[w][s], states[w][row])
+		}
+		t.rowsIn++
+		return true
+	}
+	if s < 0 || t.rows >= t.maxRows {
+		return false
+	}
+	t.version[s] = t.epoch
+	t.hashes[s] = h
+	t.keys[s] = key
+	for w := range ops {
+		t.states[w][s] = states[w][row]
+	}
+	t.rows++
+	t.rowsIn++
+	return true
+}
+
+// InsertRawCols inserts or folds row `row` of raw input columns, using the
+// layout's word operations (SrcOne words contribute 1, SrcCol words read
+// cols[op.Col][row]). Returns false when the row is new and the table is
+// full.
+func (t *Table) InsertRawCols(h, key uint64, cols [][]int64, row int, ops []agg.WordOp) bool {
+	s, found := t.find(h, key)
+	if found {
+		for w := range ops {
+			v := int64(1)
+			if ops[w].Src == agg.SrcCol {
+				v = cols[ops[w].Col][row]
+			}
+			t.states[w][s] = ops[w].Op.Apply(t.states[w][s], uint64(v))
+		}
+		t.rowsIn++
+		return true
+	}
+	if s < 0 || t.rows >= t.maxRows {
+		return false
+	}
+	t.version[s] = t.epoch
+	t.hashes[s] = h
+	t.keys[s] = key
+	for w := range ops {
+		v := int64(1)
+		if ops[w].Src == agg.SrcCol {
+			v = cols[ops[w].Col][row]
+		}
+		t.states[w][s] = uint64(v)
+	}
+	t.rows++
+	t.rowsIn++
+	return true
+}
+
+// Lookup returns a copy of the state vector stored for (h, key) and whether
+// the key is present. Intended for tests and small finalization paths.
+func (t *Table) Lookup(h, key uint64) ([]uint64, bool) {
+	s, found := t.find(h, key)
+	if !found {
+		return nil, false
+	}
+	out := make([]uint64, t.words)
+	for i := 0; i < t.words; i++ {
+		out[i] = t.states[i][s]
+	}
+	return out, true
+}
+
+// SplitRuns compacts every non-empty block into one aggregated run and
+// returns a slice indexed by block (= radix digit at the table's level);
+// empty blocks yield nil entries. The table is reset afterwards.
+func (t *Table) SplitRuns() []*runs.Run {
+	out := make([]*runs.Run, t.blocks)
+	for b := 0; b < t.blocks; b++ {
+		base := b * t.blockRows
+		// Count occupied slots first to allocate exactly.
+		n := 0
+		for i := 0; i < t.blockRows; i++ {
+			if t.version[base+i] == t.epoch {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		r := &runs.Run{
+			Keys:       make([]uint64, 0, n),
+			States:     make([][]uint64, t.words),
+			Aggregated: true,
+		}
+		if !t.omitInRun {
+			r.Hashes = make([]uint64, 0, n)
+		}
+		for w := range r.States {
+			r.States[w] = make([]uint64, 0, n)
+		}
+		for i := 0; i < t.blockRows; i++ {
+			s := base + i
+			if t.version[s] != t.epoch {
+				continue
+			}
+			if !t.omitInRun {
+				r.Hashes = append(r.Hashes, t.hashes[s])
+			}
+			r.Keys = append(r.Keys, t.keys[s])
+			for w := 0; w < t.words; w++ {
+				r.States[w] = append(r.States[w], t.states[w][s])
+			}
+		}
+		out[b] = r
+	}
+	t.Reset()
+	return out
+}
+
+// Emit appends every occupied row to the provided callback in block order.
+// Unlike SplitRuns it does not reset the table.
+func (t *Table) Emit(fn func(hash, key uint64, state []uint64)) {
+	scratch := make([]uint64, t.words)
+	for s := 0; s < t.capRows; s++ {
+		if t.version[s] != t.epoch {
+			continue
+		}
+		for w := 0; w < t.words; w++ {
+			scratch[w] = t.states[w][s]
+		}
+		fn(t.hashes[s], t.keys[s], scratch)
+	}
+}
+
+// Reset clears the table in O(1) via epoch bump (O(capacity) re-zeroing
+// happens only on the rare epoch wrap).
+func (t *Table) Reset() {
+	t.rows = 0
+	t.rowsIn = 0
+	t.epoch++
+	if t.epoch == 0 { // wrapped: versions may alias, clear for real
+		for i := range t.version {
+			t.version[i] = 0
+		}
+		t.epoch = 1
+	}
+}
+
+// SlotBytes returns the per-slot memory footprint in bytes for a table with
+// the given number of state words: hash + key + states + version.
+func SlotBytes(words int) int { return 8 + 8 + 8*words + 4 }
+
+// CapacityForCache returns the slot count of a table sized to occupy
+// roughly cacheBytes, for the given state width. The result is rounded
+// DOWN to a power of two so the table never exceeds the cache budget.
+func CapacityForCache(cacheBytes, words int) int {
+	slots := cacheBytes / SlotBytes(words)
+	if slots < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= slots {
+		p *= 2
+	}
+	return p
+}

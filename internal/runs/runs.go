@@ -1,0 +1,272 @@
+// Package runs implements the intermediate-result storage of the operator:
+// "runs" in the paper's terminology (Section 3.1), stored in the two-level
+// list-of-arrays structure of Section 4.2.
+//
+// The paper needs output partitions whose final size is unknown before
+// processing. Wassenberg et al. solve this with virtual-memory
+// over-allocation, which the paper rejects for industry-grade memory
+// management and replaces by a two-level data structure — a list of arrays —
+// at ~2% cost. A Writer here is exactly that: it appends rows into
+// fixed-capacity chunks and seals each full chunk as an immutable Run.
+//
+// A Run holds decomposed (columnar) row storage: the grouping key of each
+// row, one state column per aggregate state word, and — optionally — the
+// 64-bit hash of the key. By default the engine follows the paper and does
+// NOT store hashes (recomputing MurmurHash2 each pass is far cheaper than
+// moving 8 extra bytes per row per pass); carrying them is an ablation
+// option.
+package runs
+
+import "fmt"
+
+// DefaultChunkRows is the default capacity of one chunk of a Writer.
+// 4096 rows × 8 bytes ≈ 32 KiB per column — comfortably cache-resident
+// while being large enough that per-chunk overhead vanishes.
+const DefaultChunkRows = 4096
+
+// Run is one immutable sorted-by-construction intermediate result fragment.
+// All rows in a Run share the same bucket path (hash prefix) of the
+// recursion level that produced it.
+type Run struct {
+	// Hashes is the optional stored hash column. The paper's runs hold
+	// only the rows themselves — hashes are recomputed from the key at
+	// every pass (MurmurHash2 costs ~1 ns while a stored hash costs 8
+	// bytes of memory traffic per row per pass) — so in the default
+	// engine configuration this column is nil. Carrying hashes is an
+	// ablation option (core.Config.CarryHashes).
+	Hashes []uint64
+	Keys   []uint64
+	// States holds the packed aggregate state columns: States[w][i] is
+	// state word w of row i. len(States) is the layout's word count and is
+	// zero for DISTINCT-style queries.
+	States [][]uint64
+	// Aggregated marks a run in which every key occurs at most once (the
+	// run was produced by a hash-table split). Purely informational for
+	// strategies and diagnostics; state semantics are uniform because rows
+	// carry initialized aggregate states from intake on.
+	Aggregated bool
+}
+
+// Len returns the number of rows in the run.
+func (r *Run) Len() int { return len(r.Keys) }
+
+// Validate checks the structural invariants of the run: all columns have
+// equal length. It returns an error rather than panicking so tests can use
+// it on adversarial inputs.
+func (r *Run) Validate(words int) error {
+	if r.Hashes != nil && len(r.Hashes) != len(r.Keys) {
+		return fmt.Errorf("runs: %d hashes but %d keys", len(r.Hashes), len(r.Keys))
+	}
+	if len(r.States) != words {
+		return fmt.Errorf("runs: %d state columns, want %d", len(r.States), words)
+	}
+	for w, col := range r.States {
+		if len(col) != len(r.Keys) {
+			return fmt.Errorf("runs: state column %d has %d rows, want %d", w, len(col), len(r.Keys))
+		}
+	}
+	return nil
+}
+
+// Bucket is the set of runs that share one bucket path. The recursion of
+// the framework treats all runs of the same partition as a single bucket
+// (Algorithm 2).
+type Bucket struct {
+	Runs []*Run
+}
+
+// Rows returns the total number of rows across all runs of the bucket.
+func (b *Bucket) Rows() int {
+	n := 0
+	for _, r := range b.Runs {
+		n += r.Len()
+	}
+	return n
+}
+
+// Add appends a run to the bucket. Nil and empty runs are dropped.
+func (b *Bucket) Add(r *Run) {
+	if r != nil && r.Len() > 0 {
+		b.Runs = append(b.Runs, r)
+	}
+}
+
+// AddAll appends all runs of other to b.
+func (b *Bucket) AddAll(other *Bucket) {
+	for _, r := range other.Runs {
+		b.Add(r)
+	}
+}
+
+// AllAggregated reports whether every run in the bucket is aggregated.
+func (b *Bucket) AllAggregated() bool {
+	for _, r := range b.Runs {
+		if !r.Aggregated {
+			return false
+		}
+	}
+	return true
+}
+
+// Writer accumulates rows for one output partition in fixed-size chunks:
+// the two-level list-of-arrays structure. The zero value is not usable;
+// create Writers with NewWriter.
+type Writer struct {
+	chunkRows  int
+	words      int
+	dropHashes bool
+	cur        *Run
+	sealed     []*Run
+	rows       int
+}
+
+// NewWriter returns a Writer producing chunks of chunkRows rows with words
+// aggregate state columns. chunkRows <= 0 selects DefaultChunkRows.
+func NewWriter(chunkRows, words int) *Writer {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	if words < 0 {
+		panic("runs: negative state word count")
+	}
+	return &Writer{chunkRows: chunkRows, words: words}
+}
+
+// NewWriterDrop is NewWriter with control over the hash column: when
+// dropHashes is set, appended hash values are discarded and the produced
+// runs have a nil hash column (the paper's recompute-per-pass layout).
+func NewWriterDrop(chunkRows, words int, dropHashes bool) *Writer {
+	w := NewWriter(chunkRows, words)
+	w.dropHashes = dropHashes
+	return w
+}
+
+// Rows returns the total number of rows appended so far.
+func (w *Writer) Rows() int { return w.rows }
+
+func (w *Writer) grow() {
+	r := &Run{
+		Keys: make([]uint64, 0, w.chunkRows),
+	}
+	if !w.dropHashes {
+		r.Hashes = make([]uint64, 0, w.chunkRows)
+	}
+	if w.words > 0 {
+		r.States = make([][]uint64, w.words)
+		for i := range r.States {
+			r.States[i] = make([]uint64, 0, w.chunkRows)
+		}
+	} else {
+		r.States = [][]uint64{}
+	}
+	w.cur = r
+}
+
+// Append adds one row. state must have length words (ignored when words is
+// zero).
+func (w *Writer) Append(hash, key uint64, state []uint64) {
+	if w.cur == nil {
+		w.grow()
+	}
+	r := w.cur
+	if !w.dropHashes {
+		r.Hashes = append(r.Hashes, hash)
+	}
+	r.Keys = append(r.Keys, key)
+	for i := 0; i < w.words; i++ {
+		r.States[i] = append(r.States[i], state[i])
+	}
+	w.rows++
+	if len(r.Keys) >= w.chunkRows {
+		w.sealed = append(w.sealed, r)
+		w.cur = nil
+	}
+}
+
+// AppendBlock bulk-copies rows [from, to) of the given columns. This is the
+// flush path of the software-write-combining buffers: one copy per column
+// instead of per-row appends.
+func (w *Writer) AppendBlock(hashes, keys []uint64, states [][]uint64, from, to int) {
+	for from < to {
+		if w.cur == nil {
+			w.grow()
+		}
+		r := w.cur
+		space := w.chunkRows - len(r.Keys)
+		n := to - from
+		if n > space {
+			n = space
+		}
+		if !w.dropHashes {
+			r.Hashes = append(r.Hashes, hashes[from:from+n]...)
+		}
+		r.Keys = append(r.Keys, keys[from:from+n]...)
+		for i := 0; i < w.words; i++ {
+			r.States[i] = append(r.States[i], states[i][from:from+n]...)
+		}
+		w.rows += n
+		from += n
+		if len(r.Keys) >= w.chunkRows {
+			w.sealed = append(w.sealed, r)
+			w.cur = nil
+		}
+	}
+}
+
+// Seal finishes the writer and returns all chunks as runs. The writer can
+// keep being used afterwards; already-sealed chunks are not returned twice.
+func (w *Writer) Seal() []*Run {
+	out := w.sealed
+	w.sealed = nil
+	if w.cur != nil && w.cur.Len() > 0 {
+		out = append(out, w.cur)
+		w.cur = nil
+	}
+	return out
+}
+
+// SealInto appends all finished runs into the bucket.
+func (w *Writer) SealInto(b *Bucket) {
+	for _, r := range w.Seal() {
+		b.Add(r)
+	}
+}
+
+// Concat merges all runs of a bucket into one contiguous run. It is used by
+// tests and by finalization paths that need a single dense fragment.
+func Concat(b *Bucket, words int) *Run {
+	n := b.Rows()
+	out := &Run{
+		Hashes: make([]uint64, 0, n),
+		Keys:   make([]uint64, 0, n),
+		States: make([][]uint64, words),
+	}
+	for i := range out.States {
+		out.States[i] = make([]uint64, 0, n)
+	}
+	agg := true
+	carry := true
+	for _, r := range b.Runs {
+		if r.Hashes == nil {
+			carry = false
+		}
+	}
+	for _, r := range b.Runs {
+		if carry {
+			out.Hashes = append(out.Hashes, r.Hashes...)
+		}
+		out.Keys = append(out.Keys, r.Keys...)
+		for i := 0; i < words; i++ {
+			out.States[i] = append(out.States[i], r.States[i]...)
+		}
+		agg = agg && r.Aggregated
+	}
+	if !carry {
+		out.Hashes = nil
+	}
+	// A concatenation of aggregated runs is NOT aggregated in general
+	// (the same key may occur in several source runs), except when there is
+	// at most one source run.
+	out.Aggregated = agg && len(b.Runs) <= 1
+	return out
+}

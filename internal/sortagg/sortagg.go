@@ -1,0 +1,179 @@
+// Package sortagg implements classic sort-based aggregation algorithms as
+// executable counterparts of the paper's Section 2 analysis and Section 7
+// related work:
+//
+//   - SortAggregate: textbook SORTAGGREGATION — fully sort the keys, then
+//     aggregate adjacent equal keys in a separate pass (the naive curve of
+//     Figure 1, with an in-memory comparison/radix sort).
+//   - MergeAggregate: merge sort with EARLY AGGREGATION (Bitton & DeWitt
+//     1983): duplicate keys are combined whenever two sorted runs merge, so
+//     highly repetitive inputs shrink during the sort instead of at the
+//     end. This is the sort-world ancestor of the paper's hashing-for-
+//     early-aggregation idea.
+//   - RadixAggregate: LSD radix sort on the keys followed by the fused
+//     aggregation pass — bucket sort on the dense key domain, i.e. the
+//     paper's SORTAGGREGATION-OPTIMIZED without the hash (only correct
+//     general aggregation; efficient when keys are integers, as here).
+//
+// All three compute COUNT(*) GROUP BY key over a key column, like the
+// baselines package, and exist to make the "hashing is sorting" comparison
+// concrete: the paper's operator IS one of these algorithms, just sorting
+// hash digits instead of keys and aggregating eagerly.
+package sortagg
+
+import (
+	"sort"
+)
+
+// Result is a COUNT(*) GROUP BY result with groups in key-sorted order.
+type Result struct {
+	Keys   []uint64
+	Counts []int64
+}
+
+// Groups returns the number of groups.
+func (r *Result) Groups() int { return len(r.Keys) }
+
+// SortAggregate sorts a copy of the keys and aggregates adjacent equals in
+// a separate pass — textbook SORTAGGREGATION.
+func SortAggregate(keys []uint64) *Result {
+	if len(keys) == 0 {
+		return &Result{}
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return aggregateSorted(sorted)
+}
+
+// aggregateSorted is the final aggregation pass over a sorted key column.
+func aggregateSorted(sorted []uint64) *Result {
+	res := &Result{}
+	cur := sorted[0]
+	count := int64(1)
+	for _, k := range sorted[1:] {
+		if k == cur {
+			count++
+			continue
+		}
+		res.Keys = append(res.Keys, cur)
+		res.Counts = append(res.Counts, count)
+		cur, count = k, 1
+	}
+	res.Keys = append(res.Keys, cur)
+	res.Counts = append(res.Counts, count)
+	return res
+}
+
+// kv is a (key, partial count) pair of the early-aggregating merge sort.
+type kv struct {
+	k uint64
+	c int64
+}
+
+// MergeAggregate is merge sort with early aggregation: runs of (key, count)
+// pairs are merged pairwise; equal keys combine immediately, so each merge
+// level can only shrink the data. RunLen controls the initial sorted-run
+// size (<= 0 selects 4096).
+func MergeAggregate(keys []uint64, runLen int) *Result {
+	if len(keys) == 0 {
+		return &Result{}
+	}
+	if runLen <= 0 {
+		runLen = 4096
+	}
+	// Build initial runs: sort a block, combine adjacent duplicates.
+	var runs [][]kv
+	for lo := 0; lo < len(keys); lo += runLen {
+		hi := min(lo+runLen, len(keys))
+		blk := append([]uint64(nil), keys[lo:hi]...)
+		sort.Slice(blk, func(i, j int) bool { return blk[i] < blk[j] })
+		run := make([]kv, 0, len(blk))
+		cur := kv{k: blk[0], c: 1}
+		for _, k := range blk[1:] {
+			if k == cur.k {
+				cur.c++
+				continue
+			}
+			run = append(run, cur)
+			cur = kv{k: k, c: 1}
+		}
+		run = append(run, cur)
+		runs = append(runs, run)
+	}
+	// Merge pairwise until one run remains, aggregating duplicates as we go.
+	for len(runs) > 1 {
+		var next [][]kv
+		for i := 0; i+1 < len(runs); i += 2 {
+			next = append(next, mergeRuns(runs[i], runs[i+1]))
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		runs = next
+	}
+	out := runs[0]
+	res := &Result{Keys: make([]uint64, len(out)), Counts: make([]int64, len(out))}
+	for i, e := range out {
+		res.Keys[i] = e.k
+		res.Counts[i] = e.c
+	}
+	return res
+}
+
+// mergeRuns merges two sorted aggregated runs, combining equal keys with
+// the super-aggregate (SUM of partial counts).
+func mergeRuns(a, b []kv) []kv {
+	out := make([]kv, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].k < b[j].k:
+			out = append(out, a[i])
+			i++
+		case a[i].k > b[j].k:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, kv{k: a[i].k, c: a[i].c + b[j].c})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// RadixAggregate sorts the keys with an LSD radix sort (8 bits per pass,
+// over the significant bytes of the maximum key) and aggregates adjacent
+// equals — bucket sort on the dense integer domain, the executable version
+// of the Section 2.1 analysis.
+func RadixAggregate(keys []uint64) *Result {
+	if len(keys) == 0 {
+		return &Result{}
+	}
+	maxKey := uint64(0)
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	src := append([]uint64(nil), keys...)
+	dst := make([]uint64, len(keys))
+	for shift := uint(0); shift < 64 && maxKey>>shift > 0; shift += 8 {
+		var counts [257]int
+		for _, k := range src {
+			counts[(k>>shift&0xff)+1]++
+		}
+		for d := 1; d < 257; d++ {
+			counts[d] += counts[d-1]
+		}
+		for _, k := range src {
+			d := k >> shift & 0xff
+			dst[counts[d]] = k
+			counts[d]++
+		}
+		src, dst = dst, src
+	}
+	return aggregateSorted(src)
+}

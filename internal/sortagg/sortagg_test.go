@@ -1,0 +1,168 @@
+package sortagg
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/xrand"
+)
+
+func refCounts(keys []uint64) map[uint64]int64 {
+	m := map[uint64]int64{}
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+func checkSortedResult(t *testing.T, name string, res *Result, keys []uint64) {
+	t.Helper()
+	want := refCounts(keys)
+	if res.Groups() != len(want) {
+		t.Fatalf("%s: %d groups, want %d", name, res.Groups(), len(want))
+	}
+	if !sort.SliceIsSorted(res.Keys, func(i, j int) bool { return res.Keys[i] < res.Keys[j] }) {
+		t.Fatalf("%s: result keys not sorted", name)
+	}
+	for i, k := range res.Keys {
+		if res.Counts[i] != want[k] {
+			t.Fatalf("%s: key %d count %d, want %d", name, k, res.Counts[i], want[k])
+		}
+	}
+}
+
+func algos() map[string]func([]uint64) *Result {
+	return map[string]func([]uint64) *Result{
+		"SortAggregate":  SortAggregate,
+		"MergeAggregate": func(k []uint64) *Result { return MergeAggregate(k, 256) },
+		"RadixAggregate": RadixAggregate,
+	}
+}
+
+func TestAllAlgorithmsOnDistributions(t *testing.T) {
+	for _, dist := range []datagen.Dist{datagen.Uniform, datagen.Sorted, datagen.HeavyHitter, datagen.Zipf} {
+		for _, k := range []uint64{1, 100, 5000} {
+			keys := datagen.Generate(datagen.Spec{Dist: dist, N: 20000, K: k, Seed: 8})
+			for name, f := range algos() {
+				checkSortedResult(t, name, f(keys), keys)
+			}
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for name, f := range algos() {
+		if res := f(nil); res.Groups() != 0 {
+			t.Fatalf("%s: empty input produced groups", name)
+		}
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	for name, f := range algos() {
+		res := f([]uint64{42})
+		if res.Groups() != 1 || res.Keys[0] != 42 || res.Counts[0] != 1 {
+			t.Fatalf("%s: %+v", name, res)
+		}
+	}
+}
+
+func TestAllSameKey(t *testing.T) {
+	keys := make([]uint64, 10000)
+	for name, f := range algos() {
+		res := f(keys)
+		if res.Groups() != 1 || res.Counts[0] != 10000 {
+			t.Fatalf("%s: %+v", name, res)
+		}
+	}
+}
+
+func TestLargeKeysRadix(t *testing.T) {
+	// Radix sort must handle keys using all 8 byte positions.
+	rng := xrand.NewXoshiro256(1)
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Next() // full 64-bit range
+	}
+	checkSortedResult(t, "RadixAggregate", RadixAggregate(keys), keys)
+}
+
+func TestMergeAggregateRunLens(t *testing.T) {
+	keys := datagen.Generate(datagen.Spec{Dist: datagen.MovingCluster, N: 30000, K: 5000, Seed: 3})
+	for _, runLen := range []int{1, 7, 100, 1 << 20, 0} {
+		checkSortedResult(t, "MergeAggregate", MergeAggregate(keys, runLen), keys)
+	}
+}
+
+// TestEarlyAggregationShrinksRuns: on a low-cardinality input, the merge
+// tree's intermediate runs must collapse toward K entries — the point of
+// early aggregation.
+func TestEarlyAggregationShrinksRuns(t *testing.T) {
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = uint64(i % 10)
+	}
+	res := MergeAggregate(keys, 1024)
+	if res.Groups() != 10 {
+		t.Fatalf("groups = %d", res.Groups())
+	}
+	for _, c := range res.Counts {
+		if c != 10000 {
+			t.Fatalf("counts = %v", res.Counts)
+		}
+	}
+}
+
+func TestQuickAllAgree(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, domRaw uint8) bool {
+		n := int(nRaw)%2000 + 1
+		dom := uint64(domRaw)%300 + 1
+		rng := xrand.NewXoshiro256(seed)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Next() % dom
+		}
+		a := SortAggregate(keys)
+		b := MergeAggregate(keys, 64)
+		c := RadixAggregate(keys)
+		if a.Groups() != b.Groups() || a.Groups() != c.Groups() {
+			return false
+		}
+		for i := range a.Keys {
+			if a.Keys[i] != b.Keys[i] || a.Keys[i] != c.Keys[i] ||
+				a.Counts[i] != b.Counts[i] || a.Counts[i] != c.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSortAggregate(b *testing.B) {
+	keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: 1 << 16, K: 1 << 12, Seed: 1})
+	b.SetBytes(int64(len(keys)) * 8)
+	for i := 0; i < b.N; i++ {
+		SortAggregate(keys)
+	}
+}
+
+func BenchmarkMergeAggregate(b *testing.B) {
+	keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: 1 << 16, K: 1 << 12, Seed: 1})
+	b.SetBytes(int64(len(keys)) * 8)
+	for i := 0; i < b.N; i++ {
+		MergeAggregate(keys, 0)
+	}
+}
+
+func BenchmarkRadixAggregate(b *testing.B) {
+	keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: 1 << 16, K: 1 << 12, Seed: 1})
+	b.SetBytes(int64(len(keys)) * 8)
+	for i := 0; i < b.N; i++ {
+		RadixAggregate(keys)
+	}
+}

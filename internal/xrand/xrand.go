@@ -1,0 +1,146 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used by the data generators and tests of this repository.
+//
+// The package deliberately avoids math/rand so that every byte of every
+// synthetic dataset is reproducible across Go versions: the generators below
+// are fully specified by their seed and their published reference algorithms
+// (SplitMix64 by Steele et al., xoshiro256** by Blackman and Vigna).
+package xrand
+
+// SplitMix64 is the 64-bit state mixer from Steele, Lea and Flood,
+// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+// It is used both as a standalone generator and to seed Xoshiro256.
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a strong 64-bit mixing
+// function (full avalanche) useful for deriving independent seeds.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** 1.0, a fast all-purpose generator with
+// a 2^256-1 period. It must be created through NewXoshiro256 so that the
+// state is properly seeded (an all-zero state is invalid).
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is derived from seed via
+// SplitMix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next 64-bit value in the sequence.
+func (x *Xoshiro256) Next() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+// It uses Lemire's multiply-shift bounded-rand reduction with a rejection
+// step to remove modulo bias entirely.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Fast path for powers of two: just mask.
+	if n&(n-1) == 0 {
+		return x.Next() & (n - 1)
+	}
+	// Lemire rejection sampling on the high 64 bits of a 128-bit product.
+	for {
+		v := x.Next()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps the n elements addressed by swap,
+// Fisher-Yates style.
+func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}

@@ -1,0 +1,187 @@
+package xrand
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("step %d: %x != %x", i, va, vb)
+		}
+	}
+}
+
+func TestSplitMix64SeedsDiffer(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between independent streams", same)
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping any single input bit should flip roughly half the output
+	// bits. We accept a generous band because we only sample a few inputs.
+	sm := NewSplitMix64(7)
+	for trial := 0; trial < 20; trial++ {
+		x := sm.Next()
+		for bit := 0; bit < 64; bit++ {
+			d := Mix64(x) ^ Mix64(x^(1<<uint(bit)))
+			n := bits.OnesCount64(d)
+			if n < 10 || n > 54 {
+				t.Fatalf("poor avalanche: input %x bit %d flips only %d output bits", x, bit, n)
+			}
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(99)
+	b := NewXoshiro256(99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	x := NewXoshiro256(5)
+	for _, n := range []uint64{1, 2, 3, 7, 10, 100, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 1000; i++ {
+			v := x.Uint64n(n)
+			if v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPowerOfTwoMask(t *testing.T) {
+	x := NewXoshiro256(6)
+	for i := 0; i < 1000; i++ {
+		if v := x.Uint64n(8); v >= 8 {
+			t.Fatalf("Uint64n(8) = %d", v)
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check: 10 buckets, 100k samples.
+	x := NewXoshiro256(11)
+	const buckets = 10
+	const samples = 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[x.Uint64n(buckets)]++
+	}
+	expect := samples / buckets
+	for b, c := range counts {
+		if c < expect*9/10 || c > expect*11/10 {
+			t.Fatalf("bucket %d has %d samples, expected ~%d", b, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256(3)
+	for i := 0; i < 10000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := NewXoshiro256(8)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid element %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	x := NewXoshiro256(9)
+	s := make([]int, 100)
+	for i := range s {
+		s[i] = i
+	}
+	x.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, len(s))
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	// Property: our portable mul64 must agree with math/bits.Mul64.
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		whi, wlo := bits.Mul64(a, b)
+		return hi == whi && lo == wlo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewXoshiro256(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewXoshiro256(1).Uint64n(0)
+}
+
+func BenchmarkSplitMix64(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkXoshiro256(b *testing.B) {
+	x := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Next()
+	}
+	_ = sink
+}

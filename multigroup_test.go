@@ -1,0 +1,140 @@
+package cacheagg
+
+import (
+	"fmt"
+	"testing"
+
+	"cacheagg/internal/xrand"
+)
+
+func TestAggregateMultiTwoColumns(t *testing.T) {
+	// GROUP BY (region, product): 3 regions × 2 products.
+	region := []uint64{1, 1, 2, 2, 3, 1, 2}
+	product := []uint64{10, 20, 10, 10, 20, 10, 10}
+	sales := []int64{5, 7, 3, 2, 9, 1, 4}
+
+	res, err := AggregateMulti(MultiInput{
+		GroupBy: [][]uint64{region, product},
+		Columns: [][]int64{sales},
+		Aggregates: []AggSpec{
+			{Func: Count},
+			{Func: Sum, Col: 0},
+		},
+	}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]int64{
+		"1/10": {2, 6}, "1/20": {1, 7},
+		"2/10": {3, 9},
+		"3/20": {1, 9},
+	}
+	if res.Len() != len(want) {
+		t.Fatalf("groups = %d, want %d", res.Len(), len(want))
+	}
+	for i := 0; i < res.Len(); i++ {
+		k := fmt.Sprintf("%d/%d", res.GroupCols[0][i], res.GroupCols[1][i])
+		w, ok := want[k]
+		if !ok {
+			t.Fatalf("unexpected group %s", k)
+		}
+		if res.Aggs[0][i] != w[0] || res.Aggs[1][i] != w[1] {
+			t.Fatalf("group %s: got (%d,%d), want %v", k, res.Aggs[0][i], res.Aggs[1][i], w)
+		}
+	}
+}
+
+func TestAggregateMultiLarge(t *testing.T) {
+	// Random two-column keys; compare against a map reference.
+	const n = 50000
+	rng := xrand.NewXoshiro256(1)
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	v := make([]int64, n)
+	ref := map[[2]uint64]int64{}
+	for i := 0; i < n; i++ {
+		a[i] = rng.Next() % 50
+		b[i] = rng.Next() % 40
+		v[i] = int64(rng.Next() % 100)
+		ref[[2]uint64{a[i], b[i]}] += v[i]
+	}
+	res, err := AggregateMulti(MultiInput{
+		GroupBy:    [][]uint64{a, b},
+		Columns:    [][]int64{v},
+		Aggregates: []AggSpec{{Func: Sum, Col: 0}},
+	}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != len(ref) {
+		t.Fatalf("groups = %d, want %d", res.Len(), len(ref))
+	}
+	for i := 0; i < res.Len(); i++ {
+		k := [2]uint64{res.GroupCols[0][i], res.GroupCols[1][i]}
+		if res.Aggs[0][i] != ref[k] {
+			t.Fatalf("group %v: %d != %d", k, res.Aggs[0][i], ref[k])
+		}
+	}
+}
+
+func TestAggregateMultiNoKeyColumns(t *testing.T) {
+	if _, err := AggregateMulti(MultiInput{}, Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestAggregateMultiFloat(t *testing.T) {
+	res, err := AggregateMulti(MultiInput{
+		GroupBy:    [][]uint64{{1, 1}},
+		Columns:    [][]int64{{1, 2}},
+		Aggregates: []AggSpec{{Func: Avg, Col: 0}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Float(0, 0) != 1.5 {
+		t.Fatalf("avg = %v", res.Float(0, 0))
+	}
+}
+
+func TestAggregateStrings(t *testing.T) {
+	cities := []string{"berlin", "paris", "berlin", "rome", "paris", "berlin"}
+	pop := []int64{10, 20, 30, 40, 50, 60}
+	res, err := AggregateStrings(StringInput{
+		GroupBy:    cities,
+		Columns:    [][]int64{pop},
+		Aggregates: []AggSpec{{Func: Count}, {Func: Sum, Col: 0}},
+	}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]int64{
+		"berlin": {3, 100}, "paris": {2, 70}, "rome": {1, 40},
+	}
+	if res.Len() != 3 {
+		t.Fatalf("groups = %d", res.Len())
+	}
+	for i, city := range res.Groups {
+		w := want[city]
+		if res.Aggs[0][i] != w[0] || res.Aggs[1][i] != w[1] {
+			t.Fatalf("%s: got (%d,%d), want %v", city, res.Aggs[0][i], res.Aggs[1][i], w)
+		}
+	}
+}
+
+func TestAggregateStringsEmpty(t *testing.T) {
+	res, err := AggregateStrings(StringInput{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatal("empty input should yield no groups")
+	}
+}
+
+func TestMultiResultLenEmpty(t *testing.T) {
+	r := &MultiResult{}
+	if r.Len() != 0 {
+		t.Fatal("empty MultiResult should have length 0")
+	}
+}
