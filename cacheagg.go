@@ -28,6 +28,7 @@
 package cacheagg
 
 import (
+	"context"
 	"fmt"
 
 	"cacheagg/internal/agg"
@@ -217,6 +218,17 @@ func errInvalidFunc(f int) error {
 
 // Aggregate executes the GROUP BY described by in.
 func Aggregate(in Input, opt Options) (*Result, error) {
+	return AggregateContext(context.Background(), in, opt)
+}
+
+// AggregateContext executes the GROUP BY with cancellation support. The
+// cancel signal is threaded through the scheduler: workers observe it at
+// morsel and task boundaries, so the call returns ctx.Err() within roughly
+// one morsel of work per worker. An already cancelled context returns
+// before any work is done. A panic inside the execution (a worker task or
+// the orchestration around it) is contained and returned as an error — the
+// process survives and all workers exit.
+func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, error) {
 	specs := make([]agg.Spec, len(in.Aggregates))
 	for i, a := range in.Aggregates {
 		if a.Func < Count || a.Func > Avg {
@@ -230,7 +242,7 @@ func Aggregate(in Input, opt Options) (*Result, error) {
 		CacheBytes:   opt.CacheBytes,
 		CollectStats: opt.CollectStats,
 	}
-	cres, err := core.Aggregate(cfg, &core.Input{
+	cres, err := core.AggregateContext(ctx, cfg, &core.Input{
 		Keys:    in.GroupBy,
 		AggCols: in.Columns,
 		Specs:   specs,

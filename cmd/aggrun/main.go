@@ -13,7 +13,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +43,20 @@ func parseStrategy(name string, passes int) (core.Strategy, error) {
 }
 
 func main() {
+	// All failures — bad flag values, unreadable inputs, timeouts, even a
+	// bug-induced panic inside the operator — exit with status 1 and a
+	// one-line error, never a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fatal(fmt.Errorf("internal error: %v", r))
+		}
+	}()
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func run() error {
 	var (
 		distName = flag.String("dist", "uniform", "distribution for generated input")
 		n        = flag.Int("n", 1<<20, "rows of generated input")
@@ -54,6 +70,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "cache budget bytes per worker (0 = 4 MiB)")
 		topN     = flag.Int("top", 0, "print the first N result rows")
 		verify   = flag.Bool("verify", false, "check the result against a reference aggregation")
+		timeout  = flag.Duration("timeout", 0, "abort the aggregation after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -62,19 +79,19 @@ func main() {
 		var err error
 		keys, err = readKeys(*in, *format)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		dist, err := datagen.ParseDist(*distName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		keys = datagen.Generate(datagen.Spec{Dist: dist, N: *n, K: *k, Seed: *seed})
 	}
 
 	strategy, err := parseStrategy(*strat, *passes)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := core.Config{
 		Strategy:     strategy,
@@ -82,10 +99,19 @@ func main() {
 		CacheBytes:   *cache,
 		CollectStats: true,
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := core.Distinct(cfg, keys)
+	res, err := core.DistinctContext(ctx, cfg, keys)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("aggregation exceeded -timeout %v", *timeout)
+		}
+		return err
 	}
 	elapsed := time.Since(start)
 
@@ -116,10 +142,11 @@ func main() {
 
 	if *verify {
 		if err := verifyDistinct(keys, res); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println("verify     OK (matches reference aggregation)")
 	}
+	return nil
 }
 
 // verifyDistinct checks a Distinct result against a simple map reference.

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cacheagg/internal/core"
@@ -115,5 +119,74 @@ func TestVerifyDistinct(t *testing.T) {
 	// Phantom.
 	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 9, 5}}); err == nil {
 		t.Fatal("phantom group should fail")
+	}
+}
+
+// TestMain lets the test binary impersonate the real command: CLI tests
+// re-exec themselves with AGGRUN_BE_MAIN=1 and drive main() for real exit
+// codes and stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("AGGRUN_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSelf executes this test binary as the aggrun command.
+func runSelf(t *testing.T, args ...string) (exitCode int, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "AGGRUN_BE_MAIN=1")
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err == nil {
+		return 0, errBuf.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("exec: %v", err)
+	}
+	return ee.ExitCode(), errBuf.String()
+}
+
+func TestCLITimeoutExitsCleanly(t *testing.T) {
+	code, stderr := runSelf(t, "-n", "100000", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "aggrun:") || !strings.Contains(stderr, "-timeout") {
+		t.Fatalf("want a one-line timeout error, got: %q", stderr)
+	}
+	if strings.Contains(stderr, "goroutine") {
+		t.Fatalf("stderr contains a stack trace: %q", stderr)
+	}
+}
+
+func TestCLIBadFlagsExitCleanly(t *testing.T) {
+	for _, args := range [][]string{
+		{"-strategy", "bogus"},
+		{"-dist", "not-a-distribution"},
+		{"-in", "/definitely/missing/file", "-format", "binary"},
+		{"-in", "/dev/null", "-format", "bogus"},
+	} {
+		code, stderr := runSelf(t, args...)
+		if code == 0 {
+			t.Fatalf("%v: expected nonzero exit", args)
+		}
+		if strings.Contains(stderr, "goroutine") {
+			t.Fatalf("%v: stderr contains a stack trace: %q", args, stderr)
+		}
+		if !strings.Contains(stderr, "aggrun:") {
+			t.Fatalf("%v: want one-line aggrun error, got %q", args, stderr)
+		}
+	}
+}
+
+func TestCLIGenerousTimeoutSucceeds(t *testing.T) {
+	code, stderr := runSelf(t, "-n", "20000", "-k", "100", "-timeout", "1m", "-verify")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
 	}
 }

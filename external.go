@@ -2,9 +2,12 @@ package cacheagg
 
 // Out-of-core aggregation: the disk level of the external memory model.
 // See internal/external for the algorithm (chunked in-memory
-// pre-aggregation → hash-partitioned spill files → recursive merge).
+// pre-aggregation → hash-partitioned spill files → recursive merge) and
+// docs/ROBUSTNESS.md for the failure model and the spill-file format.
 
 import (
+	"context"
+
 	"cacheagg/internal/agg"
 	"cacheagg/internal/core"
 	"cacheagg/internal/external"
@@ -17,8 +20,14 @@ type ExternalOptions struct {
 	// 1Mi rows.
 	MemoryBudgetRows int
 	// TempDir hosts the spill files ("" = system temp directory). Files
-	// are removed when the call returns.
+	// are removed when the call returns, on success and on every error
+	// path.
 	TempDir string
+	// MaxSpillBytes caps the total bytes written to spill files over the
+	// whole run (including re-partitioning passes). When the cap would be
+	// exceeded, the aggregation fails fast with a descriptive error
+	// instead of filling the disk. 0 means no cap.
+	MaxSpillBytes int64
 }
 
 // ExternalStats describes the spill behaviour of an out-of-core run.
@@ -31,6 +40,9 @@ type ExternalStats struct {
 	SpilledBytes int64
 	// MergeLevels is the deepest disk-level partitioning recursion.
 	MergeLevels int
+	// CleanupFailures counts spill files whose individual removal failed
+	// (the temp directory is still deleted recursively afterwards).
+	CleanupFailures int
 }
 
 // ExternalResult is the result of AggregateExternal.
@@ -51,7 +63,20 @@ func (r *ExternalResult) Len() int { return len(r.Groups) }
 // partial aggregates to disk when the input exceeds the budget. The
 // in-memory operator (configured by opt) serves as the in-RAM leaf, so all
 // of its adaptivity applies within each chunk.
+//
+// Spill files are checksummed: a truncated or bit-flipped file is detected
+// and reported as a "corrupt spill file" error rather than silently
+// mis-aggregated.
 func AggregateExternal(in Input, opt Options, ext ExternalOptions) (*ExternalResult, error) {
+	return AggregateExternalContext(context.Background(), in, opt, ext)
+}
+
+// AggregateExternalContext is AggregateExternal with cancellation: the
+// context is observed between chunks, inside each chunk's in-memory
+// aggregation, and at every step of the disk merge recursion. On
+// cancellation — as on any other failure — all spill files are closed and
+// removed before the call returns.
+func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext ExternalOptions) (*ExternalResult, error) {
 	specs := make([]agg.Spec, len(in.Aggregates))
 	for i, a := range in.Aggregates {
 		if a.Func < Count || a.Func > Avg {
@@ -59,9 +84,10 @@ func AggregateExternal(in Input, opt Options, ext ExternalOptions) (*ExternalRes
 		}
 		specs[i] = agg.Spec{Kind: a.Func.kind(), Col: a.Col}
 	}
-	res, err := external.Aggregate(external.Config{
+	res, err := external.AggregateContext(ctx, external.Config{
 		MemoryBudgetRows: ext.MemoryBudgetRows,
 		TempDir:          ext.TempDir,
+		MaxSpillBytes:    ext.MaxSpillBytes,
 		Core: core.Config{
 			Strategy:   opt.Strategy.inner,
 			Workers:    opt.Workers,
@@ -79,10 +105,11 @@ func AggregateExternal(in Input, opt Options, ext ExternalOptions) (*ExternalRes
 		Groups: res.Keys,
 		Aggs:   res.Aggs,
 		Stats: ExternalStats{
-			Chunks:       res.Stats.Chunks,
-			SpilledRows:  res.Stats.SpilledRows,
-			SpilledBytes: res.Stats.SpilledBytes,
-			MergeLevels:  res.Stats.MergeLevels,
+			Chunks:          res.Stats.Chunks,
+			SpilledRows:     res.Stats.SpilledRows,
+			SpilledBytes:    res.Stats.SpilledBytes,
+			MergeLevels:     res.Stats.MergeLevels,
+			CleanupFailures: res.Stats.CleanupFailures,
 		},
 	}, nil
 }

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -211,12 +212,35 @@ func (c *collector) add(ch chunk) {
 
 // Aggregate executes the operator over the input.
 func Aggregate(cfg Config, in *Input) (*Result, error) {
+	return AggregateContext(context.Background(), cfg, in)
+}
+
+// AggregateContext is Aggregate with cancellation: the cancel signal is
+// threaded through the scheduler, workers observe it at morsel and task
+// boundaries, and the call returns ctx.Err() promptly. An already
+// cancelled context returns before any work is done.
+//
+// The call is also hardened against panics anywhere in the execution —
+// inside worker tasks (contained by the scheduler) or in the sequential
+// orchestration around them — which are returned as errors instead of
+// crashing the process.
+func AggregateContext(ctx context.Context, cfg Config, in *Input) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: aggregation panicked: %v", r)
+		}
+	}()
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	e := newExec(cfg, in)
-	e.run()
+	if err := e.run(ctx); err != nil {
+		return nil, err
+	}
 	return e.assemble(), nil
 }
 
@@ -225,6 +249,11 @@ func Aggregate(cfg Config, in *Input) (*Result, error) {
 // comparison). The result rows are the distinct keys in hash order.
 func Distinct(cfg Config, keys []uint64) (*Result, error) {
 	return Aggregate(cfg, &Input{Keys: keys})
+}
+
+// DistinctContext is Distinct with cancellation (see AggregateContext).
+func DistinctContext(ctx context.Context, cfg Config, keys []uint64) (*Result, error) {
+	return AggregateContext(ctx, cfg, &Input{Keys: keys})
 }
 
 // assemble sorts the finalized chunks by bucket prefix and concatenates

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"cacheagg/internal/agg"
@@ -109,20 +110,24 @@ func newExec(cfg Config, in *Input) *exec {
 }
 
 // run executes the two phases: parallel intake, then parallel recursion.
-func (e *exec) run() {
+// A cancelled context or a panicking task aborts the run and is returned
+// as the error; the partially built state is simply discarded.
+func (e *exec) run(ctx context.Context) error {
 	// Phase A — intake: split the input into runs (Algorithm 2, line 5).
 	e.morsels = sched.NewMorsels(len(e.in.Keys), e.cfg.MorselRows)
 	nWorkers := e.pool.Workers()
-	e.pool.Run(func(ctx *sched.Ctx) {
+	if err := e.pool.RunContext(ctx, func(ctx *sched.Ctx) {
 		// One intake task per worker; morsel stealing balances them.
 		for w := 1; w < nWorkers; w++ {
 			ctx.Spawn(e.intake)
 		}
 		e.intake(ctx)
-	})
+	}); err != nil {
+		return err
+	}
 
 	// Phase B — recursion into the buckets (Algorithm 2, line 8).
-	e.pool.Run(func(ctx *sched.Ctx) {
+	return e.pool.RunContext(ctx, func(ctx *sched.Ctx) {
 		for d := range e.root {
 			if e.root[d].Rows() == 0 {
 				continue
@@ -158,6 +163,12 @@ func (e *exec) intake(ctx *sched.Ctx) {
 	keys := e.in.Keys
 	cols := e.in.AggCols
 	for {
+		// Cancellation/abort is observed once per morsel: a cancelled run
+		// stops within one morsel of work per worker, and its partial
+		// output is never published.
+		if ctx.Aborted() {
+			return
+		}
 		lo, hi, ok := e.morsels.Next()
 		if !ok {
 			break
@@ -276,6 +287,9 @@ type child struct {
 // paper's equivalent is that its task recursion stops creating parallel
 // work once buckets are small).
 func (e *exec) processBucket(ctx *sched.Ctx, b *runs.Bucket, level int, prefix uint64) {
+	if ctx.Aborted() {
+		return
+	}
 	ws := &e.workers[ctx.Worker]
 	ws.stats.tasks++
 	n := b.Rows()
@@ -337,6 +351,9 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 	usedScatter := false
 
 	for _, r := range b.Runs {
+		if ctx.Aborted() {
+			return nil
+		}
 		i := 0
 		for i < r.Len() {
 			switch st.NextMode() {

@@ -6,6 +6,7 @@ package core
 // and chunk ordering.
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -185,7 +186,9 @@ func TestCapacityFloor(t *testing.T) {
 	if e.cacheRows < hashfn.Fanout*8 {
 		t.Fatalf("cacheRows = %d below floor", e.cacheRows)
 	}
-	e.run()
+	if err := e.run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	res := e.assemble()
 	if res.Groups() != 3 {
 		t.Fatalf("groups = %d", res.Groups())

@@ -1,0 +1,195 @@
+package core
+
+// Robustness tests: panic containment, cancellation, and goroutine
+// hygiene of the execution engine.
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cacheagg/internal/agg"
+)
+
+// panicStrategy behaves like ADAPTIVE until the recursion reaches
+// panicLevel, where creating the task-local state panics — inside a
+// worker task of the pool.
+type panicStrategy struct {
+	panicLevel int
+}
+
+func (p panicStrategy) Name() string { return "panic-injector" }
+
+func (p panicStrategy) NewState(level, cacheRows int) StrategyState {
+	if level >= p.panicLevel {
+		panic("injected strategy panic")
+	}
+	return DefaultAdaptive().NewState(level, cacheRows)
+}
+
+// cancelStrategy cancels the run's context the n-th time a task asks for
+// decision state at or above the given level, then behaves adaptively.
+type cancelStrategy struct {
+	cancel context.CancelFunc
+	level  int
+	after  int
+	calls  *atomic.Int64
+}
+
+func (c cancelStrategy) Name() string { return "cancel-injector" }
+
+func (c cancelStrategy) NewState(level, cacheRows int) StrategyState {
+	if level >= c.level && c.calls.Add(1) == int64(c.after) {
+		c.cancel()
+	}
+	return DefaultAdaptive().NewState(level, cacheRows)
+}
+
+// distinctKeys builds an all-distinct key column, the workload that forces
+// recursion past level 0 at a small cache budget.
+func distinctKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	return keys
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline or the deadline passes, returning the final count.
+func waitGoroutines(baseline int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		g := runtime.NumGoroutine()
+		if g <= baseline || time.Now().After(deadline) {
+			return g
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPanicInIntakeTaskReturnsError(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := Config{Strategy: panicStrategy{panicLevel: 0}, Workers: 4, CacheBytes: 32 << 10}
+	res, err := Aggregate(cfg, &Input{Keys: distinctKeys(100000)})
+	if err == nil {
+		t.Fatal("panicking task must surface as an error")
+	}
+	if res != nil {
+		t.Fatal("failed aggregation must not return a result")
+	}
+	if !strings.Contains(err.Error(), "injected strategy panic") {
+		t.Fatalf("error lost the panic value: %v", err)
+	}
+	if g := waitGoroutines(baseline); g > baseline {
+		t.Fatalf("goroutines leaked: %d before, %d after", baseline, g)
+	}
+}
+
+func TestPanicInRecursionTaskReturnsError(t *testing.T) {
+	// CacheBytes at the floor keeps finalRows tiny, so level-0 buckets
+	// exceed the leaf threshold and the recursion calls NewState(1, ·).
+	cfg := Config{Strategy: panicStrategy{panicLevel: 1}, Workers: 4, CacheBytes: 1024}
+	_, err := Aggregate(cfg, &Input{Keys: distinctKeys(400000)})
+	if err == nil {
+		t.Fatal("expected error from panicking recursion task")
+	}
+	if !strings.Contains(err.Error(), "injected strategy panic") {
+		t.Fatalf("error lost the panic value: %v", err)
+	}
+}
+
+func TestPanickingAggregateKindReturnsError(t *testing.T) {
+	// An invalid aggregate kind panics deep inside the layout machinery;
+	// Aggregate must contain it and hand back an error.
+	col := []int64{1, 2, 3}
+	_, err := Aggregate(Config{Workers: 2}, &Input{
+		Keys:    []uint64{1, 2, 3},
+		AggCols: [][]int64{col},
+		Specs:   []agg.Spec{{Kind: agg.Kind(99), Col: 0}},
+	})
+	if err == nil {
+		t.Fatal("invalid aggregate kind must return an error, not panic")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggregateContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AggregateContext(ctx, Config{Workers: 2}, &Input{Keys: distinctKeys(1000)})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled call must not return a result")
+	}
+}
+
+func TestCancelMidIntake(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		// Cancel on the 2nd intake task's state creation: workers are
+		// mid-input when the signal lands.
+		Strategy:   cancelStrategy{cancel: cancel, level: 0, after: 2, calls: new(atomic.Int64)},
+		Workers:    4,
+		CacheBytes: 32 << 10,
+		MorselRows: 1024,
+	}
+	_, err := AggregateContext(ctx, cfg, &Input{Keys: distinctKeys(200000)})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g := waitGoroutines(baseline); g > baseline {
+		t.Fatalf("goroutines leaked: %d before, %d after", baseline, g)
+	}
+}
+
+func TestCancelMidRecursion(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Strategy:   cancelStrategy{cancel: cancel, level: 1, after: 1, calls: new(atomic.Int64)},
+		Workers:    4,
+		CacheBytes: 1024,
+	}
+	_, err := AggregateContext(ctx, cfg, &Input{Keys: distinctKeys(400000)})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g := waitGoroutines(baseline); g > baseline {
+		t.Fatalf("goroutines leaked: %d before, %d after", baseline, g)
+	}
+}
+
+func TestContextVariantsMatchPlain(t *testing.T) {
+	// The context-threading refactor must not change results.
+	keys := distinctKeys(50000)
+	for i := range keys {
+		keys[i] = uint64(i % 777)
+	}
+	plain, err := Distinct(Config{Workers: 2, CacheBytes: 32 << 10}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := DistinctContext(context.Background(), Config{Workers: 2, CacheBytes: 32 << 10}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Groups() != 777 || ctxed.Groups() != plain.Groups() {
+		t.Fatalf("groups: plain %d, ctx %d, want 777", plain.Groups(), ctxed.Groups())
+	}
+	for i := range plain.Keys {
+		if plain.Keys[i] != ctxed.Keys[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, plain.Keys[i], ctxed.Keys[i])
+		}
+	}
+}

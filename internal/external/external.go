@@ -22,18 +22,32 @@
 // Like the in-memory operator, the algorithm needs no estimate of the
 // output cardinality, degrades gracefully with K, and benefits from input
 // locality through the chunk-level early aggregation of step 1.
+//
+// Unlike the in-memory operator, this level cannot trust its storage.
+// Spill files therefore carry a versioned header and a CRC32 footer
+// (see docs/ROBUSTNESS.md for the format) verified on read, total spill
+// volume can be capped with Config.MaxSpillBytes, every writer is closed
+// and removed on every error path, and all file I/O goes through the
+// faultfs.FS interface so tests can deterministically inject faults at
+// each I/O site.
 package external
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/core"
+	"cacheagg/internal/faultfs"
 	"cacheagg/internal/hashfn"
 )
 
@@ -44,6 +58,14 @@ type Config struct {
 	MemoryBudgetRows int
 	// TempDir hosts the spill files; "" selects the system default.
 	TempDir string
+	// MaxSpillBytes caps the total bytes written to spill files over the
+	// whole execution, including re-partitioning passes. When the cap
+	// would be exceeded the aggregation fails fast with ErrSpillBudget
+	// instead of filling the disk. 0 means no cap.
+	MaxSpillBytes int64
+	// FS is the spill-file backend; nil selects the real filesystem.
+	// Tests substitute a faultfs.Injector to exercise I/O error paths.
+	FS faultfs.FS
 	// Core configures the in-memory operator used for the leaves.
 	Core core.Config
 }
@@ -52,8 +74,36 @@ func (c Config) withDefaults() Config {
 	if c.MemoryBudgetRows <= 0 {
 		c.MemoryBudgetRows = 1 << 20
 	}
+	if c.FS == nil {
+		c.FS = faultfs.OS()
+	}
 	return c
 }
+
+// Sentinel errors of the spill path, matched with errors.Is.
+var (
+	// ErrCorruptSpill marks a spill file that failed structural or
+	// checksum validation (truncation, bit rot, format mismatch).
+	ErrCorruptSpill = errors.New("corrupt spill file")
+	// ErrSpillBudget marks an execution stopped by Config.MaxSpillBytes.
+	ErrSpillBudget = errors.New("spill budget exceeded")
+)
+
+// Spill file format (little-endian):
+//
+//	header  16 B   magic "CAGS" | version u16 | record bytes u16 | reserved u64
+//	records n×recSize   key u64, then one u64 partial per decomposed column
+//	footer  16 B   record count u64 | CRC32-IEEE(header+records) u32 | "SPND"
+//
+// The record width in the header lets a reader reject files written with a
+// different aggregate plan; the footer CRC catches truncation and bit rot.
+const (
+	spillMagic      = 0x43414753 // "CAGS"
+	spillEndMagic   = 0x53504e44 // "SPND"
+	spillVersion    = 1
+	spillHeaderSize = 16
+	spillFooterSize = 16
+)
 
 // Stats reports what the external pass did.
 type Stats struct {
@@ -64,6 +114,10 @@ type Stats struct {
 	SpilledBytes int64
 	// MergeLevels is the deepest disk-level recursion reached.
 	MergeLevels int
+	// CleanupFailures counts spill files whose removal failed (the
+	// aggregation itself is unaffected; the temp directory is still
+	// deleted recursively at the end).
+	CleanupFailures int
 }
 
 // Result is the aggregation output plus spill statistics. Group order is
@@ -122,7 +176,19 @@ func (p *plan) width() int { return len(p.dec) }
 
 // Aggregate executes the out-of-core GROUP BY.
 func Aggregate(cfg Config, in *core.Input) (*Result, error) {
+	return AggregateContext(context.Background(), cfg, in)
+}
+
+// AggregateContext is Aggregate with cancellation: the context is observed
+// between chunks, inside each chunk's in-memory aggregation (at morsel and
+// task boundaries), and at every step of the merge recursion. On any error
+// — cancellation, I/O fault, budget, corruption — all spill writers are
+// closed and their files removed before the call returns.
+func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Result, err error) {
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
@@ -132,15 +198,19 @@ func Aggregate(cfg Config, in *core.Input) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("external: %w", err)
 	}
-	defer os.RemoveAll(dir)
-
 	e := &extExec{cfg: cfg, plan: p, dir: dir}
+	defer func() {
+		if err != nil {
+			e.cleanupAll()
+		}
+		os.RemoveAll(dir)
+	}()
 
-	parts, err := e.spillInput(in)
+	parts, err := e.spillInput(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Aggs: make([][]int64, len(in.Specs))}
+	res = &Result{Aggs: make([][]int64, len(in.Specs))}
 	for d := 0; d < hashfn.Fanout; d++ {
 		if parts[d] == nil {
 			continue
@@ -148,7 +218,7 @@ func Aggregate(cfg Config, in *core.Input) (*Result, error) {
 		if err := parts[d].finish(); err != nil {
 			return nil, err
 		}
-		if err := e.mergePartition(parts[d].path, 1, res); err != nil {
+		if err := e.mergePartition(ctx, parts[d], 1, res); err != nil {
 			return nil, err
 		}
 	}
@@ -157,19 +227,57 @@ func Aggregate(cfg Config, in *core.Input) (*Result, error) {
 }
 
 type extExec struct {
-	cfg    Config
-	plan   *plan
-	dir    string
-	stats  Stats
-	nextID int
+	cfg       Config
+	plan      *plan
+	dir       string
+	stats     Stats
+	nextID    int
+	diskBytes int64 // total file bytes written, incl. headers and footers
+
+	// track lists every spill writer ever created, so one cleanup pass on
+	// the error path can close and remove whatever is still live — no
+	// file handle or temp file survives a failed aggregation.
+	track []*spillWriter
 }
 
 // recSize is the byte size of one spilled record: key + decomposed partials.
 func (e *extExec) recSize() int { return 8 + 8*e.plan.width() }
 
+// charge reserves n bytes of spill budget, failing fast before the write
+// that would exceed Config.MaxSpillBytes.
+func (e *extExec) charge(n int) error {
+	if e.cfg.MaxSpillBytes > 0 && e.diskBytes+int64(n) > e.cfg.MaxSpillBytes {
+		return fmt.Errorf("external: %w: %d bytes spilled, next write of %d bytes exceeds MaxSpillBytes=%d",
+			ErrSpillBudget, e.diskBytes, n, e.cfg.MaxSpillBytes)
+	}
+	e.diskBytes += int64(n)
+	return nil
+}
+
+// cleanupAll closes and removes every spill file still present. Remove
+// failures are counted in Stats (the deferred RemoveAll sweeps the
+// directory regardless); close errors on the error path are irrelevant.
+func (e *extExec) cleanupAll() {
+	for _, w := range e.track {
+		w.discard(e)
+	}
+}
+
+// removeSpill deletes a consumed spill file, recording (not ignoring) a
+// failed removal.
+func (e *extExec) removeSpill(w *spillWriter) {
+	if w.removed {
+		return
+	}
+	w.removed = true
+	if err := e.cfg.FS.Remove(w.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		e.stats.CleanupFailures++
+	}
+}
+
 // spillInput runs phase 1 and returns one open spill writer per non-empty
 // level-0 partition.
-func (e *extExec) spillInput(in *core.Input) ([]*spillWriter, error) {
+func (e *extExec) spillInput(ctx context.Context, in *core.Input) ([]*spillWriter, error) {
 	writers := make([]*spillWriter, hashfn.Fanout)
 	budget := e.cfg.MemoryBudgetRows
 	n := len(in.Keys)
@@ -180,7 +288,7 @@ func (e *extExec) spillInput(in *core.Input) ([]*spillWriter, error) {
 		for c := range in.AggCols {
 			chunk.AggCols[c] = in.AggCols[c][lo:hi]
 		}
-		part, err := core.Aggregate(e.cfg.Core, chunk)
+		part, err := core.AggregateContext(ctx, e.cfg.Core, chunk)
 		if err != nil {
 			return nil, err
 		}
@@ -213,55 +321,116 @@ func (e *extExec) spillPartial(part *core.Result, writers []*spillWriter) error 
 		for c := 0; c < e.plan.width(); c++ {
 			binary.LittleEndian.PutUint64(rec[8+8*c:], uint64(part.Aggs[c][r]))
 		}
-		if err := w.write(rec); err != nil {
+		if err := e.writeRecord(w, rec); err != nil {
 			return err
 		}
-		e.stats.SpilledRows++
-		e.stats.SpilledBytes += int64(len(rec))
 	}
 	return nil
 }
 
+// writeRecord appends one record to a spill partition, charging the spill
+// budget and the statistics.
+func (e *extExec) writeRecord(w *spillWriter, rec []byte) error {
+	if err := e.charge(len(rec)); err != nil {
+		return err
+	}
+	if err := w.write(rec); err != nil {
+		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
+	}
+	w.records++
+	e.stats.SpilledRows++
+	e.stats.SpilledBytes += int64(len(rec))
+	return nil
+}
+
+// spillWriter writes one partition file in the checksummed spill format.
 type spillWriter struct {
-	path string
-	f    *os.File
-	buf  *bufio.Writer
+	path    string
+	f       faultfs.File
+	buf     *bufio.Writer
+	crc     hash.Hash32
+	records uint64
+	closed  bool
+	removed bool
 }
 
 func (e *extExec) newWriter() (*spillWriter, error) {
-	e.nextID++
-	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", e.nextID))
-	f, err := os.Create(path)
-	if err != nil {
+	if err := e.charge(spillHeaderSize + spillFooterSize); err != nil {
 		return nil, err
 	}
-	return &spillWriter{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+	e.nextID++
+	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", e.nextID))
+	f, err := e.cfg.FS.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("external: create spill %s: %w", filepath.Base(path), err)
+	}
+	w := &spillWriter{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<16), crc: crc32.NewIEEE()}
+	e.track = append(e.track, w)
+	var hdr [spillHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], spillVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(e.recSize()))
+	if err := w.write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("external: write spill %s: %w", filepath.Base(path), err)
+	}
+	return w, nil
 }
 
-func (w *spillWriter) write(rec []byte) error {
-	_, err := w.buf.Write(rec)
-	return err
-}
-
-func (w *spillWriter) finish() error {
-	if err := w.buf.Flush(); err != nil {
+// write appends bytes to the file through the buffer and the running CRC.
+// Record counting is the caller's business (the header is not a record).
+func (w *spillWriter) write(p []byte) error {
+	if _, err := w.buf.Write(p); err != nil {
 		return err
 	}
-	return w.f.Close()
+	w.crc.Write(p)
+	return nil
+}
+
+// finish seals the file: footer, flush, sync, close. After finish the file
+// is a self-validating unit on disk.
+func (w *spillWriter) finish() error {
+	var ftr [spillFooterSize]byte
+	binary.LittleEndian.PutUint64(ftr[0:], w.records)
+	binary.LittleEndian.PutUint32(ftr[8:], w.crc.Sum32())
+	binary.LittleEndian.PutUint32(ftr[12:], spillEndMagic)
+	if _, err := w.buf.Write(ftr[:]); err != nil {
+		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
+	}
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("external: flush spill %s: %w", filepath.Base(w.path), err)
+	}
+	w.closed = true
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("external: close spill %s: %w", filepath.Base(w.path), err)
+	}
+	return nil
+}
+
+// discard is the error-path cleanup: close the handle if still open and
+// remove the file. Safe to call in any state and more than once.
+func (w *spillWriter) discard(e *extExec) {
+	if !w.closed {
+		w.closed = true
+		w.f.Close() // error irrelevant: the file is removed next
+	}
+	e.removeSpill(w)
 }
 
 // mergePartition aggregates all partial records of one partition file,
 // recursing on the next hash digit when the partition exceeds the memory
 // budget. The file is deleted after reading.
-func (e *extExec) mergePartition(path string, level int, res *Result) error {
+func (e *extExec) mergePartition(ctx context.Context, part *spillWriter, level int, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if level > e.stats.MergeLevels {
 		e.stats.MergeLevels = level
 	}
-	keys, partials, err := e.readSpill(path)
+	keys, partials, err := e.readSpill(part.path)
 	if err != nil {
 		return err
 	}
-	os.Remove(path)
+	e.removeSpill(part)
 
 	if len(keys) > e.cfg.MemoryBudgetRows && level < hashfn.MaxLevels {
 		// Too big for an in-memory merge: re-partition by the next digit.
@@ -281,11 +450,9 @@ func (e *extExec) mergePartition(path string, level int, res *Result) error {
 			for c := 0; c < e.plan.width(); c++ {
 				binary.LittleEndian.PutUint64(rec[8+8*c:], partials[c][i])
 			}
-			if err := w.write(rec); err != nil {
+			if err := e.writeRecord(w, rec); err != nil {
 				return err
 			}
-			e.stats.SpilledRows++
-			e.stats.SpilledBytes += int64(len(rec))
 		}
 		keys, partials = nil, nil
 		for _, w := range writers {
@@ -295,7 +462,7 @@ func (e *extExec) mergePartition(path string, level int, res *Result) error {
 			if err := w.finish(); err != nil {
 				return err
 			}
-			if err := e.mergePartition(w.path, level+1, res); err != nil {
+			if err := e.mergePartition(ctx, w, level+1, res); err != nil {
 				return err
 			}
 		}
@@ -353,27 +520,86 @@ func (e *extExec) mergeInMemory(keys []uint64, partials [][]uint64, res *Result)
 	}
 }
 
-// readSpill loads a partition file into columnar form.
-func (e *extExec) readSpill(path string) ([]uint64, [][]uint64, error) {
-	f, err := os.Open(path)
+func corrupt(path, detail string) error {
+	return fmt.Errorf("external: %w %s: %s", ErrCorruptSpill, filepath.Base(path), detail)
+}
+
+// readSpill loads a partition file into columnar form, validating the
+// header and verifying the CRC32 footer before trusting a single record.
+func (e *extExec) readSpill(path string) (_ []uint64, _ [][]uint64, err error) {
+	f, err := e.cfg.FS.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("external: open spill %s: %w", filepath.Base(path), err)
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
-	rec := make([]byte, e.recSize())
-	var keys []uint64
-	partials := make([][]uint64, e.plan.width())
-	for {
-		if _, err := io.ReadFull(r, rec); err != nil {
-			if err == io.EOF {
-				return keys, partials, nil
-			}
-			return nil, nil, fmt.Errorf("external: corrupt spill file %s: %w", path, err)
+	defer func() {
+		// A failing close on the read side is still a failing I/O call on
+		// a file we depend on; don't swallow it behind a good result.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("external: close spill %s: %w", filepath.Base(path), cerr)
 		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("external: stat spill %s: %w", filepath.Base(path), err)
+	}
+	recSize := e.recSize()
+	size := st.Size()
+	if size < spillHeaderSize+spillFooterSize {
+		return nil, nil, corrupt(path, fmt.Sprintf("%d bytes, smaller than header+footer", size))
+	}
+	payload := size - spillHeaderSize - spillFooterSize
+	if payload%int64(recSize) != 0 {
+		return nil, nil, corrupt(path, fmt.Sprintf("truncated: %d payload bytes not a multiple of the %d-byte record", payload, recSize))
+	}
+	nrec := payload / int64(recSize)
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	crc := crc32.NewIEEE()
+
+	var hdr [spillHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+	}
+	crc.Write(hdr[:])
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != spillMagic {
+		return nil, nil, corrupt(path, fmt.Sprintf("bad magic %#08x", m))
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != spillVersion {
+		return nil, nil, corrupt(path, fmt.Sprintf("unsupported version %d", v))
+	}
+	if rb := binary.LittleEndian.Uint16(hdr[6:]); int(rb) != recSize {
+		return nil, nil, corrupt(path, fmt.Sprintf("record width %d, plan needs %d", rb, recSize))
+	}
+
+	rec := make([]byte, recSize)
+	keys := make([]uint64, 0, nrec)
+	partials := make([][]uint64, e.plan.width())
+	for c := range partials {
+		partials[c] = make([]uint64, 0, nrec)
+	}
+	for i := int64(0); i < nrec; i++ {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+		}
+		crc.Write(rec)
 		keys = append(keys, binary.LittleEndian.Uint64(rec))
 		for c := range partials {
 			partials[c] = append(partials[c], binary.LittleEndian.Uint64(rec[8+8*c:]))
 		}
 	}
+
+	var ftr [spillFooterSize]byte
+	if _, err := io.ReadFull(r, ftr[:]); err != nil {
+		return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+	}
+	if m := binary.LittleEndian.Uint32(ftr[12:]); m != spillEndMagic {
+		return nil, nil, corrupt(path, fmt.Sprintf("bad end marker %#08x", m))
+	}
+	if cnt := binary.LittleEndian.Uint64(ftr[0:]); cnt != uint64(nrec) {
+		return nil, nil, corrupt(path, fmt.Sprintf("footer records %d, file holds %d", cnt, nrec))
+	}
+	if want, got := binary.LittleEndian.Uint32(ftr[8:]), crc.Sum32(); want != got {
+		return nil, nil, corrupt(path, fmt.Sprintf("checksum mismatch: footer %#08x, computed %#08x", want, got))
+	}
+	return keys, partials, nil
 }

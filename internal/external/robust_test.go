@@ -1,0 +1,291 @@
+package external
+
+// Robustness tests of the spill path: checksummed file format, disk-budget
+// cap, deterministic fault injection at every I/O site, cancellation, and
+// cleanup accounting.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/faultfs"
+	"cacheagg/internal/hashfn"
+)
+
+// sameDigitKeys returns n keys whose hashes share the level-0 digit, so
+// the whole input lands in one level-0 partition — the cheapest workload
+// that still exercises the disk-level recursion (re-partitioning).
+func sameDigitKeys(n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	for k := uint64(0); len(keys) < n; k++ {
+		if hashfn.Digit(hashfn.Murmur2(k), 0) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// writeTestSpill builds one finished spill file with the given records.
+func writeTestSpill(t *testing.T, e *extExec, keys []uint64, partial []uint64) *spillWriter {
+	t.Helper()
+	w, err := e.newWriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, e.recSize())
+	for i, k := range keys {
+		for j := range rec {
+			rec[j] = 0
+		}
+		rec[0] = byte(k)
+		rec[8] = byte(partial[i])
+		if err := e.writeRecord(w, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func testExec(t *testing.T) *extExec {
+	t.Helper()
+	return &extExec{
+		cfg:  testCfg(100).withDefaults(),
+		plan: buildPlan([]agg.Spec{{Kind: agg.Count}}),
+		dir:  t.TempDir(),
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	e := testExec(t)
+	w := writeTestSpill(t, e, []uint64{1, 2, 3}, []uint64{10, 20, 30})
+	keys, partials, err := e.readSpill(w.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if partials[0][1] != 20 {
+		t.Fatalf("partials = %v", partials)
+	}
+}
+
+func TestSpillBitFlipDetected(t *testing.T) {
+	e := testExec(t)
+	w := writeTestSpill(t, e, []uint64{1, 2, 3}, []uint64{10, 20, 30})
+	raw, err := os.ReadFile(w.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in every region: header, records, footer checksum.
+	for _, off := range []int{5, spillHeaderSize + 9, len(raw) - 7} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(w.path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := e.readSpill(w.path)
+		if !errors.Is(err, ErrCorruptSpill) {
+			t.Fatalf("byte %d flipped: err = %v, want ErrCorruptSpill", off, err)
+		}
+	}
+}
+
+func TestSpillTruncationDetected(t *testing.T) {
+	e := testExec(t)
+	w := writeTestSpill(t, e, []uint64{1, 2, 3}, []uint64{10, 20, 30})
+	raw, err := os.ReadFile(w.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut at a record boundary (drops a record but keeps a plausible
+	// shape), mid-record, and inside the footer.
+	for _, keep := range []int{len(raw) - e.recSize(), len(raw) - 5, spillHeaderSize + 3, 0} {
+		if err := os.WriteFile(w.path, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := e.readSpill(w.path)
+		if !errors.Is(err, ErrCorruptSpill) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorruptSpill", keep, err)
+		}
+	}
+}
+
+func TestSpillWrongPlanRejected(t *testing.T) {
+	e := testExec(t)
+	w := writeTestSpill(t, e, []uint64{1}, []uint64{10})
+	// A reader whose plan has a different record width must refuse the file.
+	e2 := &extExec{
+		cfg:  e.cfg,
+		plan: buildPlan([]agg.Spec{{Kind: agg.Count}, {Kind: agg.Sum, Col: 0}}),
+		dir:  e.dir,
+	}
+	if _, _, err := e2.readSpill(w.path); !errors.Is(err, ErrCorruptSpill) {
+		t.Fatalf("err = %v, want ErrCorruptSpill (record width mismatch)", err)
+	}
+}
+
+func TestMaxSpillBytesFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	keys := sameDigitKeys(400)
+	cfg := testCfg(100)
+	cfg.TempDir = dir
+	cfg.MaxSpillBytes = 512 // a handful of records; the run needs far more
+	_, err := Aggregate(cfg, &core.Input{Keys: keys})
+	if !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("err = %v, want ErrSpillBudget", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("%d entries left in temp dir after budget failure", len(ents))
+	}
+}
+
+func TestMaxSpillBytesGenerousSucceeds(t *testing.T) {
+	cfg := testCfg(100)
+	cfg.MaxSpillBytes = 1 << 30
+	res, err := Aggregate(cfg, &core.Input{Keys: sameDigitKeys(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups() != 300 {
+		t.Fatalf("groups = %d", res.Groups())
+	}
+}
+
+// TestFaultInjectionEverySite drives the full spill pipeline (level-0
+// spill, finish, merge read, disk-level re-partition, recursive merge)
+// against a fault injected at the first, a middle, and the last occurrence
+// of every file operation. Each injected fault must surface as a wrapped
+// error, and the temp dir must come back empty — no leaked file, no leaked
+// handle crashing the removal.
+func TestFaultInjectionEverySite(t *testing.T) {
+	keys := sameDigitKeys(300)
+	in := &core.Input{Keys: keys}
+	baseCfg := func(dir string, fs faultfs.FS) Config {
+		cfg := testCfg(100)
+		cfg.TempDir = dir
+		cfg.FS = fs
+		return cfg
+	}
+
+	// Probe run: count the operations of a clean execution.
+	probe := faultfs.NewInjector(faultfs.OS(), faultfs.OpCreate, 0)
+	if _, err := Aggregate(baseCfg(t.TempDir(), probe), in); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Count(faultfs.OpCreate) < 2 || probe.Count(faultfs.OpRead) < 2 {
+		t.Fatalf("workload too small to exercise the spill path: %d creates, %d reads",
+			probe.Count(faultfs.OpCreate), probe.Count(faultfs.OpRead))
+	}
+
+	for _, op := range []faultfs.Op{faultfs.OpCreate, faultfs.OpOpen, faultfs.OpWrite, faultfs.OpClose, faultfs.OpRead} {
+		total := probe.Count(op)
+		if total == 0 {
+			t.Fatalf("op %v never executed; the probe workload misses a site", op)
+		}
+		for _, n := range [...]int{1, total/2 + 1, total} {
+			inj := faultfs.NewInjector(faultfs.OS(), op, n)
+			dir := t.TempDir()
+			_, err := Aggregate(baseCfg(dir, inj), in)
+			if !inj.Triggered() {
+				t.Fatalf("%v #%d/%d: fault never fired", op, n, total)
+			}
+			if err == nil {
+				t.Fatalf("%v #%d/%d: injected fault did not surface as an error", op, n, total)
+			}
+			var ie *faultfs.InjectedError
+			if !errors.As(err, &ie) {
+				t.Fatalf("%v #%d/%d: error does not wrap the injected fault: %v", op, n, total, err)
+			}
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 0 {
+				t.Fatalf("%v #%d/%d: %d entries left behind in temp dir", op, n, total, len(ents))
+			}
+		}
+	}
+}
+
+// cancelAfterStrategy cancels the context on the n-th task-state creation
+// inside the in-memory leaves, then keeps behaving adaptively.
+type cancelAfterStrategy struct {
+	cancel context.CancelFunc
+	after  int64
+	calls  *atomic.Int64
+}
+
+func (c cancelAfterStrategy) Name() string { return "cancel-injector" }
+
+func (c cancelAfterStrategy) NewState(level, cacheRows int) core.StrategyState {
+	if c.calls.Add(1) == c.after {
+		c.cancel()
+	}
+	return core.DefaultAdaptive().NewState(level, cacheRows)
+}
+
+func TestExternalContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	cfg := testCfg(100)
+	cfg.TempDir = dir
+	res, err := AggregateContext(ctx, cfg, &core.Input{Keys: sameDigitKeys(300)})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled call must not return a result")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatal("cancelled-before-start call created temp state")
+	}
+}
+
+func TestExternalCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dir := t.TempDir()
+	cfg := testCfg(100)
+	cfg.TempDir = dir
+	// Cancel while some chunk is being pre-aggregated: several chunks'
+	// spill output is already on disk at that point.
+	cfg.Core.Strategy = cancelAfterStrategy{cancel: cancel, after: 4, calls: new(atomic.Int64)}
+	_, err := AggregateContext(ctx, cfg, &core.Input{Keys: sameDigitKeys(1000)})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("%d entries left in temp dir after cancellation", len(ents))
+	}
+}
+
+func TestRemoveFailureCountedNotFatal(t *testing.T) {
+	// A spill file whose removal fails must not fail the aggregation; it
+	// is recorded in Stats and swept up with the directory afterwards.
+	inj := faultfs.NewInjector(faultfs.OS(), faultfs.OpRemove, 1)
+	cfg := testCfg(100)
+	cfg.FS = inj
+	res, err := Aggregate(cfg, &core.Input{Keys: sameDigitKeys(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Triggered() {
+		t.Fatal("remove fault never fired")
+	}
+	if res.Stats.CleanupFailures == 0 {
+		t.Fatal("failed removal was silently ignored; Stats.CleanupFailures = 0")
+	}
+	if res.Groups() != 300 {
+		t.Fatalf("groups = %d", res.Groups())
+	}
+}

@@ -1,0 +1,211 @@
+// Package faultfs defines the narrow filesystem interface the spill path of
+// internal/external goes through, the passthrough implementation backed by
+// the real OS, and a deterministic fault-injecting wrapper.
+//
+// The injector fails the N-th operation of a chosen kind (create, write,
+// sync, close, read, remove) with a typed error, so tests can enumerate
+// every distinct spill I/O site in turn and prove that each fault surfaces
+// as a clean, wrapped error with no file handles or temp files left behind.
+// Determinism matters: an injection plan is (Op, N), nothing is random, and
+// the same plan always fails the same site.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the spill path uses. There is
+// deliberately no Sync: spill files are scratch space that dies with the
+// query, so durability buys nothing — buffered-flush failures surface
+// through the underlying Write, and close failures through Close.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Stat reports the file's metadata; the spill reader uses the size to
+	// locate the checksum footer.
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem interface of the spill path.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Remove(name string) error
+}
+
+// OS returns the passthrough FS backed by package os.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// Op identifies a kind of filesystem operation for counting and injection.
+type Op int
+
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpWrite
+	OpClose
+	OpRead
+	OpRemove
+	numOps
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpClose:
+		return "close"
+	case OpRead:
+		return "read"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// InjectedError is the error returned by an injected fault.
+type InjectedError struct {
+	Op Op  // the failed operation kind
+	N  int // which occurrence failed (1-based)
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultfs: injected %s failure (occurrence %d)", e.Op, e.N)
+}
+
+// Injector wraps an FS and fails the N-th operation of one kind. It is
+// safe for concurrent use.
+type Injector struct {
+	inner FS
+	op    Op
+	n     int // 1-based; <= 0 never triggers
+
+	mu        sync.Mutex
+	counts    [numOps]int
+	triggered bool
+}
+
+// NewInjector wraps inner so that the n-th operation of kind op (1-based)
+// fails with *InjectedError. All other operations pass through. n <= 0
+// disables injection, leaving a pure operation counter.
+func NewInjector(inner FS, op Op, n int) *Injector {
+	return &Injector{inner: inner, op: op, n: n}
+}
+
+// Triggered reports whether the planned fault has fired.
+func (i *Injector) Triggered() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.triggered
+}
+
+// Count returns how many operations of the kind have been attempted
+// (including the failed one).
+func (i *Injector) Count(op Op) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts[op]
+}
+
+// step counts one operation and decides whether it is the one to fail.
+func (i *Injector) step(op Op) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts[op]++
+	if op == i.op && i.counts[op] == i.n {
+		i.triggered = true
+		return &InjectedError{Op: op, N: i.n}
+	}
+	return nil
+}
+
+func (i *Injector) Create(name string) (File, error) {
+	if err := i.step(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, inj: i}, nil
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	if err := i.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, inj: i}, nil
+}
+
+func (i *Injector) Remove(name string) error {
+	if err := i.step(OpRemove); err != nil {
+		return err
+	}
+	return i.inner.Remove(name)
+}
+
+// injFile counts and injects at the per-file operations. A failing Close
+// still closes the underlying file, so the injector never leaks a real
+// file descriptor into the test process.
+type injFile struct {
+	f   File
+	inj *Injector
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.inj.step(OpRead); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	if err := f.inj.step(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Close() error {
+	err := f.inj.step(OpClose)
+	if cerr := f.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }

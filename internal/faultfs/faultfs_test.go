@@ -1,0 +1,152 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS()
+	path := filepath.Join(t.TempDir(), "f")
+	w, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 5 {
+		t.Fatalf("size = %d", st.Size())
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("file not removed")
+	}
+}
+
+func TestInjectorFailsExactlyNthOp(t *testing.T) {
+	inj := NewInjector(OS(), OpWrite, 2)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	_, err = f.Write([]byte("b"))
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != OpWrite || ie.N != 2 {
+		t.Fatalf("write 2: err = %v", err)
+	}
+	if !inj.Triggered() {
+		t.Fatal("Triggered() = false after the fault fired")
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3 should pass again: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Count(OpWrite) != 3 || inj.Count(OpCreate) != 1 || inj.Count(OpClose) != 1 {
+		t.Fatalf("counts: write=%d create=%d close=%d",
+			inj.Count(OpWrite), inj.Count(OpCreate), inj.Count(OpClose))
+	}
+}
+
+func TestInjectorDisabledIsPureCounter(t *testing.T) {
+	inj := NewInjector(OS(), OpWrite, 0)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if inj.Triggered() {
+		t.Fatal("disabled injector triggered")
+	}
+	if inj.Count(OpWrite) != 5 {
+		t.Fatalf("write count = %d", inj.Count(OpWrite))
+	}
+}
+
+func TestInjectedCloseStillClosesFile(t *testing.T) {
+	// A close fault must not leak the real descriptor: the wrapped file is
+	// closed underneath, so a second close reports "already closed".
+	inj := NewInjector(OS(), OpClose, 1)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := inj.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ie *InjectedError
+	if err := f.Close(); !errors.As(err, &ie) {
+		t.Fatalf("close: err = %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("second close: err = %v, want ErrClosed (underlying file must be closed)", err)
+	}
+}
+
+func TestInjectorCreateAndRemoveFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), OpCreate, 1)
+	if _, err := inj.Create(filepath.Join(dir, "f")); err == nil {
+		t.Fatal("create fault did not fire")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "f")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed create left a file behind")
+	}
+
+	inj = NewInjector(OS(), OpRemove, 1)
+	f, err := inj.Create(filepath.Join(dir, "g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := inj.Remove(filepath.Join(dir, "g")); err == nil {
+		t.Fatal("remove fault did not fire")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "g")); err != nil {
+		t.Fatal("injected remove should leave the file in place")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpCreate: "create", OpOpen: "open", OpWrite: "write",
+		OpClose: "close", OpRead: "read", OpRemove: "remove",
+	} {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}

@@ -18,7 +18,10 @@
 package sched
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +45,12 @@ func (c *Ctx) Spawn(t Task) { c.pool.push(c.Worker, t) }
 
 // Workers returns the pool size.
 func (c *Ctx) Workers() int { return c.pool.workers }
+
+// Aborted reports whether the current run is being torn down — because a
+// task panicked or the run's context was cancelled. Long-running tasks
+// should poll it at natural boundaries (per morsel, per run) and return
+// early; their partial output is discarded by the caller anyway.
+func (c *Ctx) Aborted() bool { return c.pool.aborted.Load() }
 
 // deque is a per-worker double-ended task queue. The owner pushes and pops
 // at the tail; thieves steal from the head. A plain mutex keeps it simple
@@ -85,10 +94,21 @@ func (d *deque) steal() (Task, bool) {
 
 // Pool is a fixed-size worker pool executing a dynamic task graph to
 // quiescence.
+//
+// A run is hardened against misbehaving tasks: a panic inside a task is
+// recovered, converted into an error carrying the panic value and stack,
+// and aborts the run — remaining tasks are drained without being executed,
+// every worker exits, and Run returns the error instead of crashing the
+// process or deadlocking on the pending-task counter.
 type Pool struct {
 	workers int
 	deques  []deque
 	pending atomic.Int64
+
+	// Per-run teardown state, reset at the start of every Run.
+	aborted atomic.Bool
+	errMu   sync.Mutex
+	err     error
 }
 
 // NewPool creates a pool of p workers; p <= 0 selects GOMAXPROCS.
@@ -109,8 +129,41 @@ func (p *Pool) push(worker int, t Task) {
 
 // Run executes root and everything it transitively spawns, returning when
 // all tasks have completed. It blocks the caller; the caller's goroutine
-// does not itself execute tasks.
-func (p *Pool) Run(root Task) {
+// does not itself execute tasks. The returned error is the first task
+// panic, converted, or nil.
+func (p *Pool) Run(root Task) error { return p.RunContext(context.Background(), root) }
+
+// RunContext is Run with cancellation: when ctx is cancelled the run is
+// aborted — workers finish their current task, drain the remaining task
+// graph without executing it, and RunContext returns ctx.Err(). An already
+// cancelled context returns immediately without running any task. A task
+// panic takes precedence over a concurrent cancellation in the returned
+// error.
+func (p *Pool) RunContext(ctx context.Context, root Task) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.aborted.Store(false)
+	p.errMu.Lock()
+	p.err = nil
+	p.errMu.Unlock()
+
+	// Watch for cancellation without polling ctx on the hot path: the
+	// watcher flips the aborted flag that workers already check per task.
+	stop := make(chan struct{})
+	var watch sync.WaitGroup
+	if ctx.Done() != nil {
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			select {
+			case <-ctx.Done():
+				p.aborted.Store(true)
+			case <-stop:
+			}
+		}()
+	}
+
 	p.push(0, root)
 	var wg sync.WaitGroup
 	wg.Add(p.workers)
@@ -121,6 +174,40 @@ func (p *Pool) Run(root Task) {
 		}(w)
 	}
 	wg.Wait()
+	close(stop)
+	watch.Wait()
+
+	p.errMu.Lock()
+	err := p.err
+	p.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// fail records the first task failure and aborts the run.
+func (p *Pool) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.errMu.Unlock()
+	p.aborted.Store(true)
+}
+
+// runTask executes one task, containing panics: a panicking task marks the
+// run failed but still counts as completed, so the pending counter reaches
+// zero and every worker exits cleanly.
+func (p *Pool) runTask(ctx *Ctx, t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(fmt.Errorf("sched: task panicked on worker %d: %v\n%s",
+				ctx.Worker, r, debug.Stack()))
+		}
+		p.pending.Add(-1)
+	}()
+	t(ctx)
 }
 
 func (p *Pool) work(w int) {
@@ -142,8 +229,14 @@ func (p *Pool) work(w int) {
 		}
 		if ok {
 			idleSpins = 0
-			t(ctx)
-			p.pending.Add(-1)
+			if p.aborted.Load() {
+				// Teardown: drain without executing. Running tasks may
+				// still spawn; their children land here too, so the
+				// counter always reaches zero.
+				p.pending.Add(-1)
+				continue
+			}
+			p.runTask(ctx, t)
 			continue
 		}
 		if p.pending.Load() == 0 {

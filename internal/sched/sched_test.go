@@ -1,9 +1,13 @@
 package sched
 
 import (
+	"context"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRunsSingleTask(t *testing.T) {
@@ -219,5 +223,118 @@ func BenchmarkMorsels(b *testing.B) {
 			// b.N can exceed the morsel count; start a fresh range.
 			m = NewMorsels(1<<30, 1024)
 		}
+	}
+}
+
+func TestPoolTaskPanicBecomesError(t *testing.T) {
+	p := NewPool(4)
+	err := p.Run(func(ctx *Ctx) { panic("boom") })
+	if err == nil {
+		t.Fatal("panicking task must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error should carry the panic value and context, got: %v", err)
+	}
+}
+
+func TestPoolPanicDrainsWithoutDeadlock(t *testing.T) {
+	// A panic in the middle of a large task graph must not strand the
+	// pending counter: every worker exits and Run returns.
+	p := NewPool(4)
+	var ran atomic.Int32
+	err := p.Run(func(ctx *Ctx) {
+		for i := 0; i < 500; i++ {
+			i := i
+			ctx.Spawn(func(*Ctx) {
+				if i == 250 {
+					panic("mid-graph")
+				}
+				ran.Add(1)
+			})
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Not all tasks may have run (teardown drains), but the pool must be
+	// reusable afterwards with a clean slate.
+	var again atomic.Int32
+	if err := p.Run(func(ctx *Ctx) { again.Add(1) }); err != nil {
+		t.Fatalf("pool not reusable after panic: %v", err)
+	}
+	if again.Load() != 1 {
+		t.Fatalf("reuse ran %d tasks", again.Load())
+	}
+}
+
+func TestPoolFirstPanicWins(t *testing.T) {
+	p := NewPool(4)
+	err := p.Run(func(ctx *Ctx) {
+		for i := 0; i < 8; i++ {
+			ctx.Spawn(func(*Ctx) { panic("multi") })
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "multi") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := p.RunContext(ctx, func(*Ctx) { ran.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("cancelled run must not execute any task")
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := p.RunContext(ctx, func(c *Ctx) {
+		cancel()
+		// Wait until every worker can observe the abort flag, then spawn:
+		// none of these children may execute.
+		for !c.Aborted() {
+			runtime.Gosched()
+		}
+		for i := 0; i < 100; i++ {
+			c.Spawn(func(*Ctx) { ran.Add(1) })
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran after cancellation", ran.Load())
+	}
+}
+
+func TestRunContextNoGoroutineLeak(t *testing.T) {
+	p := NewPool(4)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.RunContext(ctx, func(c *Ctx) {
+			for j := 0; j < 50; j++ {
+				c.Spawn(func(*Ctx) {})
+			}
+		})
+		cancel()
+	}
+	// Allow exited workers and watchers to be reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines grew from %d to %d", before, g)
 	}
 }
