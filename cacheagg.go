@@ -29,10 +29,16 @@ package cacheagg
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/core"
+	"cacheagg/internal/external"
+	"cacheagg/internal/faultfs"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/memgov"
 )
 
 // Func identifies an aggregate function.
@@ -144,9 +150,28 @@ type Options struct {
 	// 0 = 4 MiB. Set this to your CPU's per-core L3 share for best
 	// fidelity to the paper's tuning.
 	CacheBytes int
+	// MemoryBudgetBytes caps the total bytes of intermediate state the
+	// aggregation may hold in memory (0 = unlimited). The budget is
+	// enforced by a byte-accurate governor: when the working set of the
+	// in-memory operator would exceed it, the call transparently degrades
+	// to the out-of-core path — partial aggregates spill to the system
+	// temp directory and are merged with bounded memory — instead of
+	// growing without bound. The result is identical either way; whether
+	// degradation happened is reported in Stats.DegradedToExternal.
+	// Budgets too small for even one worker's fixed machinery (hash
+	// table, scratch, write-combining buffers — roughly a few MiB) fail
+	// with an error that wraps ErrMemoryBudget.
+	MemoryBudgetBytes int64
 	// CollectStats enables execution statistics on the result.
 	CollectStats bool
 }
+
+// ErrMemoryBudget is wrapped by errors reporting that MemoryBudgetBytes is
+// too small to run at all (smaller than one worker's fixed machinery, or
+// exhausted even by the out-of-core path's minimum chunk size). Budgets
+// that are merely smaller than the working set do not produce it — they
+// degrade to spilling and succeed.
+var ErrMemoryBudget = core.ErrMemoryBudget
 
 // Stats describes what an execution did. See the fields of the same names
 // in the paper's figures: Passes and LevelNanos back the pass-breakdown
@@ -171,6 +196,20 @@ type Stats struct {
 	Switches int64
 	// DirectEmits counts buckets finalized by one fused hashing pass.
 	DirectEmits int64
+
+	// The memory-governor fields below are populated whenever
+	// Options.MemoryBudgetBytes was set, independent of CollectStats.
+
+	// PeakReservedBytes is the governor's high-water mark: the largest
+	// byte footprint the execution registered at any point, spanning the
+	// in-memory attempt and (if degraded) the out-of-core run.
+	PeakReservedBytes int64
+	// DegradedToExternal reports that the in-memory working set exceeded
+	// MemoryBudgetBytes and the run completed via the spilling path.
+	DegradedToExternal bool
+	// SpillRetries counts transient spill-I/O faults absorbed by the
+	// retry layer during a degraded run.
+	SpillRetries int64
 }
 
 // Result is the aggregation output: row r describes one group.
@@ -236,18 +275,30 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 		}
 		specs[i] = agg.Spec{Kind: a.Func.kind(), Col: a.Col}
 	}
+	var gov *memgov.Governor
+	if opt.MemoryBudgetBytes < 0 {
+		return nil, fmt.Errorf("cacheagg: negative MemoryBudgetBytes %d", opt.MemoryBudgetBytes)
+	}
+	if opt.MemoryBudgetBytes > 0 {
+		gov = memgov.New(opt.MemoryBudgetBytes)
+	}
 	cfg := core.Config{
 		Strategy:     opt.Strategy.inner,
 		Workers:      opt.Workers,
 		CacheBytes:   opt.CacheBytes,
 		CollectStats: opt.CollectStats,
+		Governor:     gov,
 	}
-	cres, err := core.AggregateContext(ctx, cfg, &core.Input{
+	cin := &core.Input{
 		Keys:    in.GroupBy,
 		AggCols: in.Columns,
 		Specs:   specs,
-	})
+	}
+	cres, err := core.AggregateContext(ctx, cfg, cin)
 	if err != nil {
+		if gov != nil && errors.Is(err, core.ErrMemoryBudget) {
+			return degradeToExternal(ctx, in, opt, cin, gov)
+		}
 		return nil, err
 	}
 	res := &Result{
@@ -273,6 +324,86 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 			res.Stats.MeanAlpha = st.AlphaSum / float64(st.TablesEmitted)
 		}
 	}
+	if gov != nil {
+		res.Stats.PeakReservedBytes = gov.HighWater()
+	}
+	return res, nil
+}
+
+// Test hooks: a degraded run's spill I/O goes through testHookExternalFS
+// when set, with testHookExternalRetry as the retry policy. Both are zero
+// in production; root tests use them to inject spill faults through the
+// public API.
+var (
+	testHookExternalFS    faultfs.FS
+	testHookExternalRetry faultfs.RetryPolicy
+)
+
+// degradeToExternal re-runs an over-budget aggregation through the
+// out-of-core path, sharing the governor so PeakReservedBytes spans the
+// whole query, then restores the public contract (hash-ordered rows,
+// Hashes, exact Float averages) that the external result lacks.
+func degradeToExternal(ctx context.Context, in Input, opt Options, cin *core.Input, gov *memgov.Governor) (*Result, error) {
+	ecfg := external.Config{
+		MemoryBudgetBytes: opt.MemoryBudgetBytes,
+		Governor:          gov,
+		Core: core.Config{
+			Strategy:   opt.Strategy.inner,
+			Workers:    opt.Workers,
+			CacheBytes: opt.CacheBytes,
+		},
+	}
+	if testHookExternalFS != nil {
+		ecfg.FS = testHookExternalFS
+		ecfg.Retry = testHookExternalRetry
+	}
+	eres, err := external.AggregateContext(ctx, ecfg, cin)
+	if err != nil {
+		return nil, err
+	}
+	// The external merge emits partitions in level-0 digit order, but rows
+	// inside a resident or re-partitioned merge are not globally sorted.
+	// Re-establish the documented order: ascending by hash value (level-0
+	// digits are the most significant hash bits, so this matches the
+	// in-memory operator's bucket-order output).
+	n := len(eres.Keys)
+	hashes := make([]uint64, n)
+	ord := make([]int, n)
+	for i, k := range eres.Keys {
+		hashes[i] = hashfn.Murmur2(k)
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return hashes[ord[a]] < hashes[ord[b]] })
+	groups := make([]uint64, n)
+	sortedHashes := make([]uint64, n)
+	for i, o := range ord {
+		groups[i] = eres.Keys[o]
+		sortedHashes[i] = hashes[o]
+	}
+	aggs := make([][]int64, len(eres.Aggs))
+	for a, col := range eres.Aggs {
+		aggs[a] = make([]int64, n)
+		for i, o := range ord {
+			aggs[a][i] = col[o]
+		}
+	}
+	aggsF := make([][]float64, len(eres.AggsFloat))
+	for a, col := range eres.AggsFloat {
+		aggsF[a] = make([]float64, n)
+		for i, o := range ord {
+			aggsF[a][i] = col[o]
+		}
+	}
+	res := &Result{
+		Groups: groups,
+		Aggs:   aggs,
+		specs:  in.Aggregates,
+		hashes: sortedHashes,
+		states: &core.Result{Keys: groups, Hashes: sortedHashes, Aggs: aggs, AggsFloat: aggsF},
+	}
+	res.Stats.DegradedToExternal = true
+	res.Stats.PeakReservedBytes = gov.HighWater()
+	res.Stats.SpillRetries = eres.Stats.SpillRetries
 	return res, nil
 }
 

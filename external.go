@@ -17,8 +17,16 @@ import (
 type ExternalOptions struct {
 	// MemoryBudgetRows caps the rows held in memory at a time; inputs
 	// larger than this are processed in chunks with spilling. 0 selects
-	// 1Mi rows.
+	// 1Mi rows (or a budget-derived count when MemoryBudgetBytes is set).
 	MemoryBudgetRows int
+	// MemoryBudgetBytes caps the total bytes of in-memory state, enforced
+	// by a byte-accurate governor. It sizes workers, caches and chunks;
+	// level-0 partitions stay resident in memory as long as they fit and
+	// are evicted to disk largest-first under pressure, and a chunk whose
+	// in-memory pre-aggregation overruns the budget is retried with a
+	// smaller chunk size. 0 means rows-only budgeting. Negative values
+	// are rejected up front.
+	MemoryBudgetBytes int64
 	// TempDir hosts the spill files ("" = system temp directory). Files
 	// are removed when the call returns, on success and on every error
 	// path.
@@ -43,6 +51,21 @@ type ExternalStats struct {
 	// CleanupFailures counts spill files whose individual removal failed
 	// (the temp directory is still deleted recursively afterwards).
 	CleanupFailures int
+	// SpillRetries counts transient spill-I/O faults absorbed by the
+	// retry layer.
+	SpillRetries int64
+	// PeakReservedBytes is the memory governor's high-water mark (0 when
+	// no byte budget was set).
+	PeakReservedBytes int64
+	// ResidentPartitions counts level-0 partitions merged straight from
+	// memory without touching disk (hybrid mode under MemoryBudgetBytes).
+	ResidentPartitions int
+	// EvictedPartitions counts resident partitions pushed to disk because
+	// the byte budget demanded it (largest first).
+	EvictedPartitions int
+	// ChunkRetries counts input ranges re-aggregated with a smaller chunk
+	// size after the in-memory leaf overran the byte budget.
+	ChunkRetries int
 }
 
 // ExternalResult is the result of AggregateExternal.
@@ -85,9 +108,10 @@ func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext Ex
 		specs[i] = agg.Spec{Kind: a.Func.kind(), Col: a.Col}
 	}
 	res, err := external.AggregateContext(ctx, external.Config{
-		MemoryBudgetRows: ext.MemoryBudgetRows,
-		TempDir:          ext.TempDir,
-		MaxSpillBytes:    ext.MaxSpillBytes,
+		MemoryBudgetRows:  ext.MemoryBudgetRows,
+		MemoryBudgetBytes: ext.MemoryBudgetBytes,
+		TempDir:           ext.TempDir,
+		MaxSpillBytes:     ext.MaxSpillBytes,
 		Core: core.Config{
 			Strategy:   opt.Strategy.inner,
 			Workers:    opt.Workers,
@@ -105,11 +129,16 @@ func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext Ex
 		Groups: res.Keys,
 		Aggs:   res.Aggs,
 		Stats: ExternalStats{
-			Chunks:          res.Stats.Chunks,
-			SpilledRows:     res.Stats.SpilledRows,
-			SpilledBytes:    res.Stats.SpilledBytes,
-			MergeLevels:     res.Stats.MergeLevels,
-			CleanupFailures: res.Stats.CleanupFailures,
+			Chunks:             res.Stats.Chunks,
+			SpilledRows:        res.Stats.SpilledRows,
+			SpilledBytes:       res.Stats.SpilledBytes,
+			MergeLevels:        res.Stats.MergeLevels,
+			CleanupFailures:    res.Stats.CleanupFailures,
+			SpillRetries:       res.Stats.SpillRetries,
+			PeakReservedBytes:  res.Stats.PeakReservedBytes,
+			ResidentPartitions: res.Stats.ResidentPartitions,
+			EvictedPartitions:  res.Stats.EvictedPartitions,
+			ChunkRetries:       res.Stats.ChunkRetries,
 		},
 	}, nil
 }

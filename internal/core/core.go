@@ -33,7 +33,13 @@ import (
 	"cacheagg/internal/agg"
 	"cacheagg/internal/hashfn"
 	"cacheagg/internal/hashtable"
+	"cacheagg/internal/memgov"
 )
+
+// ErrMemoryBudget marks a run aborted because the Config.Governor byte
+// budget was exceeded. It is the signal on which callers degrade to the
+// out-of-core path; matched with errors.Is (it is memgov.ErrBudget).
+var ErrMemoryBudget = memgov.ErrBudget
 
 // DefaultCacheBytes is the default per-worker cache budget for hash tables.
 // The paper's machine has 3 MB of L3 per core; 4 MiB is a comparable
@@ -67,6 +73,15 @@ type Config struct {
 	// traffic per row per pass in each direction. Carrying is kept as an
 	// ablation switch for the hash-storage design choice.
 	CarryHashes bool
+	// Governor, when non-nil, is the memory accountant the execution
+	// registers its footprint with: worker machinery at start, materialized
+	// intermediate runs as they are produced (released when consumed), and
+	// output chunks. When the governor has a budget and it is exceeded, the
+	// run aborts with an error wrapping ErrMemoryBudget instead of growing
+	// without bound — the caller degrades to the spilling path. Workers
+	// check the budget at morsel and task boundaries, so the overshoot is
+	// bounded by one morsel of production per worker.
+	Governor *memgov.Governor
 }
 
 func (c Config) withDefaults() Config {
@@ -237,7 +252,13 @@ func AggregateContext(ctx context.Context, cfg Config, in *Input) (res *Result, 
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	e := newExec(cfg, in)
+	e, err := newExec(cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	// Whatever happens, hand the reservations back: the run is over, and a
+	// governor shared across runs must not accumulate dead bookkeeping.
+	defer e.releaseAccounting()
 	if err := e.run(ctx); err != nil {
 		return nil, err
 	}

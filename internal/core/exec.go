@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/hashfn"
 	"cacheagg/internal/hashtable"
+	"cacheagg/internal/memgov"
 	"cacheagg/internal/partition"
 	"cacheagg/internal/runs"
 	"cacheagg/internal/sched"
@@ -27,6 +29,14 @@ type exec struct {
 
 	cacheRows int // capacity of a cache-sized table
 	finalRows int // its fill limit: the leaf threshold of the recursion
+
+	// Memory governance: interRow is the byte cost of one materialized
+	// intermediate-run row, chunkRow of one output-chunk row. gov is nil
+	// when no budget accounting was requested.
+	gov        *memgov.Governor
+	interRow   int64
+	chunkRow   int64
+	fixedBytes int64 // up-front reservation for per-worker machinery
 
 	pool    *sched.Pool
 	morsels *sched.Morsels
@@ -57,10 +67,14 @@ type workerState struct {
 	stateViews   [][]uint64 // reusable column-view scratch
 	rowScratch   []uint64   // one packed state row
 
+	// mem is the worker's reservation cache against the shared governor
+	// (nil-safe no-op when no governor is configured).
+	mem *memgov.Cache
+
 	stats workerStats
 }
 
-func newExec(cfg Config, in *Input) *exec {
+func newExec(cfg Config, in *Input) (*exec, error) {
 	lay := agg.NewLayout(in.Specs)
 	e := &exec{
 		cfg:     cfg,
@@ -68,6 +82,7 @@ func newExec(cfg Config, in *Input) *exec {
 		layout:  lay,
 		wordOps: lay.WordOps(),
 		words:   lay.Words,
+		gov:     cfg.Governor,
 	}
 	e.cacheRows = hashtable.CapacityForCache(cfg.CacheBytes, e.words)
 	if e.cacheRows < hashfn.Fanout*hashtable.MinBlockRows {
@@ -80,6 +95,14 @@ func newExec(cfg Config, in *Input) *exec {
 	if e.finalRows < 1 {
 		e.finalRows = 1
 	}
+	// One intermediate-run row materializes its key and state words, plus
+	// the hash when runs carry hashes; one output-chunk row always carries
+	// hash + key + state.
+	e.interRow = int64(8 * (1 + e.words))
+	if cfg.CarryHashes {
+		e.interRow += 8
+	}
+	e.chunkRow = int64(8 * (2 + e.words))
 	e.pool = sched.NewPool(cfg.Workers)
 	e.workers = make([]workerState, e.pool.Workers())
 	for w := range e.workers {
@@ -105,8 +128,62 @@ func newExec(cfg Config, in *Input) *exec {
 		}
 		ws.stateViews = make([][]uint64, e.words)
 		ws.rowScratch = make([]uint64, e.words)
+		ws.mem = e.gov.NewCache(0)
 	}
-	return e
+	if e.gov != nil {
+		// Register the fixed per-worker machinery up front: the cache-sized
+		// table, the intake scratch blocks, and the scatterer's SWC buffers.
+		// If even that doesn't fit the budget, fail before touching the
+		// input so the caller can degrade immediately.
+		fixed := int64(0)
+		for w := range e.workers {
+			ws := &e.workers[w]
+			fixed += ws.table.FootprintBytes()
+			fixed += int64(scratchRows * 8)           // hashScratch
+			fixed += int64(e.words * scratchRows * 8) // stateScratch
+			fixed += int64(e.words * 8)               // rowScratch
+			fixed += int64(hashfn.Fanout * partition.DefaultBufRows * 8 * (2 + e.words))
+		}
+		if !e.gov.TryReserve(fixed) {
+			return nil, e.gov.BudgetError("core: per-worker machinery", fixed)
+		}
+		e.fixedBytes = fixed
+	}
+	return e, nil
+}
+
+// releaseAccounting returns everything this execution reserved — fixed
+// machinery and all net worker reservations — so a governor shared across
+// sequential runs (the external operator's chunk loop) starts each run from
+// a clean ledger. The high-water mark is unaffected.
+func (e *exec) releaseAccounting() {
+	if e.gov == nil {
+		return
+	}
+	total := e.fixedBytes
+	for w := range e.workers {
+		ws := &e.workers[w]
+		ws.mem.Flush()
+		total += ws.mem.Net()
+	}
+	e.gov.Release(total)
+}
+
+// checkBudget flushes the worker's reservation cache and, when the run has
+// gone over budget, aborts it with a typed ErrMemoryBudget failure. Called
+// at morsel and task boundaries — the overshoot between two checks is at
+// most one morsel of production per worker, the documented budget slack.
+func (e *exec) checkBudget(ctx *sched.Ctx, ws *workerState) bool {
+	if e.gov == nil {
+		return true
+	}
+	ws.mem.Flush()
+	if e.gov.OverBudget() {
+		ctx.Fail(fmt.Errorf("core: working set %d of %d bytes: %w",
+			e.gov.Reserved(), e.gov.Budget(), ErrMemoryBudget))
+		return false
+	}
+	return true
 }
 
 // run executes the two phases: parallel intake, then parallel recursion.
@@ -163,10 +240,13 @@ func (e *exec) intake(ctx *sched.Ctx) {
 	keys := e.in.Keys
 	cols := e.in.AggCols
 	for {
-		// Cancellation/abort is observed once per morsel: a cancelled run
-		// stops within one morsel of work per worker, and its partial
-		// output is never published.
+		// Cancellation/abort and the memory budget are observed once per
+		// morsel: a cancelled or over-budget run stops within one morsel
+		// of work per worker, and its partial output is never published.
 		if ctx.Aborted() {
+			return
+		}
+		if !e.checkBudget(ctx, ws) {
 			return
 		}
 		lo, hi, ok := e.morsels.Next()
@@ -194,6 +274,7 @@ func (e *exec) intake(ctx *sched.Ctx) {
 	// Flush residual state into the local buckets.
 	e.timed(ws, 0, func() {
 		if table.Len() > 0 {
+			ws.mem.Reserve(int64(table.Len()) * e.interRow)
 			splits := table.SplitRuns()
 			for d, r := range splits {
 				local[d].Add(r)
@@ -229,6 +310,7 @@ func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table
 			alpha := table.Alpha()
 			ws.stats.tablesEmitted++
 			ws.stats.alphaSum += alpha
+			ws.mem.Reserve(int64(table.Len()) * e.interRow)
 			splits := table.SplitRuns()
 			for d, r := range splits {
 				local[d].Add(r)
@@ -271,6 +353,7 @@ func (e *exec) scatterRaw(ws *workerState, scat *partition.Scatterer,
 	}
 	views := ws.sliceStates(ws.stateScratch, 0, n)
 	scat.Scatter(hs, keys[lo:hi], views)
+	ws.mem.Reserve(int64(n) * e.interRow)
 }
 
 // child is a sub-bucket produced by doBucket, awaiting recursion.
@@ -292,6 +375,9 @@ func (e *exec) processBucket(ctx *sched.Ctx, b *runs.Bucket, level int, prefix u
 	}
 	ws := &e.workers[ctx.Worker]
 	ws.stats.tasks++
+	if !e.checkBudget(ctx, ws) {
+		return
+	}
 	n := b.Rows()
 	if n == 0 {
 		return
@@ -301,6 +387,10 @@ func (e *exec) processBucket(ctx *sched.Ctx, b *runs.Bucket, level int, prefix u
 		ws.stats.levelRows[min(level, MaxPasses-1)] += int64(n)
 		children = e.doBucket(ctx, ws, b, level, prefix)
 	})
+	// The input bucket is consumed: its rows now live either in the
+	// sub-buckets (reserved as they were re-materialized) or in the output
+	// chunk (reserved by emitTable).
+	ws.mem.Reserve(-int64(n) * e.interRow)
 	for _, c := range children {
 		if c.b.Rows() <= e.finalRows {
 			e.processBucket(ctx, c.b, level+1, c.prefix)
@@ -371,6 +461,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 				scat.Scatter(hs, r.Keys[i:i+blk], ws.sliceStates(r.States, i, i+blk))
 				st.OnPartitioned(blk)
 				ws.stats.partitionedRows += int64(blk)
+				ws.mem.Reserve(int64(blk) * e.interRow)
 				i += blk
 				pure = false
 				usedScatter = true
@@ -393,6 +484,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 	}
 
 	if table.Len() > 0 {
+		ws.mem.Reserve(int64(table.Len()) * e.interRow)
 		splits := table.SplitRuns()
 		for d, r := range splits {
 			sub[d].Add(r)
@@ -434,6 +526,7 @@ func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table
 			alpha := table.Alpha()
 			ws.stats.tablesEmitted++
 			ws.stats.alphaSum += alpha
+			ws.mem.Reserve(int64(table.Len()) * e.interRow)
 			splits := table.SplitRuns()
 			for d, run := range splits {
 				sub[d].Add(run)
@@ -468,6 +561,8 @@ func (e *exec) leafTable(ws *workerState, n, level int) *hashtable.Table {
 			Words:        e.words,
 		})
 		ws.finalTables[capRows] = t
+		// Retained across leaves as worker machinery.
+		ws.mem.Reserve(t.FootprintBytes())
 	}
 	t.Reset()
 	t.SetLevel(min(level, hashfn.MaxLevels-1))
@@ -520,6 +615,8 @@ func (e *exec) finalizeGrown(ws *workerState, b *runs.Bucket, prefix uint64, lev
 		Words:        e.words,
 		Level:        min(level, hashfn.MaxLevels-1),
 	})
+	ws.mem.Reserve(table.FootprintBytes())
+	defer ws.mem.Reserve(-table.FootprintBytes())
 	for _, r := range b.Runs {
 		carried := r.Hashes != nil
 		for i := 0; i < r.Len(); i++ {
@@ -563,5 +660,8 @@ func (e *exec) emitTable(ws *workerState, table *hashtable.Table, prefix uint64,
 		}
 	})
 	table.Reset()
+	// Output chunks are retained until assemble; they are part of the
+	// run's footprint.
+	ws.mem.Reserve(int64(n) * e.chunkRow)
 	e.out.add(ch)
 }

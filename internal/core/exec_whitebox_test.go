@@ -25,7 +25,11 @@ func mkExec(specs []agg.Spec, keys []uint64, cols [][]int64) *exec {
 		MorselRows: 1024,
 		ChunkRows:  128,
 	}.withDefaults()
-	return newExec(cfg, &Input{Keys: keys, AggCols: cols, Specs: specs})
+	e, err := newExec(cfg, &Input{Keys: keys, AggCols: cols, Specs: specs})
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // runBucketTask drives processBucket through the pool like the engine does.
@@ -182,7 +186,10 @@ func TestCapacityFloor(t *testing.T) {
 	// Even an absurdly small cache budget must yield a usable table
 	// (capacity floor of fanout × MinBlockRows).
 	cfg := Config{CacheBytes: 64, Workers: 1}.withDefaults()
-	e := newExec(cfg, &Input{Keys: []uint64{1, 2, 3}})
+	e, err := newExec(cfg, &Input{Keys: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.cacheRows < hashfn.Fanout*8 {
 		t.Fatalf("cacheRows = %d below floor", e.cacheRows)
 	}

@@ -1,0 +1,183 @@
+package external
+
+// Tests of the byte-budget machinery: config validation, hybrid resident
+// partitions with largest-first eviction, governor-derived sizing, shared
+// governors, and the float-finalized output columns.
+
+import (
+	"math"
+	"testing"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/faultfs"
+	"cacheagg/internal/memgov"
+)
+
+func TestValidateRejectsNegativeConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"rows", Config{MemoryBudgetRows: -1}},
+		{"bytes", Config{MemoryBudgetBytes: -100}},
+		{"spill", Config{MaxSpillBytes: -5}},
+		{"retry", Config{Retry: faultfs.RetryPolicy{MaxAttempts: -2}}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: negative value accepted", tc.name)
+		}
+		if _, err := Aggregate(tc.cfg, &core.Input{Keys: []uint64{1}}); err == nil {
+			t.Errorf("%s: Aggregate accepted an invalid config", tc.name)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config must validate (defaults): %v", err)
+	}
+}
+
+func TestHybridSmallInputStaysResident(t *testing.T) {
+	// A generous byte budget and a small input: every partition fits in
+	// memory, so nothing should ever touch the disk.
+	in := mkInput(datagen.Uniform, 20000, 500, 11)
+	cfg := Config{MemoryBudgetBytes: 256 << 20, TempDir: t.TempDir()}
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	if res.Stats.SpilledRows != 0 {
+		t.Fatalf("%d rows spilled despite a generous budget", res.Stats.SpilledRows)
+	}
+	if res.Stats.ResidentPartitions == 0 {
+		t.Fatal("no partition reported resident")
+	}
+	if res.Stats.EvictedPartitions != 0 {
+		t.Fatalf("%d partitions evicted despite a generous budget", res.Stats.EvictedPartitions)
+	}
+	if res.Stats.PeakReservedBytes == 0 {
+		t.Fatal("no peak footprint recorded")
+	}
+}
+
+func TestHybridTightBudgetEvictsAndCompletes(t *testing.T) {
+	// Working set far above the budget: the hybrid must evict (largest
+	// first), spill, possibly recurse — and still produce the exact
+	// result. The peak footprint must respect the budget up to the
+	// documented slack (one morsel of production per worker plus the
+	// per-worker reservation-cache grain).
+	in := mkInput(datagen.Uniform, 300000, 200000, 13)
+	const budget = 8 << 20
+	cfg := Config{MemoryBudgetBytes: budget, TempDir: t.TempDir()}
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	if res.Stats.EvictedPartitions == 0 {
+		t.Fatal("tight budget never forced an eviction")
+	}
+	if res.Stats.SpilledRows == 0 {
+		t.Fatal("tight budget never spilled")
+	}
+	// Slack: per worker one morsel (16384 rows) of decomposed-width
+	// intermediates (width 6 ⇒ 8+8·6+8 bytes/row) plus one cache grain.
+	perWorker := int64(16384*(8+8*6+8) + memgov.DefaultCacheGrain)
+	allowed := int64(budget) + perWorker*int64(maxWorkersForTest(cfg)) + (1 << 20)
+	if res.Stats.PeakReservedBytes > allowed {
+		t.Fatalf("peak %d exceeds budget %d plus slack %d",
+			res.Stats.PeakReservedBytes, budget, allowed-budget)
+	}
+}
+
+// maxWorkersForTest mirrors the sizing decision for assertions.
+func maxWorkersForTest(cfg Config) int {
+	c := cfg
+	c.sizeFromBudget(6)
+	return c.Core.Workers
+}
+
+func TestSharedGovernorSpansRuns(t *testing.T) {
+	// A caller-provided governor is used as-is: its high-water mark
+	// reflects the external run, and the ledger drains back to zero.
+	gov := memgov.New(16 << 20)
+	in := mkInput(datagen.Uniform, 50000, 20000, 17)
+	cfg := Config{
+		MemoryBudgetBytes: 16 << 20,
+		Governor:          gov,
+		TempDir:           t.TempDir(),
+	}
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	if gov.HighWater() == 0 {
+		t.Fatal("shared governor saw no reservations")
+	}
+	if res.Stats.PeakReservedBytes != gov.HighWater() {
+		t.Fatalf("stats peak %d != governor high water %d",
+			res.Stats.PeakReservedBytes, gov.HighWater())
+	}
+	if got := gov.Reserved(); got != 0 {
+		t.Fatalf("ledger not drained after the run: %d bytes still reserved", got)
+	}
+}
+
+func TestAggsFloatExactAvg(t *testing.T) {
+	// AVG finalized as float must be the exact sum/count, not the
+	// truncated integer division.
+	keys := []uint64{7, 7, 7, 9}
+	vals := []int64{1, 2, 4, 5}
+	in := &core.Input{
+		Keys:    keys,
+		AggCols: [][]int64{vals},
+		Specs:   []agg.Spec{{Kind: agg.Avg, Col: 0}},
+	}
+	res, err := Aggregate(Config{MemoryBudgetRows: 2, TempDir: t.TempDir()}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups() != 2 {
+		t.Fatalf("groups = %d", res.Groups())
+	}
+	for i, k := range res.Keys {
+		want := 5.0
+		if k == 7 {
+			want = 7.0 / 3.0
+		}
+		if math.Abs(res.AggsFloat[0][i]-want) > 1e-12 {
+			t.Fatalf("key %d: float avg %v, want %v", k, res.AggsFloat[0][i], want)
+		}
+	}
+}
+
+func TestChunkHalvingLadder(t *testing.T) {
+	// Force the in-memory leaf over budget mid-stream: a budget that fits
+	// the worker machinery plus a sliver, against chunks of all-distinct
+	// rows. The ladder must shrink the chunk size and finish instead of
+	// failing, recording the retries.
+	n := 120000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	in := &core.Input{Keys: keys}
+	cfg := Config{
+		MemoryBudgetBytes: 2 << 20,
+		MemoryBudgetRows:  1 << 20, // chunk "everything at once" on purpose
+		TempDir:           t.TempDir(),
+	}
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups() != n {
+		t.Fatalf("groups = %d, want %d", res.Groups(), n)
+	}
+	if res.Stats.ChunkRetries == 0 {
+		t.Fatal("oversized chunk never triggered the halving ladder")
+	}
+}

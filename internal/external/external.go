@@ -44,18 +44,34 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/core"
 	"cacheagg/internal/faultfs"
 	"cacheagg/internal/hashfn"
+	"cacheagg/internal/memgov"
+	"cacheagg/internal/partition"
 )
 
 // Config configures an external aggregation.
 type Config struct {
 	// MemoryBudgetRows caps the rows aggregated in memory at a time
-	// (chunk size and partition-merge threshold). 0 selects 1<<20.
+	// (chunk size and partition-merge threshold). 0 selects 1<<20, or a
+	// value derived from MemoryBudgetBytes when that is set.
 	MemoryBudgetRows int
+	// MemoryBudgetBytes is the byte-accurate memory budget of the whole
+	// execution, enforced through a memgov.Governor: chunk size, worker
+	// count and cache size of the in-memory leaves are derived from it,
+	// and partial groups stay RESIDENT in memory instead of spilling
+	// until the budget forces the largest partitions to disk (the
+	// dynamic-hybrid degradation). 0 disables byte governance and keeps
+	// the pure row-budget behavior.
+	MemoryBudgetBytes int64
+	// Governor, when non-nil, is used instead of a fresh governor built
+	// from MemoryBudgetBytes — callers that degrade from the in-memory
+	// path pass theirs so the high-water mark spans the whole query.
+	Governor *memgov.Governor
 	// TempDir hosts the spill files; "" selects the system default.
 	TempDir string
 	// MaxSpillBytes caps the total bytes written to spill files over the
@@ -63,11 +79,35 @@ type Config struct {
 	// would be exceeded the aggregation fails fast with ErrSpillBudget
 	// instead of filling the disk. 0 means no cap.
 	MaxSpillBytes int64
+	// Retry configures transient-fault retries of spill I/O; zero fields
+	// select faultfs.DefaultRetryPolicy.
+	Retry faultfs.RetryPolicy
 	// FS is the spill-file backend; nil selects the real filesystem.
 	// Tests substitute a faultfs.Injector to exercise I/O error paths.
+	// The backend is wrapped in a faultfs.Retry, so transient faults
+	// (EINTR/EAGAIN-class) are absorbed with capped exponential backoff.
 	FS faultfs.FS
 	// Core configures the in-memory operator used for the leaves.
 	Core core.Config
+}
+
+// Validate rejects configurations that are structurally wrong rather than
+// merely defaulted: negative budgets and caps. Zero values always mean
+// "pick the default" and are accepted.
+func (c Config) Validate() error {
+	if c.MemoryBudgetRows < 0 {
+		return fmt.Errorf("external: MemoryBudgetRows is negative (%d); use 0 for the default", c.MemoryBudgetRows)
+	}
+	if c.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("external: MemoryBudgetBytes is negative (%d); use 0 for unlimited", c.MemoryBudgetBytes)
+	}
+	if c.MaxSpillBytes < 0 {
+		return fmt.Errorf("external: MaxSpillBytes is negative (%d); use 0 for no cap", c.MaxSpillBytes)
+	}
+	if c.Retry.MaxAttempts < 0 {
+		return fmt.Errorf("external: Retry.MaxAttempts is negative (%d)", c.Retry.MaxAttempts)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +118,34 @@ func (c Config) withDefaults() Config {
 		c.FS = faultfs.OS()
 	}
 	return c
+}
+
+// sizeFromBudget derives the in-memory leaf sizing from MemoryBudgetBytes
+// for a plan of the given decomposed width: few enough workers that their
+// fixed machinery (cache-sized table, SWC buffers, scratch) fits the
+// budget with room left for intermediates and resident partitions, and a
+// cache budget proportional to the remainder. No-op without a byte budget;
+// explicit user sizing is only ever shrunk, never grown.
+func (c *Config) sizeFromBudget(width int) {
+	if c.MemoryBudgetBytes <= 0 {
+		return
+	}
+	// Rough fixed bytes of one worker: SWC scatter buffers dominate, plus
+	// the minimum table and the intake scratch blocks.
+	perWorker := int64(hashfn.Fanout*partition.DefaultBufRows*8*(2+width)) +
+		int64(2048*(28+8*width)) + 96<<10
+	w := c.Core.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if maxW := int(c.MemoryBudgetBytes / (3 * perWorker)); w > maxW {
+		w = max(maxW, 1)
+	}
+	c.Core.Workers = w
+	target := int(c.MemoryBudgetBytes / int64(8*w))
+	if c.Core.CacheBytes <= 0 || c.Core.CacheBytes > target {
+		c.Core.CacheBytes = max(target, 32<<10)
+	}
 }
 
 // Sentinel errors of the spill path, matched with errors.Is.
@@ -118,14 +186,33 @@ type Stats struct {
 	// aggregation itself is unaffected; the temp directory is still
 	// deleted recursively at the end).
 	CleanupFailures int
+	// SpillRetries counts transient spill-I/O faults that were absorbed
+	// by the retry layer (each is one extra attempt that succeeded or
+	// eventually gave up).
+	SpillRetries int64
+	// PeakReservedBytes is the governor's high-water mark: the largest
+	// in-memory footprint the execution registered at any point.
+	PeakReservedBytes int64
+	// ResidentPartitions counts level-0 partitions that were merged
+	// straight from memory without ever touching disk (hybrid mode).
+	ResidentPartitions int
+	// EvictedPartitions counts resident partitions pushed to disk because
+	// the byte budget demanded it (largest first).
+	EvictedPartitions int
+	// ChunkRetries counts input ranges re-aggregated with a smaller chunk
+	// size after the in-memory leaf ran over the byte budget.
+	ChunkRetries int
 }
 
 // Result is the aggregation output plus spill statistics. Group order is
 // hash order (by construction of the partition recursion).
 type Result struct {
-	Keys  []uint64
-	Aggs  [][]int64
-	Stats Stats
+	Keys []uint64
+	Aggs [][]int64
+	// AggsFloat mirrors Aggs finalized as float64 — exact for AVG, the
+	// widened integer otherwise.
+	AggsFloat [][]float64
+	Stats     Stats
 }
 
 // Groups returns the number of groups.
@@ -185,20 +272,43 @@ func Aggregate(cfg Config, in *core.Input) (*Result, error) {
 // — cancellation, I/O fault, budget, corruption — all spill writers are
 // closed and their files removed before the call returns.
 func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Result, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	userRows := cfg.MemoryBudgetRows
 	cfg = cfg.withDefaults()
 	p := buildPlan(in.Specs)
+	cfg.sizeFromBudget(p.width())
+	if userRows <= 0 && cfg.MemoryBudgetBytes > 0 {
+		// Derive the row budget from the byte budget: a merged row costs
+		// its record (read buffer) plus map entry and output copies —
+		// roughly 4× the record size covers all of them.
+		rows := cfg.MemoryBudgetBytes / int64(4*(8+8*p.width()))
+		cfg.MemoryBudgetRows = int(min(max(rows, 1024), 1<<20))
+	}
+
+	gov := cfg.Governor
+	if gov == nil {
+		gov = memgov.New(cfg.MemoryBudgetBytes)
+	}
+	if cfg.Core.Governor == nil {
+		cfg.Core.Governor = gov
+	}
+	// All spill I/O goes through the transient-fault retry layer.
+	retry := faultfs.NewRetry(cfg.FS, cfg.Retry)
+	cfg.FS = retry
 
 	dir, err := os.MkdirTemp(cfg.TempDir, "cacheagg-spill-*")
 	if err != nil {
 		return nil, fmt.Errorf("external: %w", err)
 	}
-	e := &extExec{cfg: cfg, plan: p, dir: dir}
+	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov}
 	defer func() {
 		if err != nil {
 			e.cleanupAll()
@@ -210,8 +320,27 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	if err != nil {
 		return nil, err
 	}
-	res = &Result{Aggs: make([][]int64, len(in.Specs))}
+	res = &Result{
+		Aggs:      make([][]int64, len(in.Specs)),
+		AggsFloat: make([][]float64, len(in.Specs)),
+	}
 	for d := 0; d < hashfn.Fanout; d++ {
+		if e.resident[d].n() > 0 {
+			if parts[d] != nil {
+				// Hybrid partition: push the resident remainder to the
+				// file so the merge sees every partial row.
+				if err := e.evict(d, parts); err != nil {
+					return nil, err
+				}
+			} else {
+				// Fully resident partition: merge straight from memory.
+				e.stats.ResidentPartitions++
+				r := &e.resident[d]
+				e.mergeInMemory(r.keys, r.partials, res)
+				e.releaseResident(d)
+				continue
+			}
+		}
 		if parts[d] == nil {
 			continue
 		}
@@ -222,6 +351,8 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 			return nil, err
 		}
 	}
+	e.stats.SpillRetries = retry.Retries()
+	e.stats.PeakReservedBytes = gov.HighWater()
 	res.Stats = e.stats
 	return res, nil
 }
@@ -230,15 +361,30 @@ type extExec struct {
 	cfg       Config
 	plan      *plan
 	dir       string
+	gov       *memgov.Governor
 	stats     Stats
 	nextID    int
 	diskBytes int64 // total file bytes written, incl. headers and footers
+
+	// resident holds the level-0 partitions kept in memory in hybrid mode
+	// (governor with a byte budget): partials accumulate here and only hit
+	// disk when the budget forces the largest partition out.
+	resident [hashfn.Fanout]resident
 
 	// track lists every spill writer ever created, so one cleanup pass on
 	// the error path can close and remove whatever is still live — no
 	// file handle or temp file survives a failed aggregation.
 	track []*spillWriter
 }
+
+// resident is one level-0 partition's in-memory partial rows.
+type resident struct {
+	keys     []uint64
+	partials [][]uint64
+	bytes    int64 // reserved with the governor
+}
+
+func (r *resident) n() int { return len(r.keys) }
 
 // recSize is the byte size of one spilled record: key + decomposed partials.
 func (e *extExec) recSize() int { return 8 + 8*e.plan.width() }
@@ -275,13 +421,23 @@ func (e *extExec) removeSpill(w *spillWriter) {
 	}
 }
 
+// minChunkRows is the floor of the chunk-halving degradation: below this
+// the per-chunk fixed costs dominate and shrinking further cannot help.
+const minChunkRows = 1024
+
 // spillInput runs phase 1 and returns one open spill writer per non-empty
-// level-0 partition.
+// level-0 partition (resident partitions may have no writer).
+//
+// When a chunk's in-memory aggregation runs over the byte budget, the
+// input range is retried with half the chunk size after evicting every
+// resident partition — the next rung of the degradation ladder. Only when
+// even minChunkRows-sized chunks cannot fit does the error propagate.
 func (e *extExec) spillInput(ctx context.Context, in *core.Input) ([]*spillWriter, error) {
 	writers := make([]*spillWriter, hashfn.Fanout)
 	budget := e.cfg.MemoryBudgetRows
 	n := len(in.Keys)
-	for lo := 0; lo < n; lo += budget {
+	lo := 0
+	for lo < n {
 		hi := min(lo+budget, n)
 		chunk := &core.Input{Keys: in.Keys[lo:hi], Specs: e.plan.dec}
 		chunk.AggCols = make([][]int64, len(in.AggCols))
@@ -290,24 +446,44 @@ func (e *extExec) spillInput(ctx context.Context, in *core.Input) ([]*spillWrite
 		}
 		part, err := core.AggregateContext(ctx, e.cfg.Core, chunk)
 		if err != nil {
+			if errors.Is(err, core.ErrMemoryBudget) && budget > minChunkRows {
+				if err := e.evictAll(writers); err != nil {
+					return nil, err
+				}
+				budget = max(budget/2, minChunkRows)
+				e.stats.ChunkRetries++
+				continue // same range, smaller chunks
+			}
 			return nil, err
 		}
 		e.stats.Chunks++
 		if err := e.spillPartial(part, writers); err != nil {
 			return nil, err
 		}
+		lo = hi
 	}
 	return writers, nil
 }
 
-// spillPartial appends each group of an in-memory partial result to the
-// level-0 spill partition of its hash digit. Because every decomposed
-// partial is width-1 and distributive, the finalized columns of the core
-// result ARE the partial states.
+// spillPartial routes each group of an in-memory partial result to the
+// level-0 partition of its hash digit: resident in memory while the byte
+// budget allows (hybrid mode), spilled to disk otherwise. Because every
+// decomposed partial is width-1 and distributive, the finalized columns of
+// the core result ARE the partial states.
 func (e *extExec) spillPartial(part *core.Result, writers []*spillWriter) error {
 	rec := make([]byte, e.recSize())
+	hybrid := e.gov != nil && e.gov.Budget() > 0
 	for r := 0; r < part.Groups(); r++ {
 		d := hashfn.Digit(part.Hashes[r], 0)
+		if hybrid {
+			kept, err := e.keepResident(d, part, r, writers)
+			if err != nil {
+				return err
+			}
+			if kept {
+				continue
+			}
+		}
 		w := writers[d]
 		if w == nil {
 			var err error
@@ -326,6 +502,95 @@ func (e *extExec) spillPartial(part *core.Result, writers []*spillWriter) error 
 		}
 	}
 	return nil
+}
+
+// keepResident tries to append row r of the partial result to partition
+// d's resident buffer, evicting the LARGEST resident partitions to disk
+// until the reservation fits — Jahangiri et al.'s dynamic hybrid: the
+// partitions most likely to keep growing go out, the small ones stay and
+// never pay disk I/O. Returns kept=false when nothing is left to evict and
+// the row must spill directly.
+func (e *extExec) keepResident(d int, part *core.Result, r int, writers []*spillWriter) (kept bool, err error) {
+	rowBytes := int64(e.recSize())
+	for !e.gov.TryReserve(rowBytes) {
+		big := -1
+		for i := range e.resident {
+			if e.resident[i].n() > 0 && (big < 0 || e.resident[i].bytes > e.resident[big].bytes) {
+				big = i
+			}
+		}
+		if big < 0 {
+			return false, nil
+		}
+		e.stats.EvictedPartitions++
+		if err := e.evict(big, writers); err != nil {
+			return false, err
+		}
+	}
+	res := &e.resident[d]
+	if res.partials == nil {
+		res.partials = make([][]uint64, e.plan.width())
+	}
+	res.keys = append(res.keys, part.Keys[r])
+	for c := 0; c < e.plan.width(); c++ {
+		res.partials[c] = append(res.partials[c], uint64(part.Aggs[c][r]))
+	}
+	res.bytes += rowBytes
+	return true, nil
+}
+
+// evict writes partition d's resident rows to its spill file (creating it
+// if needed) and releases their reservation.
+func (e *extExec) evict(d int, writers []*spillWriter) error {
+	res := &e.resident[d]
+	if res.n() == 0 {
+		return nil
+	}
+	w := writers[d]
+	if w == nil {
+		var err error
+		w, err = e.newWriter()
+		if err != nil {
+			return err
+		}
+		writers[d] = w
+	}
+	rec := make([]byte, e.recSize())
+	for i := range res.keys {
+		binary.LittleEndian.PutUint64(rec, res.keys[i])
+		for c := 0; c < e.plan.width(); c++ {
+			binary.LittleEndian.PutUint64(rec[8+8*c:], res.partials[c][i])
+		}
+		if err := e.writeRecord(w, rec); err != nil {
+			return err
+		}
+	}
+	e.releaseResident(d)
+	return nil
+}
+
+// evictAll pushes every resident partition to disk (used to free the whole
+// budget before retrying an over-budget chunk).
+func (e *extExec) evictAll(writers []*spillWriter) error {
+	for d := range e.resident {
+		if e.resident[d].n() == 0 {
+			continue
+		}
+		e.stats.EvictedPartitions++
+		if err := e.evict(d, writers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// releaseResident returns partition d's reservation and drops its rows.
+func (e *extExec) releaseResident(d int) {
+	res := &e.resident[d]
+	if e.gov != nil {
+		e.gov.Release(res.bytes)
+	}
+	*res = resident{}
 }
 
 // writeRecord appends one record to a spill partition, charging the spill
@@ -432,6 +697,22 @@ func (e *extExec) mergePartition(ctx context.Context, part *spillWriter, level i
 	}
 	e.removeSpill(part)
 
+	// Register the merge buffers with the governor. Released before the
+	// recursion in the re-partition branch (the buffers are dead by then),
+	// via defer on the in-memory merge branch.
+	loaded := int64(len(keys)) * int64(e.recSize())
+	if e.gov != nil {
+		e.gov.Reserve(loaded)
+	}
+	released := false
+	release := func() {
+		if !released && e.gov != nil {
+			released = true
+			e.gov.Release(loaded)
+		}
+	}
+	defer release()
+
 	if len(keys) > e.cfg.MemoryBudgetRows && level < hashfn.MaxLevels {
 		// Too big for an in-memory merge: re-partition by the next digit.
 		writers := make([]*spillWriter, hashfn.Fanout)
@@ -455,6 +736,7 @@ func (e *extExec) mergePartition(ctx context.Context, part *spillWriter, level i
 			}
 		}
 		keys, partials = nil, nil
+		release()
 		for _, w := range writers {
 			if w == nil {
 				continue
@@ -503,20 +785,26 @@ func (e *extExec) mergeInMemory(keys []uint64, partials [][]uint64, res *Result)
 	for si, s := range e.plan.orig {
 		off := e.plan.off[si]
 		col := res.Aggs[si]
+		fcol := res.AggsFloat[si]
 		for g := range outKeys {
 			if s.Kind == agg.Avg {
 				sum := int64(out[off][g])
 				cnt := int64(out[off+1][g])
 				if cnt == 0 {
 					col = append(col, 0)
+					fcol = append(fcol, 0)
 				} else {
 					col = append(col, sum/cnt)
+					fcol = append(fcol, float64(sum)/float64(cnt))
 				}
 			} else {
-				col = append(col, int64(out[off][g]))
+				v := int64(out[off][g])
+				col = append(col, v)
+				fcol = append(fcol, float64(v))
 			}
 		}
 		res.Aggs[si] = col
+		res.AggsFloat[si] = fcol
 	}
 }
 

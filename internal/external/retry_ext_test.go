@@ -1,0 +1,91 @@
+package external
+
+// Transient-fault behavior of the full spill pipeline: flaky I/O is
+// retried and absorbed, exhausted retries surface, and the retry count is
+// reported in Stats.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cacheagg/internal/core"
+	"cacheagg/internal/faultfs"
+)
+
+// noSleepPolicy retries without real delays to keep tests fast.
+func noSleepPolicy() faultfs.RetryPolicy {
+	return faultfs.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+func TestTransientSpillFaultRetriedMidRun(t *testing.T) {
+	// A transient streak shorter than the retry budget, injected in the
+	// middle of the spill writes: the run must succeed as if nothing
+	// happened, and Stats must record the absorbed retries.
+	flaky := faultfs.NewFlaky(faultfs.OS(), faultfs.OpWrite, 50, 2)
+	dir := t.TempDir()
+	cfg := testCfg(100)
+	cfg.TempDir = dir
+	cfg.FS = flaky
+	cfg.Retry = noSleepPolicy()
+	in := &core.Input{Keys: sameDigitKeys(300)}
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatalf("transient fault not absorbed: %v", err)
+	}
+	if !flaky.Triggered() {
+		t.Fatal("flaky fault never fired")
+	}
+	if res.Groups() != 300 {
+		t.Fatalf("groups = %d", res.Groups())
+	}
+	if res.Stats.SpillRetries == 0 {
+		t.Fatal("retries happened but Stats.SpillRetries = 0")
+	}
+}
+
+func TestTransientStreakBeyondRetryBudgetFails(t *testing.T) {
+	// A streak longer than MaxAttempts exhausts the retry budget; the
+	// transient error must surface (still classified transient) and the
+	// temp dir must come back clean.
+	flaky := faultfs.NewFlaky(faultfs.OS(), faultfs.OpWrite, 10, 16)
+	dir := t.TempDir()
+	cfg := testCfg(100)
+	cfg.TempDir = dir
+	cfg.FS = flaky
+	cfg.Retry = noSleepPolicy()
+	_, err := Aggregate(cfg, &core.Input{Keys: sameDigitKeys(300)})
+	if err == nil {
+		t.Fatal("retry budget exhausted but no error surfaced")
+	}
+	var ie *faultfs.InjectedError
+	if !errors.As(err, &ie) || !ie.Transient {
+		t.Fatalf("surfaced error lost the injected transient fault: %v", err)
+	}
+}
+
+func TestPermanentFaultNotRetried(t *testing.T) {
+	// A permanent (non-transient) injected fault must fail on the first
+	// attempt: exactly one fault fires, no retry burns attempts on it.
+	inj := faultfs.NewInjector(faultfs.OS(), faultfs.OpWrite, 5)
+	cfg := testCfg(100)
+	cfg.TempDir = t.TempDir()
+	cfg.FS = inj
+	cfg.Retry = noSleepPolicy()
+	_, err := Aggregate(cfg, &core.Input{Keys: sameDigitKeys(300)})
+	if err == nil {
+		t.Fatal("permanent fault did not surface")
+	}
+	var ie *faultfs.InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error does not wrap the injected fault: %v", err)
+	}
+	if ie.Transient {
+		t.Fatal("Injector faults must be permanent by default")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"cacheagg/internal/core"
 	"cacheagg/internal/faultfs"
 	"cacheagg/internal/hashfn"
+	"cacheagg/internal/testutil"
 )
 
 // sameDigitKeys returns n keys whose hashes share the level-0 digit, so
@@ -168,6 +169,7 @@ func TestMaxSpillBytesGenerousSucceeds(t *testing.T) {
 // error, and the temp dir must come back empty — no leaked file, no leaked
 // handle crashing the removal.
 func TestFaultInjectionEverySite(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	keys := sameDigitKeys(300)
 	in := &core.Input{Keys: keys}
 	baseCfg := func(dir string, fs faultfs.FS) Config {
@@ -251,6 +253,7 @@ func TestExternalContextAlreadyCancelled(t *testing.T) {
 }
 
 func TestExternalCancelMidRun(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	dir := t.TempDir()

@@ -8,13 +8,30 @@
 // as a clean, wrapped error with no file handles or temp files left behind.
 // Determinism matters: an injection plan is (Op, N), nothing is random, and
 // the same plan always fails the same site.
+//
+// Beyond the permanent-fault injector, the package models *transient*
+// faults — the EINTR/EAGAIN class of errors that succeed when simply tried
+// again — and provides the two sides of that coin:
+//
+//   - NewFlaky injects a bounded streak of transient failures at a chosen
+//     operation, and Chaos injects them randomly (but reproducibly, from a
+//     seed) at every site;
+//   - NewRetry wraps any FS with the capped-exponential-backoff retry
+//     policy the spill path uses to ride out transient faults, counting
+//     every retry for the operator's statistics.
 package faultfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cacheagg/internal/xrand"
 )
 
 // File is the subset of *os.File the spill path uses. There is
@@ -95,20 +112,42 @@ func (o Op) String() string {
 
 // InjectedError is the error returned by an injected fault.
 type InjectedError struct {
-	Op Op  // the failed operation kind
-	N  int // which occurrence failed (1-based)
+	Op        Op   // the failed operation kind
+	N         int  // which occurrence failed (1-based)
+	Transient bool // a retry of the same operation would succeed
 }
 
 func (e *InjectedError) Error() string {
-	return fmt.Sprintf("faultfs: injected %s failure (occurrence %d)", e.Op, e.N)
+	kind := "injected"
+	if e.Transient {
+		kind = "injected transient"
+	}
+	return fmt.Sprintf("faultfs: %s %s failure (occurrence %d)", kind, e.Op, e.N)
+}
+
+// IsTransient classifies an error as transient: retrying the same
+// operation has a reasonable chance of succeeding. It recognizes injected
+// transient faults and the retryable errno class (EINTR, EAGAIN, EBUSY).
+// Everything else — including context cancellation, corruption, and
+// permanent injected faults — is permanent.
+func IsTransient(err error) bool {
+	var ie *InjectedError
+	if errors.As(err, &ie) {
+		return ie.Transient
+	}
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EBUSY)
 }
 
 // Injector wraps an FS and fails the N-th operation of one kind. It is
 // safe for concurrent use.
 type Injector struct {
-	inner FS
-	op    Op
-	n     int // 1-based; <= 0 never triggers
+	inner     FS
+	op        Op
+	n         int // 1-based; <= 0 never triggers
+	streak    int // how many consecutive occurrences fail (≥ 1)
+	transient bool
 
 	mu        sync.Mutex
 	counts    [numOps]int
@@ -119,7 +158,18 @@ type Injector struct {
 // fails with *InjectedError. All other operations pass through. n <= 0
 // disables injection, leaving a pure operation counter.
 func NewInjector(inner FS, op Op, n int) *Injector {
-	return &Injector{inner: inner, op: op, n: n}
+	return &Injector{inner: inner, op: op, n: n, streak: 1}
+}
+
+// NewFlaky wraps inner so that occurrences n … n+streak−1 of kind op fail
+// with a *transient* InjectedError and every occurrence after the streak
+// succeeds — the model of a fault that goes away when retried. streak < 1
+// is treated as 1.
+func NewFlaky(inner FS, op Op, n, streak int) *Injector {
+	if streak < 1 {
+		streak = 1
+	}
+	return &Injector{inner: inner, op: op, n: n, streak: streak, transient: true}
 }
 
 // Triggered reports whether the planned fault has fired.
@@ -137,14 +187,14 @@ func (i *Injector) Count(op Op) int {
 	return i.counts[op]
 }
 
-// step counts one operation and decides whether it is the one to fail.
+// step counts one operation and decides whether it is one to fail.
 func (i *Injector) step(op Op) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	i.counts[op]++
-	if op == i.op && i.counts[op] == i.n {
+	if op == i.op && i.n > 0 && i.counts[op] >= i.n && i.counts[op] < i.n+i.streak {
 		i.triggered = true
-		return &InjectedError{Op: op, N: i.n}
+		return &InjectedError{Op: op, N: i.counts[op], Transient: i.transient}
 	}
 	return nil
 }
@@ -209,3 +259,265 @@ func (f *injFile) Close() error {
 }
 
 func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+
+// RetryPolicy configures the transient-fault retry of a Retry FS.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (the first
+	// attempt included); values < 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles after
+	// every failed retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+	// Sleep replaces time.Sleep in tests; nil selects time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the spill path's default: up to 4 attempts with
+// 500 µs → 1 ms → 2 ms backoff. The total worst-case stall per operation
+// stays well under the cost of failing a multi-second spilling query.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 500 * time.Microsecond, MaxDelay: 10 * time.Millisecond}
+}
+
+// Retry wraps an FS and retries transient failures (per IsTransient) with
+// capped exponential backoff. Permanent errors are returned immediately.
+//
+// Close is deliberately NOT retried: POSIX releases the descriptor even
+// when close fails, so a second close would hit a dead descriptor. Partial
+// writes are not retried either — the caller cannot know how many bytes
+// reached the file, so blind repetition would duplicate data; only writes
+// that failed before consuming any input are tried again.
+//
+// Retry is safe for concurrent use and counts every performed retry, so
+// the operator can surface "how flaky was the disk" in its statistics.
+type Retry struct {
+	inner   FS
+	pol     RetryPolicy
+	retries atomic.Int64
+}
+
+// NewRetry wraps inner with the given policy. Zero-value policy fields are
+// filled from DefaultRetryPolicy.
+func NewRetry(inner FS, pol RetryPolicy) *Retry {
+	def := DefaultRetryPolicy()
+	if pol.MaxAttempts == 0 {
+		pol.MaxAttempts = def.MaxAttempts
+	}
+	if pol.BaseDelay == 0 {
+		pol.BaseDelay = def.BaseDelay
+	}
+	if pol.MaxDelay == 0 {
+		pol.MaxDelay = def.MaxDelay
+	}
+	if pol.Sleep == nil {
+		pol.Sleep = time.Sleep
+	}
+	return &Retry{inner: inner, pol: pol}
+}
+
+// Retries returns how many retries have been performed (not counting the
+// first attempt of any operation).
+func (r *Retry) Retries() int64 { return r.retries.Load() }
+
+// do runs op, retrying transient failures per the policy.
+func (r *Retry) do(op func() error) error {
+	delay := r.pol.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !IsTransient(err) || attempt >= r.pol.MaxAttempts {
+			return err
+		}
+		r.retries.Add(1)
+		r.pol.Sleep(delay)
+		delay *= 2
+		if delay > r.pol.MaxDelay {
+			delay = r.pol.MaxDelay
+		}
+	}
+}
+
+func (r *Retry) Create(name string) (File, error) {
+	var f File
+	err := r.do(func() error {
+		var e error
+		f, e = r.inner.Create(name)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{f: f, r: r}, nil
+}
+
+func (r *Retry) Open(name string) (File, error) {
+	var f File
+	err := r.do(func() error {
+		var e error
+		f, e = r.inner.Open(name)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &retryFile{f: f, r: r}, nil
+}
+
+func (r *Retry) Remove(name string) error {
+	return r.do(func() error { return r.inner.Remove(name) })
+}
+
+// retryFile applies the retry policy to per-file operations.
+type retryFile struct {
+	f File
+	r *Retry
+}
+
+func (f *retryFile) Read(p []byte) (int, error) {
+	var n int
+	err := f.r.do(func() error {
+		var e error
+		n, e = f.f.Read(p)
+		if n > 0 {
+			// Bytes were consumed; never re-read them. io.ReadFull in the
+			// caller continues from here.
+			return nil
+		}
+		return e
+	})
+	if n > 0 {
+		return n, nil
+	}
+	return n, err
+}
+
+func (f *retryFile) Write(p []byte) (int, error) {
+	var n int
+	err := f.r.do(func() error {
+		var e error
+		n, e = f.f.Write(p)
+		if e != nil && n > 0 {
+			// Partial write: position unknown, retrying would duplicate.
+			return &permanentError{e}
+		}
+		return e
+	})
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return n, pe.err
+	}
+	return n, err
+}
+
+// Close is passed through without retry (see the Retry doc comment).
+func (f *retryFile) Close() error { return f.f.Close() }
+
+func (f *retryFile) Stat() (os.FileInfo, error) {
+	var fi os.FileInfo
+	err := f.r.do(func() error {
+		var e error
+		fi, e = f.f.Stat()
+		return e
+	})
+	return fi, err
+}
+
+// permanentError shields an error from transient classification.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+
+// Chaos wraps an FS and fails each operation with a given probability,
+// always transiently, driven by a seeded deterministic generator: the same
+// seed yields the same fault schedule for the same operation sequence
+// (modulo scheduling order under concurrency). It is the workload driver
+// of the chaos/soak harness. Safe for concurrent use.
+type Chaos struct {
+	inner  FS
+	perMil int
+	mu     sync.Mutex
+	rng    *xrand.Xoshiro256
+	faults atomic.Int64
+}
+
+// NewChaos wraps inner so that every operation fails transiently with
+// probability perMil/1000.
+func NewChaos(inner FS, seed uint64, perMil int) *Chaos {
+	return &Chaos{inner: inner, perMil: perMil, rng: xrand.NewXoshiro256(seed | 1)}
+}
+
+// Faults returns how many faults have been injected so far.
+func (c *Chaos) Faults() int64 { return c.faults.Load() }
+
+func (c *Chaos) step(op Op) error {
+	c.mu.Lock()
+	hit := c.rng.Intn(1000) < c.perMil
+	c.mu.Unlock()
+	if hit {
+		n := int(c.faults.Add(1))
+		return &InjectedError{Op: op, N: n, Transient: true}
+	}
+	return nil
+}
+
+func (c *Chaos) Create(name string) (File, error) {
+	if err := c.step(OpCreate); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{f: f, c: c}, nil
+}
+
+func (c *Chaos) Open(name string) (File, error) {
+	if err := c.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{f: f, c: c}, nil
+}
+
+func (c *Chaos) Remove(name string) error {
+	if err := c.step(OpRemove); err != nil {
+		return err
+	}
+	return c.inner.Remove(name)
+}
+
+// chaosFile injects transient faults at the per-file operations. Like
+// injFile, a faulted Close still closes the underlying file so no real
+// descriptor leaks into the test process.
+type chaosFile struct {
+	f File
+	c *Chaos
+}
+
+func (f *chaosFile) Read(p []byte) (int, error) {
+	if err := f.c.step(OpRead); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	if err := f.c.step(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *chaosFile) Close() error {
+	err := f.c.step(OpClose)
+	if cerr := f.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (f *chaosFile) Stat() (os.FileInfo, error) { return f.f.Stat() }

@@ -1,0 +1,216 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&InjectedError{Op: OpWrite, N: 1, Transient: true}, true},
+		{&InjectedError{Op: OpWrite, N: 1}, false},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.EBUSY, true},
+		{syscall.ENOSPC, false},
+		{errors.New("some error"), false},
+		{io.ErrUnexpectedEOF, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestFlakyFailsStreakThenSucceeds(t *testing.T) {
+	inj := NewFlaky(OS(), OpWrite, 2, 3) // writes 2,3,4 fail transiently
+	f, err := inj.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		_, err := f.Write([]byte("x"))
+		var ie *InjectedError
+		if !errors.As(err, &ie) || !ie.Transient {
+			t.Fatalf("write %d: err = %v, want transient injected fault", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("b")); err != nil {
+		t.Fatalf("write 5 (past streak): %v", err)
+	}
+}
+
+// noSleep builds a policy that records backoff delays instead of sleeping.
+func noSleep(attempts int) (RetryPolicy, *[]time.Duration) {
+	delays := &[]time.Duration{}
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    3 * time.Millisecond,
+		Sleep:       func(d time.Duration) { *delays = append(*delays, d) },
+	}, delays
+}
+
+func TestRetryRidesOutTransientFaults(t *testing.T) {
+	pol, delays := noSleep(4)
+	rfs := NewRetry(NewFlaky(OS(), OpWrite, 1, 2), pol)
+	f, err := rfs.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatalf("write should succeed after retries: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rfs.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	// Backoff doubles and is capped: 1ms, 2ms.
+	if len(*delays) != 2 || (*delays)[0] != time.Millisecond || (*delays)[1] != 2*time.Millisecond {
+		t.Fatalf("delays = %v", *delays)
+	}
+}
+
+func TestRetryBackoffIsCapped(t *testing.T) {
+	pol, delays := noSleep(6)
+	rfs := NewRetry(NewFlaky(OS(), OpCreate, 1, 5), pol)
+	if _, err := rfs.Create(filepath.Join(t.TempDir(), "f")); err != nil {
+		t.Fatalf("create should succeed on attempt 6: %v", err)
+	}
+	// 1ms, 2ms, then capped at 3ms.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond, 3 * time.Millisecond}
+	if len(*delays) != len(want) {
+		t.Fatalf("delays = %v", *delays)
+	}
+	for i := range want {
+		if (*delays)[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v", i, (*delays)[i], want[i])
+		}
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	pol, _ := noSleep(3)
+	rfs := NewRetry(NewFlaky(OS(), OpOpen, 1, 100), pol)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := OS().Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = rfs.Open(path)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || !ie.Transient {
+		t.Fatalf("exhausted retry must surface the transient fault: %v", err)
+	}
+	if got := rfs.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2 (3 attempts)", got)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentFaults(t *testing.T) {
+	pol, delays := noSleep(4)
+	rfs := NewRetry(NewInjector(OS(), OpWrite, 1), pol) // permanent fault
+	f, err := rfs.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("permanent fault swallowed")
+	}
+	if len(*delays) != 0 || rfs.Retries() != 0 {
+		t.Fatalf("permanent fault was retried: %d retries", rfs.Retries())
+	}
+}
+
+func TestRetryReadResumesAfterTransientFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := OS().Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("0123456789"))
+	f.Close()
+
+	pol, _ := noSleep(4)
+	// bufio-free read: the 2nd raw read faults transiently; the wrapper must
+	// retry it and the caller must see the full contents exactly once.
+	rfs := NewRetry(NewFlaky(OS(), OpRead, 2, 1), pol)
+	r, err := rfs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4)
+	var got []byte
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	if string(got) != "0123456789" {
+		t.Fatalf("read %q, want the full contents with no duplication", got)
+	}
+	if rfs.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", rfs.Retries())
+	}
+}
+
+func TestChaosIsDeterministicPerSeed(t *testing.T) {
+	runOnce := func(seed uint64) (int64, []bool) {
+		c := NewChaos(OS(), seed, 300)
+		dir := t.TempDir()
+		var outcomes []bool
+		for i := 0; i < 50; i++ {
+			f, err := c.Create(filepath.Join(dir, "f"))
+			outcomes = append(outcomes, err == nil)
+			if err == nil {
+				f.Close()
+			}
+		}
+		return c.Faults(), outcomes
+	}
+	f1, o1 := runOnce(42)
+	f2, o2 := runOnce(42)
+	if f1 != f2 {
+		t.Fatalf("same seed, different fault counts: %d vs %d", f1, f2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	if f1 == 0 {
+		t.Fatal("chaos at 30% never injected a fault in 100 ops")
+	}
+	f3, _ := runOnce(43)
+	_ = f3 // different seed may coincide in count; determinism per seed is the contract
+}
+
+func TestChaosFaultsAreTransient(t *testing.T) {
+	c := NewChaos(OS(), 7, 1000) // always fail
+	_, err := c.Create(filepath.Join(t.TempDir(), "f"))
+	if !IsTransient(err) {
+		t.Fatalf("chaos fault not transient: %v", err)
+	}
+}

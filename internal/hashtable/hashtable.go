@@ -141,6 +141,13 @@ func New(cfg Config) *Table {
 // CapacityRows returns the total slot count (after rounding).
 func (t *Table) CapacityRows() int { return t.capRows }
 
+// FootprintBytes returns the heap footprint of the table's backing arrays
+// (hash, key, and version columns plus one column per state word), for
+// registration with the memory governor.
+func (t *Table) FootprintBytes() int64 {
+	return int64(t.capRows) * int64(8+8+4+8*t.words)
+}
+
 // SetLevel re-targets an empty table to a different recursion level, so a
 // worker can reuse one cache-sized allocation across bucket tasks. It
 // panics if the table still holds rows or the level is out of range.

@@ -1,0 +1,184 @@
+// Package memgov implements the central memory governor of the engine: a
+// byte-accurate accountant that the big memory consumers — worker hash
+// tables, partition/run buffers, resident spill partitions, and external
+// merge state — register their allocations with.
+//
+// The governor does not allocate anything itself and it cannot stop an
+// allocation that has already happened; it is the bookkeeping that lets the
+// operator make *decisions* from real footprint instead of row-count
+// proxies:
+//
+//   - the in-memory operator polls OverBudget at morsel and task boundaries
+//     and aborts with a typed error so the caller can degrade to the
+//     out-of-core path instead of blowing past the budget;
+//   - the external operator calls TryReserve before growing a resident
+//     partition and evicts (spills) the largest resident partition when the
+//     reservation fails — the dynamic-hybrid degradation of Jahangiri et
+//     al.;
+//   - both size their buffers from Remaining instead of guessing.
+//
+// Accounting precision: reservations go through per-worker Caches that
+// batch small deltas into one shared atomic, so the hot path costs one
+// add on a worker-local int. The shared counter therefore trails the true
+// sum by at most workers×grain bytes, and budget checks performed once
+// per morsel can overshoot by at most one morsel of production per
+// worker — the documented slack of the budget contract.
+package memgov
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrBudget is the sentinel wrapped by every budget-exceeded failure.
+var ErrBudget = errors.New("memory budget exceeded")
+
+// DefaultCacheGrain is the default flush threshold of a per-worker Cache:
+// small enough that the shared counter stays honest, large enough that the
+// shared atomic is touched ~once per few hundred rows.
+const DefaultCacheGrain = 32 << 10
+
+// Governor is a byte budget shared by all memory consumers of one
+// execution. The zero value is not usable; create Governors with New. All
+// methods are safe for concurrent use.
+type Governor struct {
+	budget   int64 // 0 = unlimited (pure accounting, never over budget)
+	reserved atomic.Int64
+	high     atomic.Int64
+}
+
+// New creates a governor enforcing the given budget in bytes. budget <= 0
+// means unlimited: the governor still accounts and tracks the high-water
+// mark, but TryReserve never fails and OverBudget is always false.
+func New(budget int64) *Governor {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Governor{budget: budget}
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (g *Governor) Budget() int64 { return g.budget }
+
+// Reserved returns the bytes currently reserved (flushed caches only).
+func (g *Governor) Reserved() int64 { return g.reserved.Load() }
+
+// HighWater returns the maximum value Reserved has reached.
+func (g *Governor) HighWater() int64 { return g.high.Load() }
+
+// Remaining returns budget − reserved, floored at zero. Unlimited
+// governors report a practically infinite remainder.
+func (g *Governor) Remaining() int64 {
+	if g.budget == 0 {
+		return 1 << 62
+	}
+	r := g.budget - g.reserved.Load()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// OverBudget reports whether reservations exceed the budget.
+func (g *Governor) OverBudget() bool {
+	return g.budget > 0 && g.reserved.Load() > g.budget
+}
+
+// Reserve unconditionally accounts n bytes (n may be negative to release).
+// It never fails: consumers that cannot un-allocate (a morsel of rows
+// already materialized) record the truth and let the boundary check decide.
+func (g *Governor) Reserve(n int64) {
+	now := g.reserved.Add(n)
+	g.bumpHigh(now)
+}
+
+// TryReserve accounts n bytes only if the total stays within budget; it
+// reports whether the reservation was granted. n must be non-negative.
+func (g *Governor) TryReserve(n int64) bool {
+	for {
+		cur := g.reserved.Load()
+		next := cur + n
+		if g.budget > 0 && next > g.budget {
+			return false
+		}
+		if g.reserved.CompareAndSwap(cur, next) {
+			g.bumpHigh(next)
+			return true
+		}
+	}
+}
+
+// Release returns n bytes to the budget.
+func (g *Governor) Release(n int64) { g.reserved.Add(-n) }
+
+func (g *Governor) bumpHigh(now int64) {
+	for {
+		h := g.high.Load()
+		if now <= h || g.high.CompareAndSwap(h, now) {
+			return
+		}
+	}
+}
+
+// BudgetError builds the typed error for a consumer that hit the budget,
+// naming who needed what. It wraps ErrBudget for errors.Is.
+func (g *Governor) BudgetError(who string, need int64) error {
+	return fmt.Errorf("%w: %s needs %d bytes, %d of %d reserved",
+		ErrBudget, who, need, g.reserved.Load(), g.budget)
+}
+
+// Cache is a per-worker reservation cache: deltas accumulate locally and
+// are flushed to the shared governor once they exceed the grain, so the
+// per-row hot path never touches the shared atomic. A Cache is owned by
+// one worker and is NOT safe for concurrent use.
+type Cache struct {
+	gov   *Governor
+	grain int64
+	local int64
+	net   int64
+}
+
+// NewCache returns a worker-local cache; grain <= 0 selects
+// DefaultCacheGrain. A nil governor yields a no-op cache.
+func (g *Governor) NewCache(grain int64) *Cache {
+	if grain <= 0 {
+		grain = DefaultCacheGrain
+	}
+	return &Cache{gov: g, grain: grain}
+}
+
+// Reserve accounts n bytes (negative releases), flushing to the governor
+// when the local delta exceeds the grain.
+func (c *Cache) Reserve(n int64) {
+	if c == nil || c.gov == nil {
+		return
+	}
+	c.net += n
+	c.local += n
+	if c.local >= c.grain || c.local <= -c.grain {
+		c.gov.Reserve(c.local)
+		c.local = 0
+	}
+}
+
+// Net returns the cumulative bytes this cache has reserved minus released
+// over its lifetime. A finished consumer releases its Net back to the
+// governor so a shared governor's ledger survives sequential runs.
+func (c *Cache) Net() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.net
+}
+
+// Flush pushes any pending local delta to the governor. Call at natural
+// boundaries (end of a morsel, end of a task) so budget checks see the
+// truth.
+func (c *Cache) Flush() {
+	if c == nil || c.gov == nil || c.local == 0 {
+		return
+	}
+	c.gov.Reserve(c.local)
+	c.local = 0
+}

@@ -1,0 +1,122 @@
+package memgov
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReserveReleaseHighWater(t *testing.T) {
+	g := New(1000)
+	g.Reserve(400)
+	g.Reserve(300)
+	if got := g.Reserved(); got != 700 {
+		t.Fatalf("Reserved = %d, want 700", got)
+	}
+	g.Release(500)
+	if got := g.Reserved(); got != 200 {
+		t.Fatalf("Reserved after release = %d, want 200", got)
+	}
+	if got := g.HighWater(); got != 700 {
+		t.Fatalf("HighWater = %d, want 700", got)
+	}
+	if got := g.Remaining(); got != 800 {
+		t.Fatalf("Remaining = %d, want 800", got)
+	}
+}
+
+func TestTryReserveEnforcesBudget(t *testing.T) {
+	g := New(100)
+	if !g.TryReserve(60) {
+		t.Fatal("60/100 must be granted")
+	}
+	if g.TryReserve(50) {
+		t.Fatal("60+50 > 100 must be refused")
+	}
+	if g.Reserved() != 60 {
+		t.Fatalf("refused reservation changed the count: %d", g.Reserved())
+	}
+	if !g.TryReserve(40) {
+		t.Fatal("60+40 = 100 must be granted (budget is inclusive)")
+	}
+	if g.OverBudget() {
+		t.Fatal("exactly at budget is not over budget")
+	}
+	g.Reserve(1)
+	if !g.OverBudget() {
+		t.Fatal("forced reservation past budget must report OverBudget")
+	}
+}
+
+func TestUnlimitedGovernor(t *testing.T) {
+	g := New(0)
+	if !g.TryReserve(1 << 40) {
+		t.Fatal("unlimited governor refused a reservation")
+	}
+	if g.OverBudget() {
+		t.Fatal("unlimited governor can never be over budget")
+	}
+	if g.HighWater() != 1<<40 {
+		t.Fatalf("HighWater = %d", g.HighWater())
+	}
+}
+
+func TestBudgetErrorWrapsSentinel(t *testing.T) {
+	g := New(10)
+	err := g.BudgetError("worker table", 64)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("BudgetError does not wrap ErrBudget: %v", err)
+	}
+}
+
+func TestCacheBatchesAndFlushes(t *testing.T) {
+	g := New(0)
+	c := g.NewCache(100)
+	c.Reserve(40)
+	if g.Reserved() != 0 {
+		t.Fatalf("small delta flushed early: %d", g.Reserved())
+	}
+	c.Reserve(70) // 110 >= grain: flush
+	if g.Reserved() != 110 {
+		t.Fatalf("Reserved = %d, want 110", g.Reserved())
+	}
+	c.Reserve(-5)
+	c.Flush()
+	if g.Reserved() != 105 {
+		t.Fatalf("Reserved after flush = %d, want 105", g.Reserved())
+	}
+	c.Flush() // idempotent with nothing pending
+	if g.Reserved() != 105 {
+		t.Fatalf("empty flush changed the count: %d", g.Reserved())
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	c.Reserve(10)
+	c.Flush()
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	g := New(0)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := g.NewCache(256)
+			for i := 0; i < per; i++ {
+				c.Reserve(3)
+			}
+			c.Flush()
+		}()
+	}
+	wg.Wait()
+	if want := int64(workers * per * 3); g.Reserved() != want {
+		t.Fatalf("Reserved = %d, want %d", g.Reserved(), want)
+	}
+	if g.HighWater() < g.Reserved() {
+		t.Fatalf("HighWater %d below final Reserved %d", g.HighWater(), g.Reserved())
+	}
+}

@@ -47,10 +47,23 @@ func (c *Ctx) Spawn(t Task) { c.pool.push(c.Worker, t) }
 func (c *Ctx) Workers() int { return c.pool.workers }
 
 // Aborted reports whether the current run is being torn down — because a
-// task panicked or the run's context was cancelled. Long-running tasks
-// should poll it at natural boundaries (per morsel, per run) and return
-// early; their partial output is discarded by the caller anyway.
+// task panicked, failed via Fail, or the run's context was cancelled.
+// Long-running tasks should poll it at natural boundaries (per morsel, per
+// run) and return early; their partial output is discarded by the caller
+// anyway.
 func (c *Ctx) Aborted() bool { return c.pool.aborted.Load() }
+
+// Fail aborts the current run cooperatively: the given error is recorded
+// (first failure wins, like panics), remaining tasks are drained without
+// being executed, and RunContext returns the error. Use it for typed
+// give-up conditions a task detects itself — a memory budget exceeded, an
+// invariant violated — where a panic would lose the error's type.
+func (c *Ctx) Fail(err error) {
+	if err == nil {
+		return
+	}
+	c.pool.fail(err)
+}
 
 // deque is a per-worker double-ended task queue. The owner pushes and pops
 // at the tail; thieves steal from the head. A plain mutex keeps it simple

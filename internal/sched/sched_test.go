@@ -2,12 +2,14 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
-	"time"
+
+	"cacheagg/internal/testutil"
 )
 
 func TestPoolRunsSingleTask(t *testing.T) {
@@ -279,6 +281,44 @@ func TestPoolFirstPanicWins(t *testing.T) {
 	}
 }
 
+func TestCtxFailAbortsRunWithTypedError(t *testing.T) {
+	p := NewPool(4)
+	sentinel := errors.New("budget exceeded")
+	var ranAfter atomic.Int32
+	err := p.Run(func(c *Ctx) {
+		c.Fail(sentinel)
+		// Children spawned after a Fail are drained, not executed.
+		for !c.Aborted() {
+			runtime.Gosched()
+		}
+		for i := 0; i < 64; i++ {
+			c.Spawn(func(*Ctx) { ranAfter.Add(1) })
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the failed task's typed error", err)
+	}
+	if ranAfter.Load() != 0 {
+		t.Fatalf("%d tasks ran after Fail", ranAfter.Load())
+	}
+	// First failure wins; nil Fail is a no-op; pool is reusable.
+	if err := p.Run(func(c *Ctx) { c.Fail(nil) }); err != nil {
+		t.Fatalf("pool not reusable after Fail, or nil Fail recorded: %v", err)
+	}
+}
+
+func TestCtxFailFirstErrorWins(t *testing.T) {
+	p := NewPool(4)
+	first := errors.New("first")
+	err := p.Run(func(c *Ctx) {
+		c.Fail(first)
+		c.Fail(errors.New("second"))
+	})
+	if !errors.Is(err, first) {
+		t.Fatalf("err = %v, want the first failure", err)
+	}
+}
+
 func TestRunContextAlreadyCancelled(t *testing.T) {
 	p := NewPool(4)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -317,8 +357,8 @@ func TestRunContextCancelMidRun(t *testing.T) {
 }
 
 func TestRunContextNoGoroutineLeak(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	p := NewPool(4)
-	before := runtime.NumGoroutine()
 	for i := 0; i < 10; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
 		p.RunContext(ctx, func(c *Ctx) {
@@ -327,14 +367,5 @@ func TestRunContextNoGoroutineLeak(t *testing.T) {
 			}
 		})
 		cancel()
-	}
-	// Allow exited workers and watchers to be reaped.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		runtime.Gosched()
-		time.Sleep(time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		t.Fatalf("goroutines grew from %d to %d", before, g)
 	}
 }

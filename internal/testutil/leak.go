@@ -1,0 +1,50 @@
+// Package testutil holds small shared test helpers. Production code must
+// never import it.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// leakSettle is how long VerifyNoLeaks waits for stray goroutines to exit
+// before declaring a leak. Runtime-internal goroutines (GC workers, timer
+// scavenger) start lazily and are counted by NumGoroutine, so the check
+// polls rather than comparing a single snapshot.
+const leakSettle = 3 * time.Second
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup that
+// fails the test if the count has not returned to the baseline by the end
+// of the test (after a settle period). Call it first thing in any test
+// that starts pools, watchers, or spill machinery:
+//
+//	func TestSomething(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+//
+// On failure the full goroutine dump is logged, so the leaked goroutine's
+// stack is visible in the test output.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettle)
+		var g int
+		for {
+			g = runtime.NumGoroutine()
+			if g <= baseline || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if g > baseline {
+			var buf bytes.Buffer
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Errorf("goroutine leak: %d before, %d after settle\n%s", baseline, g, buf.String())
+		}
+	})
+}

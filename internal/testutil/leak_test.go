@@ -1,0 +1,53 @@
+package testutil
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestVerifyNoLeaksPassesWhenClean exercises the happy path: goroutines
+// that exit before the test ends must not trip the checker.
+func TestVerifyNoLeaksPassesWhenClean(t *testing.T) {
+	VerifyNoLeaks(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// TestVerifyNoLeaksDetectsLeak runs the checker against a deliberately
+// leaked goroutine on a sacrificial sub-test recorder, asserting that it
+// reports the leak (without failing this test).
+func TestVerifyNoLeaksDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+
+	rec := &recorder{TB: t}
+	VerifyNoLeaks(rec)
+	go func() { <-block }() // alive past the cleanup deadline below
+	rec.runCleanups()
+	if !rec.failed {
+		t.Fatal("checker missed a leaked goroutine")
+	}
+}
+
+// recorder captures Errorf and cleanups instead of failing the real test.
+type recorder struct {
+	testing.TB
+	failed   bool
+	cleanups []func()
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Errorf(format string, args ...any) { r.failed = true }
+
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recorder) runCleanups() {
+	for _, f := range r.cleanups {
+		f()
+	}
+}

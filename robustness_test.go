@@ -7,13 +7,12 @@ import (
 	"context"
 	"errors"
 	"os"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"cacheagg/internal/core"
+	"cacheagg/internal/testutil"
 )
 
 // panicInnerStrategy explodes inside a worker task (the task-local state
@@ -27,7 +26,9 @@ func (panicInnerStrategy) NewState(level, cacheRows int) core.StrategyState {
 }
 
 func TestAggregateContainsTaskPanic(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	// The process must survive (the test keeps running) and all workers
+	// must exit — the leak checker verifies the latter at cleanup.
+	testutil.VerifyNoLeaks(t)
 	res, err := Aggregate(Input{GroupBy: []uint64{1, 2, 3, 1, 2}}, Options{
 		Strategy: Strategy{inner: panicInnerStrategy{}},
 		Workers:  4,
@@ -40,14 +41,6 @@ func TestAggregateContainsTaskPanic(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "user strategy exploded") {
 		t.Fatalf("error lost the panic value: %v", err)
-	}
-	// The process survives (we are here) and all workers exited.
-	deadline := time.Now().Add(3 * time.Second)
-	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > baseline {
-		t.Fatalf("goroutines leaked: %d before, %d after", baseline, g)
 	}
 }
 
@@ -103,6 +96,7 @@ func (c cancellingStrategy) NewState(level, cacheRows int) core.StrategyState {
 }
 
 func TestAggregateExternalContextCancelCleansSpill(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	dir := t.TempDir()
