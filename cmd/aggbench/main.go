@@ -24,6 +24,8 @@
 //	tbl-sortdual  classic sort-based aggregation vs the operator
 //	tbl-columnar  Section 3.3's three column-processing models
 //	interference  Section 6.2's co-runner experiment
+//	sweep       standard hot-path sweep (uniform-K strategies + multi-column
+//	            SUM); -json writes one machine-readable record per point
 //	all         run everything at the default scale
 //
 // Common flags (defaults target a quick laptop run; raise -logn toward the
@@ -41,6 +43,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"cacheagg/internal/bench"
 )
@@ -69,8 +72,47 @@ func main() {
 	reps := fs.Int("reps", 3, "repetitions per measurement (median reported)")
 	tsv := fs.Bool("tsv", false, "emit TSV instead of aligned tables")
 	sim := fs.Bool("sim", false, "fig1: also run the cache-simulator validation")
+	jsonPath := fs.String("json", "", "write machine-readable sweep records to this file (sweep command)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aggbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "aggbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *jsonPath != "" {
+		defer func() {
+			if err := writeSweepJSON(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "aggbench: -json: %v\n", err)
+			}
+		}()
 	}
 	sc := scale{
 		logN:    *logN,
@@ -98,6 +140,7 @@ func main() {
 		"tbl-columnar": tblColumnar,
 		"interference": fig6Interference,
 		"ablation":     tblAblation,
+		"sweep":        sweep,
 	}
 
 	emit := func(tables []*bench.Table) {
@@ -137,7 +180,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `aggbench — regenerate the paper's tables and figures
 
 usage: aggbench <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
-                 tbl-insert|tbl-sortdual|tbl-columnar|interference|all> [flags]
+                 tbl-insert|tbl-sortdual|tbl-columnar|interference|sweep|all> [flags]
 
-flags: -logn N  -workers P  -cache BYTES  -reps R  -tsv  -sim`)
+flags: -logn N  -workers P  -cache BYTES  -reps R  -tsv  -sim
+       -json FILE  (sweep: machine-readable records)
+       -cpuprofile FILE  -memprofile FILE  (pprof output of the run)`)
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/bench"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/xrand"
+)
+
+// sweepRecord is one point of the standard hot-path sweep, and the schema of
+// the -json output (BENCH_phase3.json is a list of these).
+type sweepRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// sweepRecords collects the records of the last `sweep` run for -json.
+var sweepRecords []sweepRecord
+
+// sweepPoint measures one sweep point with the testing package's benchmark
+// driver (auto-scaled iteration counts, wall-clock + allocation accounting).
+func sweepPoint(name string, rows int, fn func()) sweepRecord {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	ns := float64(res.NsPerOp())
+	return sweepRecord{
+		Name:        name,
+		NsPerOp:     ns,
+		RowsPerSec:  float64(rows) / (ns / 1e9),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// sweep runs the standard hot-path sweep: the uniform-K Distinct sweeps for
+// the main strategies plus the multi-column SUM points, all at N = 2^logn.
+// This is the sweep behind BENCH_phase3.json; rerun it via
+//
+//	aggbench sweep -json BENCH.json
+//
+// to compare machines or commits (pair two files with benchstat or simply
+// diff rows_per_sec).
+func sweep(sc scale) []*bench.Table {
+	sweepRecords = sweepRecords[:0]
+	t := bench.NewTable(
+		fmt.Sprintf("Standard sweep — hot-path benchmarks (N=2^%d, P=%d)", sc.logN, sc.workers),
+		"point", "ns/op", "rows/s", "allocs/op")
+
+	add := func(r sweepRecord) {
+		sweepRecords = append(sweepRecords, r)
+		t.AddRow(r.Name, fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.3e", r.RowsPerSec), r.AllocsPerOp)
+	}
+
+	strategies := []core.Strategy{
+		core.HashingOnly(),
+		core.PartitionAlways(1),
+		core.DefaultAdaptive(),
+	}
+	kExps := []int{8, 14, 19}
+	for _, s := range strategies {
+		cfg := core.Config{Strategy: s, Workers: sc.workers, CacheBytes: sc.cache}
+		for _, kExp := range kExps {
+			if kExp >= sc.logN {
+				continue
+			}
+			keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: 1 << uint(kExp), Seed: 11})
+			add(sweepPoint(fmt.Sprintf("distinct/%s/K=2^%d", s.Name(), kExp), sc.n, func() {
+				if _, err := core.Distinct(cfg, keys); err != nil {
+					panic(err)
+				}
+			}))
+		}
+	}
+
+	// Multi-column SUM points (the Figure 7 shape at C = 1 and 2).
+	rng := xrand.NewXoshiro256(9)
+	cols := make([][]int64, 2)
+	for c := range cols {
+		cols[c] = make([]int64, sc.n)
+		for i := range cols[c] {
+			cols[c][i] = int64(rng.Next() % 1000)
+		}
+	}
+	keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: 1 << 16, Seed: 13})
+	for _, nc := range []int{1, 2} {
+		in := &core.Input{Keys: keys, AggCols: cols[:nc]}
+		for c := 0; c < nc; c++ {
+			in.Specs = append(in.Specs, agg.Spec{Kind: agg.Sum, Col: c})
+		}
+		cfg := core.Config{Strategy: core.DefaultAdaptive(), Workers: sc.workers, CacheBytes: sc.cache}
+		add(sweepPoint(fmt.Sprintf("sum/C=%d/K=2^16", nc), sc.n, func() {
+			if _, err := core.Aggregate(cfg, in); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	return []*bench.Table{t}
+}
+
+// writeSweepJSON writes the records of the last sweep to path.
+func writeSweepJSON(path string) error {
+	if len(sweepRecords) == 0 {
+		return fmt.Errorf("no sweep records to write (use -json with the sweep command)")
+	}
+	data, err := json.MarshalIndent(sweepRecords, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,125 @@
+package agg
+
+import (
+	"testing"
+
+	"cacheagg/internal/xrand"
+)
+
+// TestColumnFoldersMatchScalar checks every monomorphic fold kernel against
+// the scalar Op.Apply reference over random slots and values, including
+// boundary batch lengths.
+func TestColumnFoldersMatchScalar(t *testing.T) {
+	ops := []WordOp{
+		{Op: OpAdd, Src: SrcCol},
+		{Op: OpAdd, Src: SrcOne},
+		{Op: OpMin, Src: SrcCol},
+		{Op: OpMax, Src: SrcCol},
+	}
+	rng := xrand.NewXoshiro256(1)
+	const groups = 257
+	for _, op := range ops {
+		for _, n := range []int{0, 1, 7, 8, 9, 4096} {
+			slots := make([]int32, n)
+			vals := make([]int64, n)
+			for i := range slots {
+				slots[i] = int32(rng.Uint64n(groups))
+				vals[i] = int64(rng.Next()) >> 33 // mixed signs
+			}
+			want := make([]uint64, groups)
+			got := make([]uint64, groups)
+			for i := range want {
+				want[i] = rng.Next()
+			}
+			copy(got, want)
+
+			for j, s := range slots {
+				v := uint64(1)
+				if op.Src == SrcCol {
+					v = uint64(vals[j])
+				}
+				want[s] = op.Op.Apply(want[s], v)
+			}
+			fold := op.ColumnFolder()
+			if op.Src == SrcCol {
+				fold(got, slots, vals)
+			} else {
+				fold(got, slots, nil)
+			}
+			for s := range want {
+				if want[s] != got[s] {
+					t.Fatalf("op %v n=%d: state[%d] = %#x, want %#x", op, n, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestColumnMergersMatchScalar does the same for the state-merge kernels.
+func TestColumnMergersMatchScalar(t *testing.T) {
+	rng := xrand.NewXoshiro256(2)
+	const groups = 129
+	for _, op := range []Op{OpAdd, OpMin, OpMax} {
+		for _, n := range []int{0, 1, 7, 8, 513} {
+			slots := make([]int32, n)
+			src := make([]uint64, n)
+			for i := range slots {
+				slots[i] = int32(rng.Uint64n(groups))
+				src[i] = rng.Next()
+			}
+			want := make([]uint64, groups)
+			got := make([]uint64, groups)
+			for i := range want {
+				want[i] = rng.Next()
+			}
+			copy(got, want)
+			for j, s := range slots {
+				want[s] = op.Apply(want[s], src[j])
+			}
+			op.ColumnMerger()(got, slots, src)
+			for s := range want {
+				if want[s] != got[s] {
+					t.Fatalf("op %v n=%d: state[%d] = %#x, want %#x", op, n, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestIdentityFoldEqualsInit pins the bitwise-equivalence argument the batch
+// claim path relies on: initializing a state word to the op's identity and
+// folding a value into it yields exactly the directly-initialized word.
+func TestIdentityFoldEqualsInit(t *testing.T) {
+	rng := xrand.NewXoshiro256(3)
+	for _, op := range []Op{OpAdd, OpMin, OpMax} {
+		for i := 0; i < 1000; i++ {
+			v := rng.Next()
+			if got := op.Apply(op.Identity(), v); got != v {
+				t.Fatalf("op %v: Apply(identity, %#x) = %#x, want the value itself", op, v, got)
+			}
+		}
+	}
+}
+
+// TestKernelsShape checks the per-layout kernel table: one fold and one
+// merge kernel per state word, and column indices matching the word ops.
+func TestKernelsShape(t *testing.T) {
+	lay := NewLayout([]Spec{
+		{Kind: Count, Col: 0}, {Kind: Avg, Col: 2}, {Kind: Sum, Col: 1},
+	})
+	kern := lay.Kernels()
+	if len(kern.Fold) != lay.Words || len(kern.Merge) != lay.Words || len(kern.Cols) != lay.Words {
+		t.Fatalf("kernel table shape %d/%d/%d, want %d per column",
+			len(kern.Fold), len(kern.Merge), len(kern.Cols), lay.Words)
+	}
+	ops := lay.WordOps()
+	for w, op := range ops {
+		wantCol := -1
+		if op.Src == SrcCol {
+			wantCol = op.Col
+		}
+		if kern.Cols[w] != wantCol {
+			t.Fatalf("word %d: kernel col %d, want %d", w, kern.Cols[w], wantCol)
+		}
+	}
+}

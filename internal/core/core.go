@@ -262,7 +262,9 @@ func AggregateContext(ctx context.Context, cfg Config, in *Input) (res *Result, 
 	if err := e.run(ctx); err != nil {
 		return nil, err
 	}
-	return e.assemble(), nil
+	res = e.assemble()
+	e.recycle()
+	return res, nil
 }
 
 // Distinct computes the distinct grouping keys of the column (a GROUP BY

@@ -26,9 +26,12 @@ func smallCfg(s Strategy) Config {
 func refAggregate(in *Input) map[uint64][]int64 {
 	lay := agg.NewLayout(in.Specs)
 	states := map[uint64][]uint64{}
+	// One closure over a row cursor, hoisted out of the loop: a closure
+	// literal inside the loop escapes and costs one allocation per row.
+	row := 0
+	vals := func(c int) int64 { return in.AggCols[c][row] }
 	for i, k := range in.Keys {
-		i := i
-		vals := func(c int) int64 { return in.AggCols[c][i] }
+		row = i
 		if st, ok := states[k]; ok {
 			lay.FoldRow(st, vals)
 		} else {

@@ -25,6 +25,7 @@ type exec struct {
 	in      *Input
 	layout  *agg.Layout
 	wordOps []agg.WordOp
+	kern    *agg.Kernels // batch kernels, resolved once per run
 	words   int
 
 	cacheRows int // capacity of a cache-sized table
@@ -41,6 +42,7 @@ type exec struct {
 	pool    *sched.Pool
 	morsels *sched.Morsels
 	workers []workerState
+	kits    kitKey // pool key of this execution's worker kits
 
 	rootMu sync.Mutex
 	root   [hashfn.Fanout]runs.Bucket
@@ -60,6 +62,12 @@ type workerState struct {
 	// emit scan touches ~4 slots per row instead of the whole
 	// cache-sized table for every small leaf.
 	finalTables map[int]*hashtable.Table
+	// grownTables are the finalizeGrown equivalent (fill 0.5, capacity
+	// keyed): fixed-pass strategies finalize every one of the 256 buckets
+	// through finalizeGrown, and a fresh table per bucket means zeroing
+	// hundreds of MB per run. Tables up to a few cache sizes are retained;
+	// genuinely oversized ones stay throwaway.
+	grownTables map[int]*hashtable.Table
 	scat        *partition.Scatterer
 
 	hashScratch  []uint64
@@ -74,6 +82,45 @@ type workerState struct {
 	stats workerStats
 }
 
+// workerKit is the allocation-heavy part of one worker's machinery — the
+// cache-sized table alone is ~1 MiB of zeroed memory — recycled across
+// executions through a config-keyed pool. A kit is returned to the pool
+// only after a cleanly completed run (never on error, cancellation, or
+// panic), at which point nothing escapes the execution that references it:
+// results are materialized by copy in emitTable/assemble.
+type workerKit struct {
+	table        *hashtable.Table
+	finalTables  map[int]*hashtable.Table
+	grownTables  map[int]*hashtable.Table
+	scat         *partition.Scatterer
+	hashScratch  []uint64
+	stateScratch [][]uint64
+	stateViews   [][]uint64
+	rowScratch   []uint64
+}
+
+// kitKey pins every size- or layout-relevant parameter of a kit; kits are
+// only reused by executions with the identical key.
+type kitKey struct {
+	cacheRows int
+	words     int
+	maxFill   float64
+	carry     bool
+	chunkRows int
+}
+
+// kitPools maps kitKey → *sync.Pool of *workerKit. sync.Pool gives free
+// cross-goroutine reuse and lets the GC drop idle kits under pressure.
+var kitPools sync.Map
+
+func kitPool(key kitKey) *sync.Pool {
+	if p, ok := kitPools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := kitPools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
 func newExec(cfg Config, in *Input) (*exec, error) {
 	lay := agg.NewLayout(in.Specs)
 	e := &exec{
@@ -81,6 +128,7 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 		in:      in,
 		layout:  lay,
 		wordOps: lay.WordOps(),
+		kern:    lay.Kernels(),
 		words:   lay.Words,
 		gov:     cfg.Governor,
 	}
@@ -105,29 +153,57 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 	e.chunkRow = int64(8 * (2 + e.words))
 	e.pool = sched.NewPool(cfg.Workers)
 	e.workers = make([]workerState, e.pool.Workers())
+	e.kits = kitKey{
+		cacheRows: e.cacheRows,
+		words:     e.words,
+		maxFill:   cfg.MaxFill,
+		carry:     cfg.CarryHashes,
+		chunkRows: cfg.ChunkRows,
+	}
+	kp := kitPool(e.kits)
 	for w := range e.workers {
 		ws := &e.workers[w]
-		ws.table = hashtable.New(hashtable.Config{
-			CapacityRows:     e.cacheRows,
-			Blocks:           hashfn.Fanout,
-			MaxFill:          cfg.MaxFill,
-			Words:            e.words,
-			OmitHashesInRuns: !cfg.CarryHashes,
-		})
-		ws.finalTables = make(map[int]*hashtable.Table)
-		ws.scat = partition.New(partition.Config{
-			Level:      0,
-			Words:      e.words,
-			ChunkRows:  cfg.ChunkRows,
-			DropHashes: !cfg.CarryHashes,
-		})
-		ws.hashScratch = make([]uint64, scratchRows)
-		ws.stateScratch = make([][]uint64, e.words)
-		for i := range ws.stateScratch {
-			ws.stateScratch[i] = make([]uint64, scratchRows)
+		if k, _ := kp.Get().(*workerKit); k != nil {
+			ws.table = k.table
+			ws.finalTables = k.finalTables
+			ws.grownTables = k.grownTables
+			ws.scat = k.scat
+			ws.hashScratch = k.hashScratch
+			ws.stateScratch = k.stateScratch
+			ws.stateViews = k.stateViews
+			ws.rowScratch = k.rowScratch
+			if e.gov != nil {
+				// Budgeted runs account retained leaf tables as they are
+				// (re)created; starting from empty maps keeps the up-front
+				// reservation — and thus the degradation behavior —
+				// identical to a fresh execution.
+				clear(ws.finalTables)
+				clear(ws.grownTables)
+			}
+		} else {
+			ws.table = hashtable.New(hashtable.Config{
+				CapacityRows:     e.cacheRows,
+				Blocks:           hashfn.Fanout,
+				MaxFill:          cfg.MaxFill,
+				Words:            e.words,
+				OmitHashesInRuns: !cfg.CarryHashes,
+			})
+			ws.finalTables = make(map[int]*hashtable.Table)
+			ws.grownTables = make(map[int]*hashtable.Table)
+			ws.scat = partition.New(partition.Config{
+				Level:      0,
+				Words:      e.words,
+				ChunkRows:  cfg.ChunkRows,
+				DropHashes: !cfg.CarryHashes,
+			})
+			ws.hashScratch = make([]uint64, scratchRows)
+			ws.stateScratch = make([][]uint64, e.words)
+			for i := range ws.stateScratch {
+				ws.stateScratch[i] = make([]uint64, scratchRows)
+			}
+			ws.stateViews = make([][]uint64, e.words)
+			ws.rowScratch = make([]uint64, e.words)
 		}
-		ws.stateViews = make([][]uint64, e.words)
-		ws.rowScratch = make([]uint64, e.words)
 		ws.mem = e.gov.NewCache(0)
 	}
 	if e.gov != nil {
@@ -150,6 +226,31 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 		e.fixedBytes = fixed
 	}
 	return e, nil
+}
+
+// recycle hands the workers' kits back to the config-keyed pool. Called
+// only after a cleanly completed execution: error, cancellation, and panic
+// paths drop the kits instead (a worker that died mid-task may have rows
+// buffered in its scatterer, which the next run's Reset would refuse).
+func (e *exec) recycle() {
+	kp := kitPool(e.kits)
+	for w := range e.workers {
+		ws := &e.workers[w]
+		if ws.table == nil {
+			continue
+		}
+		kp.Put(&workerKit{
+			table:        ws.table,
+			finalTables:  ws.finalTables,
+			grownTables:  ws.grownTables,
+			scat:         ws.scat,
+			hashScratch:  ws.hashScratch,
+			stateScratch: ws.stateScratch,
+			stateViews:   ws.stateViews,
+			rowScratch:   ws.rowScratch,
+		})
+		ws.table = nil
+	}
 }
 
 // releaseAccounting returns everything this execution reserved — fixed
@@ -301,12 +402,26 @@ func (e *exec) intake(ctx *sched.Ctx) {
 // fills or the range is exhausted; on fill it splits the table into the
 // local buckets and informs the strategy. Returns the index of the first
 // unconsumed row.
+//
+// The loop is batch-at-a-time: a whole block's hashes are computed in one
+// morsel-wide kernel before any table access, then the block is absorbed by
+// the software-pipelined batch insert. Only a table-fill event (rare: once
+// per cache-sized table) drops back to per-event bookkeeping.
 func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table,
 	keys []uint64, cols [][]int64, i, hi int, local *[hashfn.Fanout]runs.Bucket) int {
 	for i < hi {
-		k := keys[i]
-		h := hashfn.Murmur2(k)
-		if !table.InsertRawCols(h, k, cols, i, e.wordOps) {
+		blk := min(hi-i, scratchRows)
+		hs := ws.hashScratch[:blk]
+		hashfn.HashBatch(keys[i:i+blk], hs)
+		done := 0
+		for done < blk {
+			n := table.InsertRawBatch(hs[done:blk], keys[i+done:i+blk], cols, i+done, e.kern)
+			done += n
+			ws.stats.hashedRows += int64(n)
+			if done == blk {
+				break
+			}
+			// Table full at row i+done: split into the local buckets.
 			alpha := table.Alpha()
 			ws.stats.tablesEmitted++
 			ws.stats.alphaSum += alpha
@@ -318,12 +433,11 @@ func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table
 			st.OnTableEmit(alpha)
 			if st.NextMode() != ModeHash {
 				ws.stats.switches++
-				return i // row not consumed; caller re-dispatches
+				return i + done // row not consumed; caller re-dispatches
 			}
-			continue // fresh table, retry same row
+			// Fresh table, retry the unconsumed tail of the block.
 		}
-		ws.stats.hashedRows++
-		i++
+		i += blk
 	}
 	return i
 }
@@ -335,9 +449,7 @@ func (e *exec) scatterRaw(ws *workerState, scat *partition.Scatterer,
 	keys []uint64, cols [][]int64, lo, hi int) {
 	n := hi - lo
 	hs := ws.hashScratch[:n]
-	for j := 0; j < n; j++ {
-		hs[j] = hashfn.Murmur2(keys[lo+j])
-	}
+	hashfn.HashBatch(keys[lo:hi], hs)
 	for w, op := range e.wordOps {
 		dst := ws.stateScratch[w][:n]
 		if op.Src == agg.SrcOne {
@@ -452,9 +564,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 				hs := r.Hashes
 				if hs == nil {
 					hs = ws.hashScratch[:blk]
-					for j := 0; j < blk; j++ {
-						hs[j] = hashfn.Murmur2(r.Keys[i+j])
-					}
+					hashfn.HashBatch(r.Keys[i:i+blk], hs)
 				} else {
 					hs = hs[i : i+blk]
 				}
@@ -511,18 +621,35 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 // hashRun inserts rows [start, …) of a run into the table until it fills or
 // the run ends. On fill it splits the table into sub and informs the
 // strategy; emitted reports whether a split happened.
+//
+// Like hashRaw, the loop is batch-at-a-time: carried hashes are consumed as
+// block slices, recomputed hashes are materialized morsel-wide, and rows are
+// absorbed through the software-pipelined batch merge.
 func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table,
 	r *runs.Run, start int, sub []runs.Bucket) (next int, emitted bool) {
 	carried := r.Hashes != nil
 	i := start
-	for i < r.Len() {
-		h := uint64(0)
+	n := r.Len()
+	for i < n {
+		blk := min(n-i, scratchRows)
+		var hs []uint64
 		if carried {
-			h = r.Hashes[i]
+			hs = r.Hashes[i : i+blk]
 		} else {
-			h = hashfn.Murmur2(r.Keys[i])
+			hs = ws.hashScratch[:blk]
+			hashfn.HashBatch(r.Keys[i:i+blk], hs)
 		}
-		if !table.InsertStateCols(h, r.Keys[i], r.States, i, e.wordOps) {
+		done := 0
+		for done < blk {
+			m := table.InsertStateBatch(hs[done:blk], r.Keys[i+done:i+blk], r.States, i+done, e.kern)
+			done += m
+			ws.stats.hashedRows += int64(m)
+			if done == blk {
+				break
+			}
+			// Table full at row i+done: split and hand control back to the
+			// caller's decision loop (matching the scalar path, which
+			// returns after every emit).
 			alpha := table.Alpha()
 			ws.stats.tablesEmitted++
 			ws.stats.alphaSum += alpha
@@ -535,10 +662,9 @@ func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table
 			if st.NextMode() != ModeHash {
 				ws.stats.switches++
 			}
-			return i, true
+			return i + done, true
 		}
-		ws.stats.hashedRows++
-		i++
+		i += blk
 	}
 	return i, false
 }
@@ -578,24 +704,38 @@ func (e *exec) finalizeLeaf(ws *workerState, b *runs.Bucket, level int, prefix u
 	n := b.Rows()
 	table := e.leafTable(ws, n, level)
 	for _, r := range b.Runs {
-		carried := r.Hashes != nil
-		for i := 0; i < r.Len(); i++ {
-			h := uint64(0)
-			if carried {
-				h = r.Hashes[i]
-			} else {
-				h = hashfn.Murmur2(r.Keys[i])
-			}
-			if !table.InsertStateCols(h, r.Keys[i], r.States, i, e.wordOps) {
-				table.Reset()
-				e.finalizeGrown(ws, b, prefix, level)
-				return
-			}
-			ws.stats.hashedRows++
+		if !e.absorbRun(ws, table, r) {
+			table.Reset()
+			e.finalizeGrown(ws, b, prefix, level)
+			return
 		}
 	}
 	e.emitTable(ws, table, prefix, level)
 	ws.stats.directEmits++
+}
+
+// absorbRun feeds an entire run through the batch merge path into table,
+// reporting false if the table cannot hold it (caller falls back).
+func (e *exec) absorbRun(ws *workerState, table *hashtable.Table, r *runs.Run) bool {
+	carried := r.Hashes != nil
+	n := r.Len()
+	for i := 0; i < n; {
+		blk := min(n-i, scratchRows)
+		var hs []uint64
+		if carried {
+			hs = r.Hashes[i : i+blk]
+		} else {
+			hs = ws.hashScratch[:blk]
+			hashfn.HashBatch(r.Keys[i:i+blk], hs)
+		}
+		m := table.InsertStateBatch(hs, r.Keys[i:i+blk], r.States, i, e.kern)
+		ws.stats.hashedRows += int64(m)
+		if m < blk {
+			return false
+		}
+		i += blk
+	}
+	return true
 }
 
 // finalizeGrown aggregates a bucket with a single hashing pass whose
@@ -608,29 +748,31 @@ func (e *exec) finalizeGrown(ws *workerState, b *runs.Bucket, prefix uint64, lev
 	for capRows < 4*n {
 		capRows *= 2
 	}
-	table := hashtable.New(hashtable.Config{
-		CapacityRows: capRows,
-		Blocks:       1,
-		MaxFill:      0.5,
-		Words:        e.words,
-		Level:        min(level, hashfn.MaxLevels-1),
-	})
-	ws.mem.Reserve(table.FootprintBytes())
-	defer ws.mem.Reserve(-table.FootprintBytes())
+	table := ws.grownTables[capRows]
+	retained := table != nil
+	if table == nil {
+		table = hashtable.New(hashtable.Config{
+			CapacityRows: capRows,
+			Blocks:       1,
+			MaxFill:      0.5,
+			Words:        e.words,
+		})
+		ws.mem.Reserve(table.FootprintBytes())
+		if capRows <= 4*e.cacheRows {
+			// Retained across buckets as worker machinery.
+			ws.grownTables[capRows] = table
+			retained = true
+		}
+	}
+	if !retained {
+		defer ws.mem.Reserve(-table.FootprintBytes())
+	}
+	table.Reset()
+	table.SetLevel(min(level, hashfn.MaxLevels-1))
 	for _, r := range b.Runs {
-		carried := r.Hashes != nil
-		for i := 0; i < r.Len(); i++ {
-			h := uint64(0)
-			if carried {
-				h = r.Hashes[i]
-			} else {
-				h = hashfn.Murmur2(r.Keys[i])
-			}
-			if !table.InsertStateCols(h, r.Keys[i], r.States, i, e.wordOps) {
-				// Cannot happen: capacity ≥ 4·rows ≥ 4·groups with fill 0.5.
-				panic("core: grown finalization table overflowed")
-			}
-			ws.stats.hashedRows++
+		if !e.absorbRun(ws, table, r) {
+			// Cannot happen: capacity ≥ 4·rows ≥ 4·groups with fill 0.5.
+			panic("core: grown finalization table overflowed")
 		}
 	}
 	e.emitTable(ws, table, prefix, level)
@@ -645,20 +787,14 @@ func (e *exec) emitTable(ws *workerState, table *hashtable.Table, prefix uint64,
 	n := table.Len()
 	ch := chunk{
 		sortKey: prefix << uint(64-hashfn.DigitBits*min(level, hashfn.MaxLevels)),
-		hashes:  make([]uint64, 0, n),
-		keys:    make([]uint64, 0, n),
+		hashes:  make([]uint64, n),
+		keys:    make([]uint64, n),
 		states:  make([][]uint64, e.words),
 	}
 	for w := range ch.states {
-		ch.states[w] = make([]uint64, 0, n)
+		ch.states[w] = make([]uint64, n)
 	}
-	table.Emit(func(h, k uint64, st []uint64) {
-		ch.hashes = append(ch.hashes, h)
-		ch.keys = append(ch.keys, k)
-		for w := 0; w < e.words; w++ {
-			ch.states[w] = append(ch.states[w], st[w])
-		}
-	})
+	table.EmitColumns(ch.hashes, ch.keys, ch.states)
 	table.Reset()
 	// Output chunks are retained until assemble; they are part of the
 	// run's footprint.

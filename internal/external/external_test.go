@@ -21,9 +21,10 @@ func testCfg(budgetRows int) Config {
 func refAggregate(in *core.Input) map[uint64][]int64 {
 	lay := agg.NewLayout(in.Specs)
 	states := map[uint64][]uint64{}
+	row := 0
+	vals := func(c int) int64 { return in.AggCols[c][row] }
 	for i, k := range in.Keys {
-		i := i
-		vals := func(c int) int64 { return in.AggCols[c][i] }
+		row = i
 		if st, ok := states[k]; ok {
 			lay.FoldRow(st, vals)
 		} else {

@@ -1,0 +1,36 @@
+package hashfn
+
+import (
+	"testing"
+
+	"cacheagg/internal/xrand"
+)
+
+// TestHashBatchMatchesMurmur2 checks the morsel-wide kernel against the
+// scalar hash for every unroll boundary (0–9 plus a large batch): the
+// batched hot path relies on the two being bit-identical.
+func TestHashBatchMatchesMurmur2(t *testing.T) {
+	rng := xrand.NewXoshiro256(7)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 1000} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Next()
+		}
+		out := make([]uint64, n)
+		HashBatch(keys, out)
+		for i, k := range keys {
+			if want := Murmur2(k); out[i] != want {
+				t.Fatalf("n=%d key[%d]=%#x: HashBatch %#x, Murmur2 %#x", n, i, k, out[i], want)
+			}
+		}
+	}
+}
+
+// TestHashBatchAllocFree pins the kernel as allocation-free.
+func TestHashBatchAllocFree(t *testing.T) {
+	keys := make([]uint64, 4096)
+	out := make([]uint64, 4096)
+	if avg := testing.AllocsPerRun(10, func() { HashBatch(keys, out) }); avg != 0 {
+		t.Fatalf("HashBatch allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -35,6 +35,63 @@ func Murmur2(key uint64) uint64 {
 	return h
 }
 
+// HashBatch computes Murmur2 of every key into out, which must be at least
+// as long as keys. This is the morsel-wide hashing kernel of the batched hot
+// path: one tight monomorphic loop with the seed/length prefix hoisted out,
+// so a whole block of hashes is materialized before any hash-table or
+// scatter access touches memory. The loop body is branch-free and each
+// iteration is independent, so the hardware can overlap several hashes in
+// flight — per-hash cost drops well below the one-at-a-time Murmur2 call.
+func HashBatch(keys []uint64, out []uint64) {
+	const m uint64 = 0xc6a4a7935bd1e995
+	const r = 47
+	// Seed ^ (len * m) is loop-invariant for 8-byte keys.
+	var klen uint64 = 8
+	h0 := Murmur2Seed ^ (klen * m)
+	_ = out[:len(keys)] // one bounds check for the whole batch
+	i := 0
+	for ; i+4 <= len(keys); i += 4 {
+		k0, k1, k2, k3 := keys[i], keys[i+1], keys[i+2], keys[i+3]
+		k0 *= m
+		k1 *= m
+		k2 *= m
+		k3 *= m
+		k0 ^= k0 >> r
+		k1 ^= k1 >> r
+		k2 ^= k2 >> r
+		k3 ^= k3 >> r
+		k0 *= m
+		k1 *= m
+		k2 *= m
+		k3 *= m
+		h0a := (h0 ^ k0) * m
+		h1a := (h0 ^ k1) * m
+		h2a := (h0 ^ k2) * m
+		h3a := (h0 ^ k3) * m
+		h0a ^= h0a >> r
+		h1a ^= h1a >> r
+		h2a ^= h2a >> r
+		h3a ^= h3a >> r
+		h0a *= m
+		h1a *= m
+		h2a *= m
+		h3a *= m
+		out[i] = h0a ^ h0a>>r
+		out[i+1] = h1a ^ h1a>>r
+		out[i+2] = h2a ^ h2a>>r
+		out[i+3] = h3a ^ h3a>>r
+	}
+	for ; i < len(keys); i++ {
+		k := keys[i] * m
+		k ^= k >> r
+		k *= m
+		h := (h0 ^ k) * m
+		h ^= h >> r
+		h *= m
+		out[i] = h ^ h>>r
+	}
+}
+
 // Murmur2WithSeed is Murmur2 with an explicit seed, used where independent
 // hash functions are needed (e.g. tests of collision behaviour).
 func Murmur2WithSeed(key, seed uint64) uint64 {

@@ -25,6 +25,7 @@ package hashtable
 
 import (
 	"fmt"
+	"math"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/runs"
@@ -81,8 +82,17 @@ type Table struct {
 	hashes  []uint64
 	keys    []uint64
 	states  [][]uint64
-	version []uint32
-	epoch   uint32
+	version []uint8
+	epoch   uint8
+
+	// batchSlots is the reusable slot scratch of the batch-insert path
+	// (grown on demand); warmSink keeps the pipelined warm-up loads of
+	// claimBatch observable so they are not dead-code-eliminated.
+	batchSlots []int32
+	warmSink   uint32
+	// blockOffs is the reusable per-block offset scratch of the
+	// arena-allocating SplitRuns.
+	blockOffs []int
 }
 
 func ceilPow2(n int) int {
@@ -128,7 +138,7 @@ func New(cfg Config) *Table {
 		hashes:    make([]uint64, capRows),
 		keys:      make([]uint64, capRows),
 		states:    make([][]uint64, cfg.Words),
-		version:   make([]uint32, capRows),
+		version:   make([]uint8, capRows),
 		epoch:     1,
 	}
 	t.blockMask = uint64(t.blockRows - 1)
@@ -145,7 +155,7 @@ func (t *Table) CapacityRows() int { return t.capRows }
 // (hash, key, and version columns plus one column per state word), for
 // registration with the memory governor.
 func (t *Table) FootprintBytes() int64 {
-	return int64(t.capRows) * int64(8+8+4+8*t.words)
+	return int64(t.capRows) * int64(8+8+1+8*t.words)
 }
 
 // SetLevel re-targets an empty table to a different recursion level, so a
@@ -430,11 +440,125 @@ func (t *Table) Lookup(h, key uint64) ([]uint64, bool) {
 // SplitRuns compacts every non-empty block into one aggregated run and
 // returns a slice indexed by block (= radix digit at the table's level);
 // empty blocks yield nil entries. The table is reset afterwards.
+//
+// The compaction is batched and arena-allocated: one scan collects the
+// occupied slot indices of every block (recording per-block boundaries),
+// each column (hashes, keys, state words) is then gathered into a single
+// slab with one tight monomorphic copy loop, and the per-block runs are
+// carved out of the slabs as sub-slices. A split therefore costs a handful
+// of allocations instead of a few per non-empty block, which at high group
+// counts removes most of the operator's GC pressure.
 func (t *Table) SplitRuns() []*runs.Run {
+	if t.capRows > math.MaxInt32 {
+		return t.splitRunsSlow()
+	}
+	out := make([]*runs.Run, t.blocks)
+	off := t.offScratch(t.blocks + 1)
+	keySlab := make([]uint64, t.rows)
+	version, keysCol, epoch := t.version, t.keys, t.epoch
+	blockRows := t.blockRows
+	// The occupancy scan gathers the key column as it goes; the slot list is
+	// only materialized when further columns need it for their own gathers.
+	needIdx := !t.omitInRun || t.words > 0
+	var idx []int32
+	if needIdx {
+		idx = t.slotScratch(t.rows)
+	}
+	pos := 0
+	for b := 0; b < t.blocks; b++ {
+		off[b] = pos
+		base := b * blockRows
+		ver := version[base : base+blockRows]
+		if needIdx {
+			for i, v := range ver {
+				if v == epoch {
+					s := base + i
+					idx[pos] = int32(s)
+					keySlab[pos] = keysCol[s]
+					pos++
+				}
+			}
+		} else {
+			for i, v := range ver {
+				if v == epoch {
+					keySlab[pos] = keysCol[base+i]
+					pos++
+				}
+			}
+		}
+	}
+	off[t.blocks] = pos
+	var occ []int32
+	if needIdx {
+		occ = idx[:pos]
+	}
+
+	var hashSlab []uint64
+	if !t.omitInRun {
+		hashSlab = make([]uint64, pos)
+		for j, s := range occ {
+			hashSlab[j] = t.hashes[s]
+		}
+	}
+	stateSlabs := make([][]uint64, t.words)
+	for w := 0; w < t.words; w++ {
+		col := make([]uint64, pos)
+		src := t.states[w]
+		for j, s := range occ {
+			col[j] = src[s]
+		}
+		stateSlabs[w] = col
+	}
+
+	// Carve the slabs into per-block runs. The Run structs and their
+	// States headers come from two further slabs so the whole split stays
+	// at O(words) allocations.
+	nonEmpty := 0
+	for b := 0; b < t.blocks; b++ {
+		if off[b+1] > off[b] {
+			nonEmpty++
+		}
+	}
+	runSlab := make([]runs.Run, nonEmpty)
+	viewSlab := make([][]uint64, nonEmpty*t.words)
+	ri := 0
+	for b := 0; b < t.blocks; b++ {
+		lo, hi := off[b], off[b+1]
+		if lo == hi {
+			continue
+		}
+		r := &runSlab[ri]
+		r.Keys = keySlab[lo:hi:hi]
+		r.States = viewSlab[ri*t.words : (ri+1)*t.words : (ri+1)*t.words]
+		r.Aggregated = true
+		if hashSlab != nil {
+			r.Hashes = hashSlab[lo:hi:hi]
+		}
+		for w := 0; w < t.words; w++ {
+			r.States[w] = stateSlabs[w][lo:hi:hi]
+		}
+		out[b] = r
+		ri++
+	}
+	t.Reset()
+	return out
+}
+
+// offScratch returns a reusable []int of length n for per-block offsets.
+func (t *Table) offScratch(n int) []int {
+	if cap(t.blockOffs) < n {
+		t.blockOffs = make([]int, n)
+	}
+	return t.blockOffs[:n]
+}
+
+// splitRunsSlow is the row-at-a-time SplitRuns for tables whose slot
+// indices do not fit int32 (unreachable through the engine's cache-sized
+// tables; kept for API completeness).
+func (t *Table) splitRunsSlow() []*runs.Run {
 	out := make([]*runs.Run, t.blocks)
 	for b := 0; b < t.blocks; b++ {
 		base := b * t.blockRows
-		// Count occupied slots first to allocate exactly.
 		n := 0
 		for i := 0; i < t.blockRows; i++ {
 			if t.version[base+i] == t.epoch {
@@ -489,6 +613,45 @@ func (t *Table) Emit(fn func(hash, key uint64, state []uint64)) {
 	}
 }
 
+// EmitColumns gathers every occupied row into the provided column slices in
+// block order (the same order Emit visits). hashes and keys must have
+// length Len(); states must hold one length-Len() column per state word.
+// Like Emit it does not reset the table. This is the batched output path:
+// one occupancy scan, then one tight copy loop per column.
+func (t *Table) EmitColumns(hashes, keys []uint64, states [][]uint64) {
+	if t.capRows > math.MaxInt32 {
+		j := 0
+		t.Emit(func(h, k uint64, st []uint64) {
+			hashes[j], keys[j] = h, k
+			for w := range st {
+				states[w][j] = st[w]
+			}
+			j++
+		})
+		return
+	}
+	idx := t.slotScratch(t.rows)
+	version, epoch := t.version, t.epoch
+	hsCol, ksCol := t.hashes, t.keys
+	n := 0
+	for s, v := range version {
+		if v == epoch {
+			idx[n] = int32(s)
+			hashes[n] = hsCol[s]
+			keys[n] = ksCol[s]
+			n++
+		}
+	}
+	occ := idx[:n]
+	for w := 0; w < t.words; w++ {
+		src := t.states[w]
+		dst := states[w]
+		for j, s := range occ {
+			dst[j] = src[s]
+		}
+	}
+}
+
 // Reset clears the table in O(1) via epoch bump (O(capacity) re-zeroing
 // happens only on the rare epoch wrap).
 func (t *Table) Reset() {
@@ -505,7 +668,7 @@ func (t *Table) Reset() {
 
 // SlotBytes returns the per-slot memory footprint in bytes for a table with
 // the given number of state words: hash + key + states + version.
-func SlotBytes(words int) int { return 8 + 8 + 8*words + 4 }
+func SlotBytes(words int) int { return 8 + 8 + 8*words + 1 }
 
 // CapacityForCache returns the slot count of a table sized to occupy
 // roughly cacheBytes, for the given state width. The result is rounded

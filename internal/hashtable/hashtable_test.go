@@ -273,7 +273,7 @@ func TestResetEpoch(t *testing.T) {
 
 func TestResetEpochWrap(t *testing.T) {
 	tb := New(Config{CapacityRows: 64, Blocks: 16})
-	tb.epoch = ^uint32(0) // force wrap on next Reset
+	tb.epoch = ^uint8(0) // force wrap on next Reset
 	tb.InsertState(hashfn.Murmur2(1), 1, nil, nil)
 	tb.Reset()
 	if tb.epoch != 1 {
@@ -368,7 +368,7 @@ func TestCapacityForCache(t *testing.T) {
 }
 
 func TestSlotBytes(t *testing.T) {
-	if SlotBytes(0) != 20 || SlotBytes(2) != 36 {
+	if SlotBytes(0) != 17 || SlotBytes(2) != 33 {
 		t.Fatalf("SlotBytes wrong: %d %d", SlotBytes(0), SlotBytes(2))
 	}
 }

@@ -170,27 +170,172 @@ func (s *Scatterer) put(p int, h, k uint64, states [][]uint64, i int) {
 //
 // The loop is structured like the paper's tuned routine: digits of 16 rows
 // are extracted into a local block first, then the block is drained into
-// the partition buffers.
+// the partition buffers. The inner loop is dispatched once per call to a
+// monomorphic specialization for the common word counts (0 = DISTINCT,
+// 1 = single-aggregate), which keeps every buffer column in a register-
+// resident local instead of re-loading slice headers per row per word.
 func (s *Scatterer) Scatter(hashes, keys []uint64, states [][]uint64) {
 	if len(hashes) != len(keys) {
 		panic("partition: column length mismatch")
 	}
+	switch s.words {
+	case 0:
+		s.scatter0(hashes, keys)
+	case 1:
+		s.scatter1(hashes, keys, states[0])
+	default:
+		s.scatterN(hashes, keys, states)
+	}
+}
+
+// scatter0 is the words=0 (DISTINCT) specialization. When the writers drop
+// hashes (the paper's run layout) the hash column is never read back out of
+// the SWC buffers — AppendBlock discards it — so its stores are skipped too.
+func (s *Scatterer) scatter0(hashes, keys []uint64) {
+	bufHash, bufKey, bufLen := s.bufHash, s.bufKey, s.bufLen
+	shift, bufRows := s.shift, s.bufRows
+	drop := s.dropHashes
 	var digits [unroll]int
 	n := len(hashes)
 	i := 0
 	for ; i+unroll <= n; i += unroll {
 		hs := hashes[i : i+unroll]
 		for j := 0; j < unroll; j++ {
-			digits[j] = int(hs[j] >> s.shift & (hashfn.Fanout - 1))
+			digits[j] = int(hs[j] >> shift & (hashfn.Fanout - 1))
 		}
 		for j := 0; j < unroll; j++ {
-			s.put(digits[j], hashes[i+j], keys[i+j], states, i+j)
+			p := digits[j]
+			l := bufLen[p]
+			if l == bufRows {
+				s.flushPartition(p)
+				l = 0
+			}
+			idx := p*bufRows + l
+			if !drop {
+				bufHash[idx] = hashes[i+j]
+			}
+			bufKey[idx] = keys[i+j]
+			bufLen[p] = l + 1
 		}
 	}
 	for ; i < n; i++ {
-		p := int(hashes[i] >> s.shift & (hashfn.Fanout - 1))
-		s.put(p, hashes[i], keys[i], states, i)
+		p := int(hashes[i] >> shift & (hashfn.Fanout - 1))
+		l := bufLen[p]
+		if l == bufRows {
+			s.flushPartition(p)
+			l = 0
+		}
+		idx := p*bufRows + l
+		if !drop {
+			bufHash[idx] = hashes[i]
+		}
+		bufKey[idx] = keys[i]
+		bufLen[p] = l + 1
 	}
+	s.rows += n
+}
+
+// scatter1 is the words=1 (single aggregate state word) specialization.
+func (s *Scatterer) scatter1(hashes, keys, st0 []uint64) {
+	bufHash, bufKey, bufLen := s.bufHash, s.bufKey, s.bufLen
+	bufSt := s.bufState[0]
+	shift, bufRows := s.shift, s.bufRows
+	drop := s.dropHashes
+	var digits [unroll]int
+	n := len(hashes)
+	i := 0
+	for ; i+unroll <= n; i += unroll {
+		hs := hashes[i : i+unroll]
+		for j := 0; j < unroll; j++ {
+			digits[j] = int(hs[j] >> shift & (hashfn.Fanout - 1))
+		}
+		for j := 0; j < unroll; j++ {
+			p := digits[j]
+			l := bufLen[p]
+			if l == bufRows {
+				s.flushPartition(p)
+				l = 0
+			}
+			idx := p*bufRows + l
+			if !drop {
+				bufHash[idx] = hashes[i+j]
+			}
+			bufKey[idx] = keys[i+j]
+			bufSt[idx] = st0[i+j]
+			bufLen[p] = l + 1
+		}
+	}
+	for ; i < n; i++ {
+		p := int(hashes[i] >> shift & (hashfn.Fanout - 1))
+		l := bufLen[p]
+		if l == bufRows {
+			s.flushPartition(p)
+			l = 0
+		}
+		idx := p*bufRows + l
+		if !drop {
+			bufHash[idx] = hashes[i]
+		}
+		bufKey[idx] = keys[i]
+		bufSt[idx] = st0[i]
+		bufLen[p] = l + 1
+	}
+	s.rows += n
+}
+
+// scatterN is the general multi-word loop, with the same hoisted buffer
+// locals and batched accounting as the specializations (only the per-word
+// state copy stays a loop).
+func (s *Scatterer) scatterN(hashes, keys []uint64, states [][]uint64) {
+	bufHash, bufKey, bufLen := s.bufHash, s.bufKey, s.bufLen
+	bufState := s.bufState
+	shift, bufRows := s.shift, s.bufRows
+	drop := s.dropHashes
+	words := s.words
+	var digits [unroll]int
+	n := len(hashes)
+	i := 0
+	for ; i+unroll <= n; i += unroll {
+		hs := hashes[i : i+unroll]
+		for j := 0; j < unroll; j++ {
+			digits[j] = int(hs[j] >> shift & (hashfn.Fanout - 1))
+		}
+		for j := 0; j < unroll; j++ {
+			p := digits[j]
+			l := bufLen[p]
+			if l == bufRows {
+				s.flushPartition(p)
+				l = 0
+			}
+			idx := p*bufRows + l
+			if !drop {
+				bufHash[idx] = hashes[i+j]
+			}
+			bufKey[idx] = keys[i+j]
+			for w := 0; w < words; w++ {
+				bufState[w][idx] = states[w][i+j]
+			}
+			bufLen[p] = l + 1
+		}
+	}
+	for ; i < n; i++ {
+		p := int(hashes[i] >> shift & (hashfn.Fanout - 1))
+		l := bufLen[p]
+		if l == bufRows {
+			s.flushPartition(p)
+			l = 0
+		}
+		idx := p*bufRows + l
+		if !drop {
+			bufHash[idx] = hashes[i]
+		}
+		bufKey[idx] = keys[i]
+		for w := 0; w < words; w++ {
+			bufState[w][idx] = states[w][i]
+		}
+		bufLen[p] = l + 1
+	}
+	s.rows += n
 }
 
 // ScatterRun scatters one run.
