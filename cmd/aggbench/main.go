@@ -26,6 +26,8 @@
 //	interference  Section 6.2's co-runner experiment
 //	sweep       standard hot-path sweep (uniform-K strategies + multi-column
 //	            SUM); -json writes one machine-readable record per point
+//	external    out-of-core sweep (budget × K grid, sequential vs parallel
+//	            merge, spill forced); -json emits the same record schema
 //	all         run everything at the default scale
 //
 // Common flags (defaults target a quick laptop run; raise -logn toward the
@@ -141,6 +143,7 @@ func main() {
 		"interference": fig6Interference,
 		"ablation":     tblAblation,
 		"sweep":        sweep,
+		"external":     externalSweep,
 	}
 
 	emit := func(tables []*bench.Table) {
@@ -180,9 +183,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `aggbench — regenerate the paper's tables and figures
 
 usage: aggbench <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
-                 tbl-insert|tbl-sortdual|tbl-columnar|interference|sweep|all> [flags]
+                 tbl-insert|tbl-sortdual|tbl-columnar|interference|sweep|
+                 external|all> [flags]
 
 flags: -logn N  -workers P  -cache BYTES  -reps R  -tsv  -sim
-       -json FILE  (sweep: machine-readable records)
+       -json FILE  (sweep/external: machine-readable records)
        -cpuprofile FILE  -memprofile FILE  (pprof output of the run)`)
 }

@@ -36,6 +36,12 @@ type ExternalOptions struct {
 	// exceeded, the aggregation fails fast with a descriptive error
 	// instead of filling the disk. 0 means no cap.
 	MaxSpillBytes int64
+	// MergeWorkers sets the parallelism of the disk merge phase: spill
+	// partitions are merged as independent tasks on a work-stealing pool,
+	// with partition reads prefetched ahead of the merge inside the memory
+	// budget. 0 selects GOMAXPROCS. The output is identical — including
+	// its order — for every worker count. Negative values are rejected.
+	MergeWorkers int
 }
 
 // ExternalStats describes the spill behaviour of an out-of-core run.
@@ -66,6 +72,9 @@ type ExternalStats struct {
 	// ChunkRetries counts input ranges re-aggregated with a smaller chunk
 	// size after the in-memory leaf overran the byte budget.
 	ChunkRetries int
+	// PrefetchedPartitions counts partition files whose read was overlapped
+	// with merge compute by the prefetch window.
+	PrefetchedPartitions int
 }
 
 // ExternalResult is the result of AggregateExternal.
@@ -112,6 +121,7 @@ func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext Ex
 		MemoryBudgetBytes: ext.MemoryBudgetBytes,
 		TempDir:           ext.TempDir,
 		MaxSpillBytes:     ext.MaxSpillBytes,
+		MergeWorkers:      ext.MergeWorkers,
 		Core: core.Config{
 			Strategy:   opt.Strategy.inner,
 			Workers:    opt.Workers,
@@ -129,16 +139,17 @@ func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext Ex
 		Groups: res.Keys,
 		Aggs:   res.Aggs,
 		Stats: ExternalStats{
-			Chunks:             res.Stats.Chunks,
-			SpilledRows:        res.Stats.SpilledRows,
-			SpilledBytes:       res.Stats.SpilledBytes,
-			MergeLevels:        res.Stats.MergeLevels,
-			CleanupFailures:    res.Stats.CleanupFailures,
-			SpillRetries:       res.Stats.SpillRetries,
-			PeakReservedBytes:  res.Stats.PeakReservedBytes,
-			ResidentPartitions: res.Stats.ResidentPartitions,
-			EvictedPartitions:  res.Stats.EvictedPartitions,
-			ChunkRetries:       res.Stats.ChunkRetries,
+			Chunks:               res.Stats.Chunks,
+			SpilledRows:          res.Stats.SpilledRows,
+			SpilledBytes:         res.Stats.SpilledBytes,
+			MergeLevels:          res.Stats.MergeLevels,
+			CleanupFailures:      res.Stats.CleanupFailures,
+			SpillRetries:         res.Stats.SpillRetries,
+			PeakReservedBytes:    res.Stats.PeakReservedBytes,
+			ResidentPartitions:   res.Stats.ResidentPartitions,
+			EvictedPartitions:    res.Stats.EvictedPartitions,
+			ChunkRetries:         res.Stats.ChunkRetries,
+			PrefetchedPartitions: res.Stats.PrefetchedPartitions,
 		},
 	}, nil
 }

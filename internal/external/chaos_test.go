@@ -79,7 +79,11 @@ func TestChaosSoakDeterministicPerSeed(t *testing.T) {
 	in := mkInput(datagen.Uniform, 20000, 5000, 99)
 	run := func() (string, int64) {
 		chaos := faultfs.NewChaos(faultfs.OS(), 0xABCD, 80)
-		cfg := Config{MemoryBudgetRows: 1000, TempDir: t.TempDir(), FS: chaos, Retry: noSleepPolicy()}
+		// SequentialMerge: the Chaos schedule is a global per-op sequence,
+		// so only a deterministic I/O order reproduces the same fault at
+		// the same call — the documented use of the sequential oracle.
+		cfg := Config{MemoryBudgetRows: 1000, TempDir: t.TempDir(), FS: chaos,
+			Retry: noSleepPolicy(), SequentialMerge: true}
 		res, err := Aggregate(cfg, in)
 		if err != nil {
 			return err.Error(), chaos.Faults()

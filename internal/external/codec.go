@@ -1,0 +1,416 @@
+package external
+
+// Spill-file codec: the checksummed on-disk format of the partition files
+// and the staged (software-write-combining) writer that produces it.
+//
+// Version 2 format (little-endian), the one this package writes:
+//
+//	header  16 B   magic "CAGS" | version u16 (=2) | record bytes u16 | reserved u64
+//	blocks  each:  rows u32 | CRC32-IEEE(payload) u32 | payload
+//	               payload = keys[rows] ++ col0[rows] ++ … (column-major u64)
+//	footer  16 B   record count u64 | CRC32-IEEE(header+blocks) u32 | "SPND"
+//
+// Rows accumulate column-major in the writer's stage buffers and hit the
+// file as one encoded block of up to spillBlockRows rows — the disk-level
+// analogue of the partitioner's software write-combining: bulk uint64
+// encode loops instead of a per-row PutUint64/ReadFull dance, and one
+// buffered Write per block. Each block carries its own payload CRC so a
+// damaged region is rejected before a single row of it is decoded; the
+// whole-file CRC and record count in the footer still catch truncation,
+// reordering and lost blocks, exactly like v1.
+//
+// Version 1 (one fixed-size record per row, no per-block checksums) is
+// still read — a v1 file produced by an older build decodes through the
+// same entry points — but never written.
+//
+// The record width in the header lets a reader reject files written with a
+// different aggregate plan. All structural failures wrap ErrCorruptSpill.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"slices"
+
+	"cacheagg/internal/faultfs"
+)
+
+const (
+	spillMagic       = 0x43414753 // "CAGS"
+	spillEndMagic    = 0x53504e44 // "SPND"
+	spillVersion1    = 1
+	spillVersion     = 2
+	spillHeaderSize  = 16
+	spillFooterSize  = 16
+	spillBlockHeader = 8
+	// spillBlockRows caps the rows per encoded block. 512 rows keep the
+	// stage buffers (and the decoder's block scratch) a few tens of KiB at
+	// typical widths while making the per-block header and CRC negligible.
+	spillBlockRows = 512
+	// spillBufSize sizes the bufio layers. Full blocks at common widths
+	// exceed it and bypass the copy; it exists to batch the header, footer
+	// and partial-block writes.
+	spillBufSize = 1 << 14
+)
+
+// spillWriter writes one partition file in the checksummed spill format.
+// A writer is owned by one goroutine at a time (the spilling phase or a
+// single merge task); the shared accounting it touches lives in extExec
+// behind extExec.mu.
+type spillWriter struct {
+	path    string
+	f       faultfs.File
+	buf     *bufio.Writer
+	crc     hash.Hash32
+	records uint64
+	closed  bool
+	removed bool
+
+	// Block staging: rows accumulate here column-major and are encoded
+	// and written as one block when full (or on finish).
+	stageKeys []uint64
+	stageCols [][]uint64
+	stageN    int
+	enc       []byte
+}
+
+func (e *extExec) newWriter() (*spillWriter, error) {
+	width := e.plan.width()
+	e.mu.Lock()
+	if err := e.chargeLocked(spillHeaderSize + spillFooterSize); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.nextID++
+	id := e.nextID
+	e.mu.Unlock()
+	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", id))
+	f, err := e.cfg.FS.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("external: create spill %s: %w", filepath.Base(path), err)
+	}
+	w := &spillWriter{
+		path:      path,
+		f:         f,
+		buf:       bufio.NewWriterSize(f, spillBufSize),
+		crc:       crc32.NewIEEE(),
+		stageKeys: make([]uint64, spillBlockRows),
+		stageCols: make([][]uint64, width),
+		enc:       make([]byte, spillBlockHeader+(1+width)*spillBlockRows*8),
+	}
+	for c := range w.stageCols {
+		w.stageCols[c] = make([]uint64, spillBlockRows)
+	}
+	e.mu.Lock()
+	e.track = append(e.track, w)
+	e.mu.Unlock()
+	var hdr [spillHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], spillVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(e.recSize()))
+	if err := w.write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("external: write spill %s: %w", filepath.Base(path), err)
+	}
+	return w, nil
+}
+
+// appendState stages one (key, partial-state row) record from uint64
+// partial columns, flushing the stage as a block when it fills.
+func (e *extExec) appendState(w *spillWriter, key uint64, cols [][]uint64, row int) error {
+	n := w.stageN
+	w.stageKeys[n] = key
+	for c, col := range cols {
+		w.stageCols[c][n] = col[row]
+	}
+	w.stageN = n + 1
+	if w.stageN == spillBlockRows {
+		return e.flushBlock(w)
+	}
+	return nil
+}
+
+// appendAggs is appendState for the int64 finalized-partial columns of a
+// core.Result (identical bits, different static type).
+func (e *extExec) appendAggs(w *spillWriter, key uint64, cols [][]int64, row int) error {
+	n := w.stageN
+	w.stageKeys[n] = key
+	for c, col := range cols {
+		w.stageCols[c][n] = uint64(col[row])
+	}
+	w.stageN = n + 1
+	if w.stageN == spillBlockRows {
+		return e.flushBlock(w)
+	}
+	return nil
+}
+
+// flushBlock encodes the staged rows as one block — bulk little-endian
+// loops per column — charges the spill budget and statistics, and writes
+// the block through the buffer and the running file CRC.
+func (e *extExec) flushBlock(w *spillWriter) error {
+	n := w.stageN
+	if n == 0 {
+		return nil
+	}
+	w.stageN = 0
+	enc := w.enc[:spillBlockHeader+(1+len(w.stageCols))*n*8]
+	binary.LittleEndian.PutUint32(enc[0:], uint32(n))
+	off := spillBlockHeader
+	for _, k := range w.stageKeys[:n] {
+		binary.LittleEndian.PutUint64(enc[off:], k)
+		off += 8
+	}
+	for _, col := range w.stageCols {
+		for _, v := range col[:n] {
+			binary.LittleEndian.PutUint64(enc[off:], v)
+			off += 8
+		}
+	}
+	binary.LittleEndian.PutUint32(enc[4:], crc32.ChecksumIEEE(enc[spillBlockHeader:]))
+	e.mu.Lock()
+	if err := e.chargeLocked(len(enc)); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.stats.SpilledRows += int64(n)
+	e.stats.SpilledBytes += int64(n) * int64(e.recSize())
+	e.mu.Unlock()
+	if err := w.write(enc); err != nil {
+		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
+	}
+	w.records += uint64(n)
+	return nil
+}
+
+// finishSpill flushes any partial block and seals the file. After it the
+// file is a self-validating unit on disk.
+func (e *extExec) finishSpill(w *spillWriter) error {
+	if err := e.flushBlock(w); err != nil {
+		return err
+	}
+	return w.finish()
+}
+
+// write appends bytes to the file through the buffer and the running CRC.
+func (w *spillWriter) write(p []byte) error {
+	if _, err := w.buf.Write(p); err != nil {
+		return err
+	}
+	w.crc.Write(p)
+	return nil
+}
+
+// finish writes the footer, flushes and closes. Callers go through
+// finishSpill so staged rows are never lost.
+func (w *spillWriter) finish() error {
+	var ftr [spillFooterSize]byte
+	binary.LittleEndian.PutUint64(ftr[0:], w.records)
+	binary.LittleEndian.PutUint32(ftr[8:], w.crc.Sum32())
+	binary.LittleEndian.PutUint32(ftr[12:], spillEndMagic)
+	if _, err := w.buf.Write(ftr[:]); err != nil {
+		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
+	}
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("external: flush spill %s: %w", filepath.Base(w.path), err)
+	}
+	w.closed = true
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("external: close spill %s: %w", filepath.Base(w.path), err)
+	}
+	return nil
+}
+
+// discard is the error-path cleanup: close the handle if still open and
+// remove the file. Safe to call in any state and more than once.
+func (w *spillWriter) discard(e *extExec) {
+	if !w.closed {
+		w.closed = true
+		w.f.Close() // error irrelevant: the file is removed next
+	}
+	e.removeSpill(w)
+}
+
+func corrupt(path, detail string) error {
+	return fmt.Errorf("external: %w %s: %s", ErrCorruptSpill, filepath.Base(path), detail)
+}
+
+// openSpill opens a partition file and returns its size (needed to locate
+// the footer and to reserve the decode buffers before they exist).
+func (e *extExec) openSpill(path string) (faultfs.File, int64, error) {
+	f, err := e.cfg.FS.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("external: open spill %s: %w", filepath.Base(path), err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("external: stat spill %s: %w", filepath.Base(path), err)
+	}
+	return f, st.Size(), nil
+}
+
+// readSpill loads a partition file into columnar form, validating the
+// header and every checksum before trusting a single record. The merge
+// path goes through loadPartition instead, which reserves the decode
+// footprint with the governor before this work happens.
+func (e *extExec) readSpill(path string) (_ []uint64, _ [][]uint64, err error) {
+	f, size, err := e.openSpill(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys, cols, err := e.decodeSpill(f, path, size)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		// A failing close on the read side is still a failing I/O call on
+		// a file we depend on; don't swallow it behind a good result.
+		err = fmt.Errorf("external: close spill %s: %w", filepath.Base(path), cerr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return keys, cols, nil
+}
+
+// decodeSpill decodes an open spill file of known size, dispatching on the
+// header's format version (v2 written by this build, v1 read-compatible).
+func (e *extExec) decodeSpill(f faultfs.File, path string, size int64) ([]uint64, [][]uint64, error) {
+	if size < spillHeaderSize+spillFooterSize {
+		return nil, nil, corrupt(path, fmt.Sprintf("%d bytes, smaller than header+footer", size))
+	}
+	r := bufio.NewReaderSize(f, spillBufSize)
+	crc := crc32.NewIEEE()
+	var hdr [spillHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+	}
+	crc.Write(hdr[:])
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != spillMagic {
+		return nil, nil, corrupt(path, fmt.Sprintf("bad magic %#08x", m))
+	}
+	if rb := binary.LittleEndian.Uint16(hdr[6:]); int(rb) != e.recSize() {
+		return nil, nil, corrupt(path, fmt.Sprintf("record width %d, plan needs %d", rb, e.recSize()))
+	}
+	switch v := binary.LittleEndian.Uint16(hdr[4:]); v {
+	case spillVersion:
+		return e.decodeV2(r, crc, path, size)
+	case spillVersion1:
+		return e.decodeV1(r, crc, path, size)
+	default:
+		return nil, nil, corrupt(path, fmt.Sprintf("unsupported version %d", v))
+	}
+}
+
+// decodeV2 decodes the block-codec body: per-block payload CRCs first,
+// then bulk column-major uint64 loops, then the footer's global checks.
+func (e *extExec) decodeV2(r *bufio.Reader, crc hash.Hash32, path string, size int64) ([]uint64, [][]uint64, error) {
+	recSize := int64(e.recSize())
+	width := e.plan.width()
+	remaining := size - spillHeaderSize - spillFooterSize
+	est := int(remaining / recSize) // upper bound on rows (block headers eat into it)
+	keys := make([]uint64, 0, est)
+	cols := make([][]uint64, width)
+	for c := range cols {
+		cols[c] = make([]uint64, 0, est)
+	}
+	block := make([]byte, spillBlockHeader+(1+width)*spillBlockRows*8)
+	for remaining > 0 {
+		if remaining < spillBlockHeader {
+			return nil, nil, corrupt(path, fmt.Sprintf("dangling %d bytes before footer", remaining))
+		}
+		bh := block[:spillBlockHeader]
+		if _, err := io.ReadFull(r, bh); err != nil {
+			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+		}
+		crc.Write(bh)
+		rows := int(binary.LittleEndian.Uint32(bh[0:]))
+		wantCRC := binary.LittleEndian.Uint32(bh[4:])
+		if rows <= 0 || rows > spillBlockRows {
+			return nil, nil, corrupt(path, fmt.Sprintf("block of %d rows (max %d)", rows, spillBlockRows))
+		}
+		payload := int64(rows) * recSize
+		remaining -= spillBlockHeader
+		if payload > remaining {
+			return nil, nil, corrupt(path, fmt.Sprintf("block of %d rows overruns the file", rows))
+		}
+		pb := block[spillBlockHeader : spillBlockHeader+int(payload)]
+		if _, err := io.ReadFull(r, pb); err != nil {
+			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+		}
+		crc.Write(pb)
+		if got := crc32.ChecksumIEEE(pb); got != wantCRC {
+			return nil, nil, corrupt(path, fmt.Sprintf("block checksum mismatch: header %#08x, computed %#08x", wantCRC, got))
+		}
+		base := len(keys)
+		keys = slices.Grow(keys, rows)[:base+rows]
+		off := 0
+		for i := 0; i < rows; i++ {
+			keys[base+i] = binary.LittleEndian.Uint64(pb[off:])
+			off += 8
+		}
+		for c := 0; c < width; c++ {
+			col := slices.Grow(cols[c], rows)[:base+rows]
+			for i := 0; i < rows; i++ {
+				col[base+i] = binary.LittleEndian.Uint64(pb[off:])
+				off += 8
+			}
+			cols[c] = col
+		}
+		remaining -= payload
+	}
+	if err := e.checkFooter(r, crc, path, uint64(len(keys))); err != nil {
+		return nil, nil, err
+	}
+	return keys, cols, nil
+}
+
+// decodeV1 decodes the legacy one-record-per-row body.
+func (e *extExec) decodeV1(r *bufio.Reader, crc hash.Hash32, path string, size int64) ([]uint64, [][]uint64, error) {
+	recSize := e.recSize()
+	payload := size - spillHeaderSize - spillFooterSize
+	if payload%int64(recSize) != 0 {
+		return nil, nil, corrupt(path, fmt.Sprintf("truncated: %d payload bytes not a multiple of the %d-byte record", payload, recSize))
+	}
+	nrec := payload / int64(recSize)
+	rec := make([]byte, recSize)
+	keys := make([]uint64, 0, nrec)
+	cols := make([][]uint64, e.plan.width())
+	for c := range cols {
+		cols[c] = make([]uint64, 0, nrec)
+	}
+	for i := int64(0); i < nrec; i++ {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+		}
+		crc.Write(rec)
+		keys = append(keys, binary.LittleEndian.Uint64(rec))
+		for c := range cols {
+			cols[c] = append(cols[c], binary.LittleEndian.Uint64(rec[8+8*c:]))
+		}
+	}
+	if err := e.checkFooter(r, crc, path, uint64(nrec)); err != nil {
+		return nil, nil, err
+	}
+	return keys, cols, nil
+}
+
+// checkFooter reads and validates the 16-byte trailer against the decoded
+// row count and the running whole-file CRC.
+func (e *extExec) checkFooter(r *bufio.Reader, crc hash.Hash32, path string, nrec uint64) error {
+	var ftr [spillFooterSize]byte
+	if _, err := io.ReadFull(r, ftr[:]); err != nil {
+		return fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+	}
+	if m := binary.LittleEndian.Uint32(ftr[12:]); m != spillEndMagic {
+		return corrupt(path, fmt.Sprintf("bad end marker %#08x", m))
+	}
+	if cnt := binary.LittleEndian.Uint64(ftr[0:]); cnt != nrec {
+		return corrupt(path, fmt.Sprintf("footer records %d, file holds %d", cnt, nrec))
+	}
+	if want, got := binary.LittleEndian.Uint32(ftr[8:]), crc.Sum32(); want != got {
+		return corrupt(path, fmt.Sprintf("checksum mismatch: footer %#08x, computed %#08x", want, got))
+	}
+	return nil
+}

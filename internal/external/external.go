@@ -12,39 +12,44 @@
 //     role at the cache level.
 //  2. Each chunk's partial groups are appended to one of 256 spill
 //     partitions chosen by the first digit of the group's hash. Partition
-//     files hold (key, partial...) records — "runs" on disk, in the
-//     original sense of the word.
+//     files hold (key, partial...) rows in checksummed column-major
+//     blocks — "runs" on disk, in the original sense of the word.
 //  3. Every partition is merged with the super-aggregate functions (COUNT
 //     partials merge by SUM, and AVG is decomposed into SUM and COUNT up
 //     front). Partitions still exceeding the budget recurse on the next
 //     hash digit — Algorithm 2, one storage level up.
+//
+// Phase 3 is parallel and pipelined: each partition's merge (including the
+// recursive levels) is one work-stealing task on a sched.Pool, running the
+// batch kernels of the in-memory operator, while a bounded prefetch window
+// of reader tasks overlaps the next partitions' file I/O with the current
+// merges (see merge.go). Output order stays deterministic — partitions
+// concatenate in digit order regardless of the schedule. The legacy
+// sequential map merge remains available as Config.SequentialMerge, the
+// reference oracle of the differential tests.
 //
 // Like the in-memory operator, the algorithm needs no estimate of the
 // output cardinality, degrades gracefully with K, and benefits from input
 // locality through the chunk-level early aggregation of step 1.
 //
 // Unlike the in-memory operator, this level cannot trust its storage.
-// Spill files therefore carry a versioned header and a CRC32 footer
-// (see docs/ROBUSTNESS.md for the format) verified on read, total spill
-// volume can be capped with Config.MaxSpillBytes, every writer is closed
-// and removed on every error path, and all file I/O goes through the
-// faultfs.FS interface so tests can deterministically inject faults at
-// each I/O site.
+// Spill files therefore carry a versioned header, per-block CRC32s and a
+// whole-file CRC32 footer (see docs/ROBUSTNESS.md for the format) verified
+// on read, total spill volume can be capped with Config.MaxSpillBytes,
+// every writer is closed and removed on every error path, and all file I/O
+// goes through the faultfs.FS interface so tests can deterministically
+// inject faults at each I/O site.
 package external
 
 import (
-	"bufio"
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash"
-	"hash/crc32"
-	"io"
 	"io/fs"
 	"os"
-	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/core"
@@ -79,6 +84,15 @@ type Config struct {
 	// would be exceeded the aggregation fails fast with ErrSpillBudget
 	// instead of filling the disk. 0 means no cap.
 	MaxSpillBytes int64
+	// MergeWorkers caps the workers of the parallel merge phase; 0
+	// selects GOMAXPROCS. The result is identical for every worker
+	// count.
+	MergeWorkers int
+	// SequentialMerge selects the single-goroutine map-merge reference
+	// path for phase 3 instead of the parallel batch engine. Slower;
+	// exists as the differential-testing oracle and for runs that need a
+	// deterministic I/O schedule (e.g. replaying a seeded fault plan).
+	SequentialMerge bool
 	// Retry configures transient-fault retries of spill I/O; zero fields
 	// select faultfs.DefaultRetryPolicy.
 	Retry faultfs.RetryPolicy
@@ -103,6 +117,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxSpillBytes < 0 {
 		return fmt.Errorf("external: MaxSpillBytes is negative (%d); use 0 for no cap", c.MaxSpillBytes)
+	}
+	if c.MergeWorkers < 0 {
+		return fmt.Errorf("external: MergeWorkers is negative (%d); use 0 for GOMAXPROCS", c.MergeWorkers)
 	}
 	if c.Retry.MaxAttempts < 0 {
 		return fmt.Errorf("external: Retry.MaxAttempts is negative (%d)", c.Retry.MaxAttempts)
@@ -157,22 +174,6 @@ var (
 	ErrSpillBudget = errors.New("spill budget exceeded")
 )
 
-// Spill file format (little-endian):
-//
-//	header  16 B   magic "CAGS" | version u16 | record bytes u16 | reserved u64
-//	records n×recSize   key u64, then one u64 partial per decomposed column
-//	footer  16 B   record count u64 | CRC32-IEEE(header+records) u32 | "SPND"
-//
-// The record width in the header lets a reader reject files written with a
-// different aggregate plan; the footer CRC catches truncation and bit rot.
-const (
-	spillMagic      = 0x43414753 // "CAGS"
-	spillEndMagic   = 0x53504e44 // "SPND"
-	spillVersion    = 1
-	spillHeaderSize = 16
-	spillFooterSize = 16
-)
-
 // Stats reports what the external pass did.
 type Stats struct {
 	// Chunks is the number of input chunks pre-aggregated in memory.
@@ -202,10 +203,14 @@ type Stats struct {
 	// ChunkRetries counts input ranges re-aggregated with a smaller chunk
 	// size after the in-memory leaf ran over the byte budget.
 	ChunkRetries int
+	// PrefetchedPartitions counts partition files loaded ahead of their
+	// merge by the prefetch window (taken or not).
+	PrefetchedPartitions int
 }
 
 // Result is the aggregation output plus spill statistics. Group order is
-// hash order (by construction of the partition recursion).
+// hash order (by construction of the partition recursion) and identical
+// for the parallel and sequential merge paths.
 type Result struct {
 	Keys []uint64
 	Aggs [][]int64
@@ -268,9 +273,10 @@ func Aggregate(cfg Config, in *core.Input) (*Result, error) {
 
 // AggregateContext is Aggregate with cancellation: the context is observed
 // between chunks, inside each chunk's in-memory aggregation (at morsel and
-// task boundaries), and at every step of the merge recursion. On any error
-// — cancellation, I/O fault, budget, corruption — all spill writers are
-// closed and their files removed before the call returns.
+// task boundaries), and at every task of the merge pool (which aborts and
+// quiesces before the error returns). On any error — cancellation, I/O
+// fault, budget, corruption — all spill writers are closed and their files
+// removed before the call returns.
 func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -287,7 +293,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	cfg.sizeFromBudget(p.width())
 	if userRows <= 0 && cfg.MemoryBudgetBytes > 0 {
 		// Derive the row budget from the byte budget: a merged row costs
-		// its record (read buffer) plus map entry and output copies —
+		// its record (read buffer) plus table slot and output copies —
 		// roughly 4× the record size covers all of them.
 		rows := cfg.MemoryBudgetBytes / int64(4*(8+8*p.width()))
 		cfg.MemoryBudgetRows = int(min(max(rows, 1024), 1<<20))
@@ -308,7 +314,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	if err != nil {
 		return nil, fmt.Errorf("external: %w", err)
 	}
-	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov}
+	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov, kern: agg.NewLayout(p.dec).Kernels()}
 	defer func() {
 		if err != nil {
 			e.cleanupAll()
@@ -320,34 +326,39 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	if err != nil {
 		return nil, err
 	}
-	res = &Result{
-		Aggs:      make([][]int64, len(in.Specs)),
-		AggsFloat: make([][]float64, len(in.Specs)),
-	}
+	// Seal phase 1: push hybrid remainders into their files and close every
+	// partition file so the merge phase sees only finished, self-validating
+	// units (and fully resident partitions, which never touch disk).
+	work := false
 	for d := 0; d < hashfn.Fanout; d++ {
 		if e.resident[d].n() > 0 {
 			if parts[d] != nil {
-				// Hybrid partition: push the resident remainder to the
-				// file so the merge sees every partial row.
 				if err := e.evict(d, parts); err != nil {
 					return nil, err
 				}
 			} else {
-				// Fully resident partition: merge straight from memory.
 				e.stats.ResidentPartitions++
-				r := &e.resident[d]
-				e.mergeInMemory(r.keys, r.partials, res)
-				e.releaseResident(d)
-				continue
+				work = true
 			}
 		}
-		if parts[d] == nil {
-			continue
+		if parts[d] != nil {
+			if err := e.finishSpill(parts[d]); err != nil {
+				return nil, err
+			}
+			work = true
 		}
-		if err := parts[d].finish(); err != nil {
-			return nil, err
+	}
+	res = &Result{
+		Aggs:      make([][]int64, len(in.Specs)),
+		AggsFloat: make([][]float64, len(in.Specs)),
+	}
+	if work {
+		if cfg.SequentialMerge {
+			err = e.mergeSequential(ctx, parts, res)
+		} else {
+			err = e.mergeParallel(ctx, parts, res)
 		}
-		if err := e.mergePartition(ctx, parts[d], 1, res); err != nil {
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -358,13 +369,26 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 }
 
 type extExec struct {
-	cfg       Config
-	plan      *plan
-	dir       string
-	gov       *memgov.Governor
+	cfg  Config
+	plan *plan
+	dir  string
+	gov  *memgov.Governor
+	kern *agg.Kernels // merge kernels of the decomposed plan
+
+	// mu guards the shared mutable state of the concurrent merge phase:
+	// stats, the spill-budget ledger, the writer id counter and the
+	// cleanup track. Phase 1 runs single-goroutine but takes it anyway —
+	// uncontended locks are cheap at block granularity.
+	mu        sync.Mutex
 	stats     Stats
 	nextID    int
 	diskBytes int64 // total file bytes written, incl. headers and footers
+
+	// inflight counts merge-phase holders of releasable governor budget:
+	// running/prefetched file loads and still-pending resident merges.
+	// Blocked load admissions fail fast only when it reaches zero (see
+	// acquireLoad).
+	inflight atomic.Int64
 
 	// resident holds the level-0 partitions kept in memory in hybrid mode
 	// (governor with a byte budget): partials accumulate here and only hit
@@ -389,9 +413,9 @@ func (r *resident) n() int { return len(r.keys) }
 // recSize is the byte size of one spilled record: key + decomposed partials.
 func (e *extExec) recSize() int { return 8 + 8*e.plan.width() }
 
-// charge reserves n bytes of spill budget, failing fast before the write
-// that would exceed Config.MaxSpillBytes.
-func (e *extExec) charge(n int) error {
+// chargeLocked reserves n bytes of spill budget, failing fast before the
+// write that would exceed Config.MaxSpillBytes. Callers hold e.mu.
+func (e *extExec) chargeLocked(n int) error {
 	if e.cfg.MaxSpillBytes > 0 && e.diskBytes+int64(n) > e.cfg.MaxSpillBytes {
 		return fmt.Errorf("external: %w: %d bytes spilled, next write of %d bytes exceeds MaxSpillBytes=%d",
 			ErrSpillBudget, e.diskBytes, n, e.cfg.MaxSpillBytes)
@@ -403,8 +427,12 @@ func (e *extExec) charge(n int) error {
 // cleanupAll closes and removes every spill file still present. Remove
 // failures are counted in Stats (the deferred RemoveAll sweeps the
 // directory regardless); close errors on the error path are irrelevant.
+// Called after the merge pool has quiesced, never concurrently with it.
 func (e *extExec) cleanupAll() {
-	for _, w := range e.track {
+	e.mu.Lock()
+	track := e.track
+	e.mu.Unlock()
+	for _, w := range track {
 		w.discard(e)
 	}
 }
@@ -417,7 +445,9 @@ func (e *extExec) removeSpill(w *spillWriter) {
 	}
 	w.removed = true
 	if err := e.cfg.FS.Remove(w.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		e.mu.Lock()
 		e.stats.CleanupFailures++
+		e.mu.Unlock()
 	}
 }
 
@@ -425,8 +455,9 @@ func (e *extExec) removeSpill(w *spillWriter) {
 // the per-chunk fixed costs dominate and shrinking further cannot help.
 const minChunkRows = 1024
 
-// spillInput runs phase 1 and returns one open spill writer per non-empty
-// level-0 partition (resident partitions may have no writer).
+// spillInput runs phase 1 and returns one spill writer per non-empty
+// level-0 partition (resident partitions may have no writer). Writers are
+// left open — the caller seals them after pushing hybrid remainders.
 //
 // When a chunk's in-memory aggregation runs over the byte budget, the
 // input range is retried with half the chunk size after evicting every
@@ -467,11 +498,10 @@ func (e *extExec) spillInput(ctx context.Context, in *core.Input) ([]*spillWrite
 
 // spillPartial routes each group of an in-memory partial result to the
 // level-0 partition of its hash digit: resident in memory while the byte
-// budget allows (hybrid mode), spilled to disk otherwise. Because every
-// decomposed partial is width-1 and distributive, the finalized columns of
-// the core result ARE the partial states.
+// budget allows (hybrid mode), staged into the partition's block writer
+// otherwise. Because every decomposed partial is width-1 and distributive,
+// the finalized columns of the core result ARE the partial states.
 func (e *extExec) spillPartial(part *core.Result, writers []*spillWriter) error {
-	rec := make([]byte, e.recSize())
 	hybrid := e.gov != nil && e.gov.Budget() > 0
 	for r := 0; r < part.Groups(); r++ {
 		d := hashfn.Digit(part.Hashes[r], 0)
@@ -493,11 +523,7 @@ func (e *extExec) spillPartial(part *core.Result, writers []*spillWriter) error 
 			}
 			writers[d] = w
 		}
-		binary.LittleEndian.PutUint64(rec, part.Keys[r])
-		for c := 0; c < e.plan.width(); c++ {
-			binary.LittleEndian.PutUint64(rec[8+8*c:], uint64(part.Aggs[c][r]))
-		}
-		if err := e.writeRecord(w, rec); err != nil {
+		if err := e.appendAggs(w, part.Keys[r], part.Aggs, r); err != nil {
 			return err
 		}
 	}
@@ -522,7 +548,9 @@ func (e *extExec) keepResident(d int, part *core.Result, r int, writers []*spill
 		if big < 0 {
 			return false, nil
 		}
+		e.mu.Lock()
 		e.stats.EvictedPartitions++
+		e.mu.Unlock()
 		if err := e.evict(big, writers); err != nil {
 			return false, err
 		}
@@ -555,13 +583,8 @@ func (e *extExec) evict(d int, writers []*spillWriter) error {
 		}
 		writers[d] = w
 	}
-	rec := make([]byte, e.recSize())
 	for i := range res.keys {
-		binary.LittleEndian.PutUint64(rec, res.keys[i])
-		for c := 0; c < e.plan.width(); c++ {
-			binary.LittleEndian.PutUint64(rec[8+8*c:], res.partials[c][i])
-		}
-		if err := e.writeRecord(w, rec); err != nil {
+		if err := e.appendState(w, res.keys[i], res.partials, i); err != nil {
 			return err
 		}
 	}
@@ -576,7 +599,9 @@ func (e *extExec) evictAll(writers []*spillWriter) error {
 		if e.resident[d].n() == 0 {
 			continue
 		}
+		e.mu.Lock()
 		e.stats.EvictedPartitions++
+		e.mu.Unlock()
 		if err := e.evict(d, writers); err != nil {
 			return err
 		}
@@ -585,309 +610,12 @@ func (e *extExec) evictAll(writers []*spillWriter) error {
 }
 
 // releaseResident returns partition d's reservation and drops its rows.
+// In the parallel merge each resident partition is released by exactly one
+// task; the pool's quiescence orders the release before the final stats.
 func (e *extExec) releaseResident(d int) {
 	res := &e.resident[d]
 	if e.gov != nil {
 		e.gov.Release(res.bytes)
 	}
 	*res = resident{}
-}
-
-// writeRecord appends one record to a spill partition, charging the spill
-// budget and the statistics.
-func (e *extExec) writeRecord(w *spillWriter, rec []byte) error {
-	if err := e.charge(len(rec)); err != nil {
-		return err
-	}
-	if err := w.write(rec); err != nil {
-		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
-	}
-	w.records++
-	e.stats.SpilledRows++
-	e.stats.SpilledBytes += int64(len(rec))
-	return nil
-}
-
-// spillWriter writes one partition file in the checksummed spill format.
-type spillWriter struct {
-	path    string
-	f       faultfs.File
-	buf     *bufio.Writer
-	crc     hash.Hash32
-	records uint64
-	closed  bool
-	removed bool
-}
-
-func (e *extExec) newWriter() (*spillWriter, error) {
-	if err := e.charge(spillHeaderSize + spillFooterSize); err != nil {
-		return nil, err
-	}
-	e.nextID++
-	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", e.nextID))
-	f, err := e.cfg.FS.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("external: create spill %s: %w", filepath.Base(path), err)
-	}
-	w := &spillWriter{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<16), crc: crc32.NewIEEE()}
-	e.track = append(e.track, w)
-	var hdr [spillHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], spillVersion)
-	binary.LittleEndian.PutUint16(hdr[6:], uint16(e.recSize()))
-	if err := w.write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("external: write spill %s: %w", filepath.Base(path), err)
-	}
-	return w, nil
-}
-
-// write appends bytes to the file through the buffer and the running CRC.
-// Record counting is the caller's business (the header is not a record).
-func (w *spillWriter) write(p []byte) error {
-	if _, err := w.buf.Write(p); err != nil {
-		return err
-	}
-	w.crc.Write(p)
-	return nil
-}
-
-// finish seals the file: footer, flush, sync, close. After finish the file
-// is a self-validating unit on disk.
-func (w *spillWriter) finish() error {
-	var ftr [spillFooterSize]byte
-	binary.LittleEndian.PutUint64(ftr[0:], w.records)
-	binary.LittleEndian.PutUint32(ftr[8:], w.crc.Sum32())
-	binary.LittleEndian.PutUint32(ftr[12:], spillEndMagic)
-	if _, err := w.buf.Write(ftr[:]); err != nil {
-		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
-	}
-	if err := w.buf.Flush(); err != nil {
-		return fmt.Errorf("external: flush spill %s: %w", filepath.Base(w.path), err)
-	}
-	w.closed = true
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("external: close spill %s: %w", filepath.Base(w.path), err)
-	}
-	return nil
-}
-
-// discard is the error-path cleanup: close the handle if still open and
-// remove the file. Safe to call in any state and more than once.
-func (w *spillWriter) discard(e *extExec) {
-	if !w.closed {
-		w.closed = true
-		w.f.Close() // error irrelevant: the file is removed next
-	}
-	e.removeSpill(w)
-}
-
-// mergePartition aggregates all partial records of one partition file,
-// recursing on the next hash digit when the partition exceeds the memory
-// budget. The file is deleted after reading.
-func (e *extExec) mergePartition(ctx context.Context, part *spillWriter, level int, res *Result) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if level > e.stats.MergeLevels {
-		e.stats.MergeLevels = level
-	}
-	keys, partials, err := e.readSpill(part.path)
-	if err != nil {
-		return err
-	}
-	e.removeSpill(part)
-
-	// Register the merge buffers with the governor. Released before the
-	// recursion in the re-partition branch (the buffers are dead by then),
-	// via defer on the in-memory merge branch.
-	loaded := int64(len(keys)) * int64(e.recSize())
-	if e.gov != nil {
-		e.gov.Reserve(loaded)
-	}
-	released := false
-	release := func() {
-		if !released && e.gov != nil {
-			released = true
-			e.gov.Release(loaded)
-		}
-	}
-	defer release()
-
-	if len(keys) > e.cfg.MemoryBudgetRows && level < hashfn.MaxLevels {
-		// Too big for an in-memory merge: re-partition by the next digit.
-		writers := make([]*spillWriter, hashfn.Fanout)
-		rec := make([]byte, e.recSize())
-		for i := range keys {
-			d := hashfn.Digit(hashfn.Murmur2(keys[i]), level)
-			w := writers[d]
-			if w == nil {
-				w, err = e.newWriter()
-				if err != nil {
-					return err
-				}
-				writers[d] = w
-			}
-			binary.LittleEndian.PutUint64(rec, keys[i])
-			for c := 0; c < e.plan.width(); c++ {
-				binary.LittleEndian.PutUint64(rec[8+8*c:], partials[c][i])
-			}
-			if err := e.writeRecord(w, rec); err != nil {
-				return err
-			}
-		}
-		keys, partials = nil, nil
-		release()
-		for _, w := range writers {
-			if w == nil {
-				continue
-			}
-			if err := w.finish(); err != nil {
-				return err
-			}
-			if err := e.mergePartition(ctx, w, level+1, res); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	e.mergeInMemory(keys, partials, res)
-	return nil
-}
-
-// mergeInMemory merges partial rows by key with the per-column
-// super-aggregates and appends finalized groups to res.
-func (e *extExec) mergeInMemory(keys []uint64, partials [][]uint64, res *Result) {
-	index := make(map[uint64]int, 1024)
-	var outKeys []uint64
-	width := e.plan.width()
-	out := make([][]uint64, width)
-	for i := range keys {
-		k := keys[i]
-		s, ok := index[k]
-		if !ok {
-			s = len(outKeys)
-			index[k] = s
-			outKeys = append(outKeys, k)
-			for c := 0; c < width; c++ {
-				out[c] = append(out[c], partials[c][i])
-			}
-			continue
-		}
-		for c := 0; c < width; c++ {
-			st := [1]uint64{out[c][s]}
-			src := [1]uint64{partials[c][i]}
-			e.plan.mergeKind[c].Merge(st[:], src[:])
-			out[c][s] = st[0]
-		}
-	}
-	res.Keys = append(res.Keys, outKeys...)
-	for si, s := range e.plan.orig {
-		off := e.plan.off[si]
-		col := res.Aggs[si]
-		fcol := res.AggsFloat[si]
-		for g := range outKeys {
-			if s.Kind == agg.Avg {
-				sum := int64(out[off][g])
-				cnt := int64(out[off+1][g])
-				if cnt == 0 {
-					col = append(col, 0)
-					fcol = append(fcol, 0)
-				} else {
-					col = append(col, sum/cnt)
-					fcol = append(fcol, float64(sum)/float64(cnt))
-				}
-			} else {
-				v := int64(out[off][g])
-				col = append(col, v)
-				fcol = append(fcol, float64(v))
-			}
-		}
-		res.Aggs[si] = col
-		res.AggsFloat[si] = fcol
-	}
-}
-
-func corrupt(path, detail string) error {
-	return fmt.Errorf("external: %w %s: %s", ErrCorruptSpill, filepath.Base(path), detail)
-}
-
-// readSpill loads a partition file into columnar form, validating the
-// header and verifying the CRC32 footer before trusting a single record.
-func (e *extExec) readSpill(path string) (_ []uint64, _ [][]uint64, err error) {
-	f, err := e.cfg.FS.Open(path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("external: open spill %s: %w", filepath.Base(path), err)
-	}
-	defer func() {
-		// A failing close on the read side is still a failing I/O call on
-		// a file we depend on; don't swallow it behind a good result.
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("external: close spill %s: %w", filepath.Base(path), cerr)
-		}
-	}()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, nil, fmt.Errorf("external: stat spill %s: %w", filepath.Base(path), err)
-	}
-	recSize := e.recSize()
-	size := st.Size()
-	if size < spillHeaderSize+spillFooterSize {
-		return nil, nil, corrupt(path, fmt.Sprintf("%d bytes, smaller than header+footer", size))
-	}
-	payload := size - spillHeaderSize - spillFooterSize
-	if payload%int64(recSize) != 0 {
-		return nil, nil, corrupt(path, fmt.Sprintf("truncated: %d payload bytes not a multiple of the %d-byte record", payload, recSize))
-	}
-	nrec := payload / int64(recSize)
-
-	r := bufio.NewReaderSize(f, 1<<16)
-	crc := crc32.NewIEEE()
-
-	var hdr [spillHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
-	}
-	crc.Write(hdr[:])
-	if m := binary.LittleEndian.Uint32(hdr[0:]); m != spillMagic {
-		return nil, nil, corrupt(path, fmt.Sprintf("bad magic %#08x", m))
-	}
-	if v := binary.LittleEndian.Uint16(hdr[4:]); v != spillVersion {
-		return nil, nil, corrupt(path, fmt.Sprintf("unsupported version %d", v))
-	}
-	if rb := binary.LittleEndian.Uint16(hdr[6:]); int(rb) != recSize {
-		return nil, nil, corrupt(path, fmt.Sprintf("record width %d, plan needs %d", rb, recSize))
-	}
-
-	rec := make([]byte, recSize)
-	keys := make([]uint64, 0, nrec)
-	partials := make([][]uint64, e.plan.width())
-	for c := range partials {
-		partials[c] = make([]uint64, 0, nrec)
-	}
-	for i := int64(0); i < nrec; i++ {
-		if _, err := io.ReadFull(r, rec); err != nil {
-			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
-		}
-		crc.Write(rec)
-		keys = append(keys, binary.LittleEndian.Uint64(rec))
-		for c := range partials {
-			partials[c] = append(partials[c], binary.LittleEndian.Uint64(rec[8+8*c:]))
-		}
-	}
-
-	var ftr [spillFooterSize]byte
-	if _, err := io.ReadFull(r, ftr[:]); err != nil {
-		return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
-	}
-	if m := binary.LittleEndian.Uint32(ftr[12:]); m != spillEndMagic {
-		return nil, nil, corrupt(path, fmt.Sprintf("bad end marker %#08x", m))
-	}
-	if cnt := binary.LittleEndian.Uint64(ftr[0:]); cnt != uint64(nrec) {
-		return nil, nil, corrupt(path, fmt.Sprintf("footer records %d, file holds %d", cnt, nrec))
-	}
-	if want, got := binary.LittleEndian.Uint32(ftr[8:]), crc.Sum32(); want != got {
-		return nil, nil, corrupt(path, fmt.Sprintf("checksum mismatch: footer %#08x, computed %#08x", want, got))
-	}
-	return keys, partials, nil
 }

@@ -2,6 +2,8 @@ package external
 
 // Fuzz target for the spill-file decoder: arbitrary bytes must never
 // panic readSpill, and whatever it accepts must be structurally sound.
+// Seeds cover both format versions — v2 (block codec) as written by this
+// build, and v1 (record-per-row) kept read-compatible.
 
 import (
 	"encoding/binary"
@@ -13,14 +15,15 @@ import (
 	"cacheagg/internal/agg"
 )
 
-// encodeSpill builds valid spill-file bytes for a width-1 plan.
-func encodeSpill(keys []uint64, partials []uint64) []byte {
+// encodeSpillV1 builds valid version-1 spill-file bytes for a width-1
+// plan: one 16-byte record per row, no block structure.
+func encodeSpillV1(keys []uint64, partials []uint64) []byte {
 	const recSize = 16
 	crc := crc32.NewIEEE()
 	buf := make([]byte, 0, spillHeaderSize+len(keys)*recSize+spillFooterSize)
 	var hdr [spillHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], spillVersion)
+	binary.LittleEndian.PutUint16(hdr[4:], spillVersion1)
 	binary.LittleEndian.PutUint16(hdr[6:], recSize)
 	buf = append(buf, hdr[:]...)
 	crc.Write(hdr[:])
@@ -38,17 +41,65 @@ func encodeSpill(keys []uint64, partials []uint64) []byte {
 	return append(buf, ftr[:]...)
 }
 
+// encodeSpillV2 builds valid version-2 spill-file bytes for a width-1
+// plan: checksummed column-major blocks of up to spillBlockRows rows.
+func encodeSpillV2(keys []uint64, partials []uint64) []byte {
+	const recSize = 16
+	crc := crc32.NewIEEE()
+	buf := make([]byte, 0, spillHeaderSize+len(keys)*(recSize+1)+spillFooterSize)
+	var hdr [spillHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], spillVersion)
+	binary.LittleEndian.PutUint16(hdr[6:], recSize)
+	buf = append(buf, hdr[:]...)
+	crc.Write(hdr[:])
+	for lo := 0; lo < len(keys); lo += spillBlockRows {
+		hi := min(lo+spillBlockRows, len(keys))
+		n := hi - lo
+		block := make([]byte, spillBlockHeader+n*recSize)
+		binary.LittleEndian.PutUint32(block[0:], uint32(n))
+		off := spillBlockHeader
+		for _, k := range keys[lo:hi] {
+			binary.LittleEndian.PutUint64(block[off:], k)
+			off += 8
+		}
+		for _, v := range partials[lo:hi] {
+			binary.LittleEndian.PutUint64(block[off:], v)
+			off += 8
+		}
+		binary.LittleEndian.PutUint32(block[4:], crc32.ChecksumIEEE(block[spillBlockHeader:]))
+		buf = append(buf, block...)
+		crc.Write(block)
+	}
+	var ftr [spillFooterSize]byte
+	binary.LittleEndian.PutUint64(ftr[0:], uint64(len(keys)))
+	binary.LittleEndian.PutUint32(ftr[8:], crc.Sum32())
+	binary.LittleEndian.PutUint32(ftr[12:], spillEndMagic)
+	return append(buf, ftr[:]...)
+}
+
 func FuzzSpillDecoder(f *testing.F) {
-	valid := encodeSpill([]uint64{1, 2, 3}, []uint64{10, 20, 30})
-	f.Add(valid)
-	f.Add(encodeSpill(nil, nil))
-	f.Add(valid[:len(valid)-5])          // truncated footer
-	f.Add(valid[:spillHeaderSize])       // header only
+	validV2 := encodeSpillV2([]uint64{1, 2, 3}, []uint64{10, 20, 30})
+	validV1 := encodeSpillV1([]uint64{1, 2, 3}, []uint64{10, 20, 30})
+	f.Add(validV2)
+	f.Add(validV1)
+	f.Add(encodeSpillV2(nil, nil))
+	f.Add(encodeSpillV1(nil, nil))
+	f.Add(validV2[:len(validV2)-5])      // truncated footer
+	f.Add(validV2[:spillHeaderSize])     // header only
+	f.Add(validV2[:spillHeaderSize+4])   // torn block header
 	f.Add([]byte{})                      // empty file
 	f.Add([]byte("CAGSnotreallyaspill")) // magic prefix, garbage rest
-	mut := append([]byte(nil), valid...)
-	mut[spillHeaderSize+3] ^= 0xFF // bit rot in a record
-	f.Add(mut)
+	for _, seed := range [][]byte{validV2, validV1} {
+		mut := append([]byte(nil), seed...)
+		mut[spillHeaderSize+spillBlockHeader+3] ^= 0xFF // bit rot in row data
+		f.Add(mut)
+	}
+	big := make([]uint64, 3*spillBlockRows/2) // multi-block v2 file
+	for i := range big {
+		big[i] = uint64(i)
+	}
+	f.Add(encodeSpillV2(big, big))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e := &extExec{
@@ -64,13 +115,13 @@ func FuzzSpillDecoder(f *testing.F) {
 			return // rejected: fine, as long as it didn't panic
 		}
 		// Accepted: the decode must be self-consistent, and re-encoding
-		// and re-decoding it must reproduce the same rows (the reserved
-		// header bytes are the only slack in the format).
+		// and re-decoding it (through the current format) must reproduce
+		// the same rows (the reserved header bytes are the only slack).
 		if len(partials) != 1 || len(partials[0]) != len(keys) {
 			t.Fatalf("inconsistent decode: %d keys, %d partial columns", len(keys), len(partials))
 		}
 		path2 := filepath.Join(t.TempDir(), "fuzz2.spill")
-		if err := os.WriteFile(path2, encodeSpill(keys, partials[0]), 0o644); err != nil {
+		if err := os.WriteFile(path2, encodeSpillV2(keys, partials[0]), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		keys2, partials2, err := e.readSpill(path2)

@@ -1,0 +1,741 @@
+package external
+
+// Parallel, pipelined partition merging (phase 2 of the out-of-core
+// operator).
+//
+// Every non-empty level-1 partition — on disk or resident in memory — is
+// one work-stealing task on a sched.Pool, so all 256 merges proceed
+// concurrently; a partition that still exceeds the row budget repartitions
+// on the next hash digit and spawns one subtask per sub-partition, exactly
+// the recursion of Algorithm 2 with the levels running in parallel.
+//
+// I/O overlaps with compute through a bounded prefetch window: while
+// partition d merges, loader tasks stream the files of later partitions
+// into memory, with the window sized from the byte budget and every load's
+// reservation taken from the governor BEFORE its buffers are allocated.
+// Admission is fail-fast only when it must be: a load that cannot reserve
+// first reclaims an unconsumed prefetched file, then waits while any other
+// in-flight holder (a running load, a pending resident merge) can still
+// free budget, and only errors with the governor's typed ErrBudget when it
+// is provably alone.
+//
+// Output determinism: each partition merges into its own result fragment;
+// fragments are concatenated in digit order (recursively, in sub-digit
+// order) after the pool quiesces, so the group order is identical to the
+// sequential merge no matter how the tasks interleave. The merge itself is
+// the batch pipeline of the in-memory operator — hashfn.HashBatch,
+// hashtable.InsertStateBatch with the plan's merge kernels, and a
+// block-order EmitColumns — with the legacy map merge kept as the
+// sequential reference oracle (Config.SequentialMerge) for differential
+// tests.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/hashtable"
+	"cacheagg/internal/sched"
+)
+
+// errAborted is the silent give-up of a merge task once the pool is
+// already tearing down; it never surfaces to the caller (the pool returns
+// the first real failure).
+var errAborted = errors.New("external: merge aborted")
+
+// smallMergeRows is the partition size below which mergeBatched skips the
+// blocked hash table and merges through the reference map directly. Below
+// this, 2·n capacity spread over 256 blocks leaves so few slots per block
+// that overflow-doubling retries dominate; the map is cheaper outright.
+const smallMergeRows = 8192
+
+// frag is one partition's slice of the final result: either merged rows
+// (leaf) or 256 sub-fragments in digit order (repartitioned). Fragments
+// are assembled into the Result in digit order after the pool quiesces.
+type frag struct {
+	keys []uint64
+	cols [][]uint64
+	sub  []*frag
+}
+
+// loadedPart is one partition file materialized in columnar form, with its
+// governor reservation.
+type loadedPart struct {
+	keys     []uint64
+	cols     [][]uint64
+	bytes    int64
+	released bool
+}
+
+// releaseLoad returns a load's reservation and in-flight slot. Idempotent;
+// each loadedPart is owned by a single goroutine at a time.
+func (e *extExec) releaseLoad(ld *loadedPart) {
+	if ld == nil || ld.released {
+		return
+	}
+	ld.released = true
+	if e.gov != nil {
+		e.gov.Release(ld.bytes)
+	}
+	e.inflight.Add(-1)
+}
+
+// tryAcquireLoad reserves n bytes for a load without blocking.
+func (e *extExec) tryAcquireLoad(n int64) bool {
+	if !e.gov.TryReserve(n) {
+		return false
+	}
+	e.inflight.Add(1)
+	return true
+}
+
+// acquireLoad reserves n bytes for a load, waiting for in-flight holders
+// (running loads, prefetched files, pending resident merges) to free
+// budget. It reclaims unconsumed prefetched files first — they are the
+// one kind of holder whose owner might be queued behind the waiters — and
+// fails fast with the governor's typed error the moment nothing in flight
+// could possibly free the missing bytes.
+func (e *extExec) acquireLoad(c *sched.Ctx, pf *prefetcher, n int64) error {
+	for {
+		if e.gov.TryReserve(n) {
+			e.inflight.Add(1)
+			return nil
+		}
+		if c != nil && c.Aborted() {
+			return errAborted
+		}
+		if pf != nil && pf.dropOne() {
+			continue
+		}
+		if e.inflight.Load() == 0 {
+			return fmt.Errorf("external: %w", e.gov.BudgetError("partition merge", n))
+		}
+		runtime.Gosched()
+	}
+}
+
+// loadPartition opens, reserves and decodes one partition file. The
+// reservation happens after Stat (the size is the bound on the decoded
+// columns plus read scratch) and before any decode buffer is allocated.
+func (e *extExec) loadPartition(c *sched.Ctx, pf *prefetcher, path string) (*loadedPart, error) {
+	f, size, err := e.openSpill(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.acquireLoad(c, pf, size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	keys, cols, err := e.decodeSpill(f, path, size)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("external: close spill %s: %w", filepath.Base(path), cerr)
+	}
+	if err != nil {
+		e.releaseLoad(&loadedPart{bytes: size})
+		return nil, err
+	}
+	return &loadedPart{keys: keys, cols: cols, bytes: size}, nil
+}
+
+// mergeParallel is the parallel phase 2: one task per non-empty level-1
+// partition on a work-stealing pool, a prefetcher overlapping file loads
+// with merging, and digit-order assembly of the per-partition fragments.
+func (e *extExec) mergeParallel(ctx context.Context, parts []*spillWriter, res *Result) error {
+	workers := e.cfg.MergeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	frags := make([]*frag, hashfn.Fanout)
+	// Pending resident merges hold reservations they will release; count
+	// them in flight before any admission decision can observe zero.
+	work := 0
+	for d := range parts {
+		if parts[d] == nil && e.resident[d].n() == 0 {
+			continue
+		}
+		if parts[d] == nil {
+			e.inflight.Add(1)
+		}
+		work++
+	}
+	if work == 0 {
+		return nil
+	}
+	pf := e.newPrefetcher(parts, workers)
+	pool := sched.NewPool(workers)
+	err := pool.RunContext(ctx, func(c *sched.Ctx) {
+		// File merges are pushed first and resident merges last: the owner
+		// pops LIFO, so the resident merges run first and release their
+		// budget before this worker needs it for loads, while thieves
+		// steal the file merges FIFO from the head of the deque.
+		for d := 0; d < hashfn.Fanout; d++ {
+			if parts[d] == nil {
+				continue
+			}
+			d := d
+			c.Spawn(func(c *sched.Ctx) {
+				if c.Aborted() {
+					return
+				}
+				f, err := e.mergeFile(c, pf, parts[d], 1, d)
+				if err != nil {
+					if err != errAborted {
+						c.Fail(err)
+					}
+					return
+				}
+				frags[d] = f
+			})
+		}
+		for d := 0; d < hashfn.Fanout; d++ {
+			if parts[d] != nil || e.resident[d].n() == 0 {
+				continue
+			}
+			d := d
+			c.Spawn(func(c *sched.Ctx) {
+				if c.Aborted() {
+					e.inflight.Add(-1)
+					return
+				}
+				r := &e.resident[d]
+				frags[d] = e.mergeBatched(r.keys, r.partials, 1)
+				e.releaseResident(d)
+				e.inflight.Add(-1)
+			})
+		}
+		pf.pump(c)
+	})
+	pf.releaseUnclaimed()
+	if err != nil {
+		return err
+	}
+	for _, f := range frags {
+		e.appendFrag(f, res)
+	}
+	return nil
+}
+
+// mergeFile merges one partition file: load (prefetched or on demand),
+// delete the file, then either batch-merge in memory or repartition on the
+// next digit and spawn one subtask per sub-partition.
+func (e *extExec) mergeFile(c *sched.Ctx, pf *prefetcher, w *spillWriter, level, d int) (*frag, error) {
+	e.bumpMergeLevel(level)
+	var ld *loadedPart
+	if pf != nil && d >= 0 {
+		ld = pf.take(c, d)
+	}
+	if c.Aborted() {
+		e.releaseLoad(ld)
+		return nil, errAborted
+	}
+	if ld == nil {
+		var err error
+		ld, err = e.loadPartition(c, pf, w.path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer e.releaseLoad(ld)
+	e.removeSpill(w)
+	if len(ld.keys) > e.cfg.MemoryBudgetRows && level < hashfn.MaxLevels {
+		subs, err := e.repartition(ld, level)
+		e.releaseLoad(ld) // sub-files hold the rows now
+		if err != nil {
+			return nil, err
+		}
+		f := &frag{sub: make([]*frag, hashfn.Fanout)}
+		for dd := range subs {
+			sw := subs[dd]
+			if sw == nil {
+				continue
+			}
+			dd, sw := dd, sw
+			c.Spawn(func(c *sched.Ctx) {
+				if c.Aborted() {
+					return
+				}
+				cf, err := e.mergeFile(c, pf, sw, level+1, -1)
+				if err != nil {
+					if err != errAborted {
+						c.Fail(err)
+					}
+					return
+				}
+				f.sub[dd] = cf
+			})
+		}
+		return f, nil
+	}
+	return e.mergeBatched(ld.keys, ld.cols, level), nil
+}
+
+// repartition splits a loaded partition by the next hash digit into up to
+// 256 sealed sub-partition files, hashing the whole column in one
+// HashBatch pass and staging rows through the block writers.
+func (e *extExec) repartition(ld *loadedPart, level int) ([]*spillWriter, error) {
+	writers := make([]*spillWriter, hashfn.Fanout)
+	hashes := make([]uint64, len(ld.keys))
+	hashfn.HashBatch(ld.keys, hashes)
+	for i, k := range ld.keys {
+		dd := hashfn.Digit(hashes[i], level)
+		w := writers[dd]
+		if w == nil {
+			var err error
+			w, err = e.newWriter()
+			if err != nil {
+				return nil, err
+			}
+			writers[dd] = w
+		}
+		if err := e.appendState(w, k, ld.cols, i); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range writers {
+		if w == nil {
+			continue
+		}
+		if err := e.finishSpill(w); err != nil {
+			return nil, err
+		}
+	}
+	return writers, nil
+}
+
+// mergeBatched merges partial rows with the batch kernels: one HashBatch
+// over the keys, InsertStateBatch into a level-blocked table with the
+// plan's monomorphic merge kernels, and a block-order EmitColumns. The
+// capacity doubles (re-inserting from the original rows) when a block
+// overflows; pathological same-digit skew and the bottom of the radix
+// recursion fall back to the reference map merge.
+func (e *extExec) mergeBatched(keys []uint64, cols [][]uint64, level int) *frag {
+	n := len(keys)
+	f := &frag{}
+	if n == 0 {
+		return f
+	}
+	if level >= hashfn.MaxLevels || n < smallMergeRows {
+		// No hash digit left to block a table on, or the partition is so
+		// small that a 256-block table would average under 64 slots per
+		// block — guaranteeing overflow-doubling retries that cost more
+		// than the map merge it would eventually fall back to.
+		f.keys, f.cols = mergeRowsMap(e.plan, keys, cols)
+		return f
+	}
+	width := e.plan.width()
+	hashes := make([]uint64, n)
+	hashfn.HashBatch(keys, hashes)
+	for capRows := 2 * n; ; capRows *= 2 {
+		if capRows > 8*n && capRows > 16<<10 {
+			// A block still overflowed at 8× headroom: the digit
+			// distribution is degenerate, stop burning memory on it.
+			f.keys, f.cols = mergeRowsMap(e.plan, keys, cols)
+			return f
+		}
+		tbl := hashtable.New(hashtable.Config{
+			CapacityRows: capRows,
+			Blocks:       hashfn.Fanout,
+			MaxFill:      1, // distinct rows ≤ n by construction; only block overflow can stop us
+			Words:        width,
+			Level:        level,
+		})
+		foot := tbl.FootprintBytes()
+		if e.gov != nil {
+			// Unconditional: the merge cannot proceed without its table,
+			// and a blocking reservation here while holding the load would
+			// deadlock against other merges doing the same. This is the
+			// documented slack of the budget contract.
+			e.gov.Reserve(foot)
+		}
+		m := tbl.InsertStateBatch(hashes, keys, cols, 0, e.kern)
+		if m == n {
+			g := tbl.Len()
+			f.keys = make([]uint64, g)
+			f.cols = make([][]uint64, width)
+			for c := range f.cols {
+				f.cols[c] = make([]uint64, g)
+			}
+			hs := make([]uint64, g)
+			tbl.EmitColumns(hs, f.keys, f.cols)
+			if e.gov != nil {
+				e.gov.Release(foot)
+			}
+			return f
+		}
+		if e.gov != nil {
+			e.gov.Release(foot)
+		}
+	}
+}
+
+// appendFrag appends a fragment tree's groups to the result in digit
+// order: leaf rows finalized in place, repartitioned fragments recursively
+// in sub-digit order.
+func (e *extExec) appendFrag(f *frag, res *Result) {
+	if f == nil {
+		return
+	}
+	if f.sub != nil {
+		for _, s := range f.sub {
+			e.appendFrag(s, res)
+		}
+		return
+	}
+	e.appendFinalized(f.keys, f.cols, res)
+}
+
+// bumpMergeLevel records the deepest merge recursion reached.
+func (e *extExec) bumpMergeLevel(level int) {
+	e.mu.Lock()
+	if level > e.stats.MergeLevels {
+		e.stats.MergeLevels = level
+	}
+	e.mu.Unlock()
+}
+
+// Prefetcher: overlaps partition-file loads with merging.
+//
+// Loader tasks stream files into loadedParts ahead of the merge tasks that
+// will consume them, at most `window` files in flight or loaded-unclaimed
+// at once. Reservations are taken (non-blocking) before decoding; a
+// refused reservation simply drops the prefetch — the merge task loads on
+// demand with the blocking admission instead. Entry ownership is a small
+// state machine on an atomic so consumers, loaders and budget-pressed
+// droppers never race.
+const (
+	pfIdle      int32 = iota // not scheduled yet
+	pfScheduled              // loader task queued
+	pfLoading                // loader running
+	pfLoaded                 // data ready, reservation held
+	pfDropped                // abandoned (budget pressure, refusal, abort)
+	pfClaimed                // a merge task owns the entry
+)
+
+type pfEntry struct {
+	d     int
+	w     *spillWriter
+	state atomic.Int32
+	data  *loadedPart
+}
+
+type prefetcher struct {
+	e       *extExec
+	entries []*pfEntry // non-empty file partitions, digit order
+	byDigit [hashfn.Fanout]*pfEntry
+	next    atomic.Int64 // scan cursor into entries
+	active  atomic.Int64 // scheduled + loading + loaded-unclaimed
+	window  int64
+}
+
+// newPrefetcher builds the prefetcher over the level-1 partition files and
+// sizes its window: two files per worker (capped at 16) so every worker
+// has a load in flight and one ready, shrunk so the expected window bytes
+// fit in half the byte budget — the other half stays for merge tables and
+// the loads the merges themselves hold. Reservations are still taken per
+// file at load time; the window is a concurrency target, not a grant.
+func (e *extExec) newPrefetcher(parts []*spillWriter, workers int) *prefetcher {
+	pf := &prefetcher{e: e}
+	for d, w := range parts {
+		if w == nil {
+			continue
+		}
+		ent := &pfEntry{d: d, w: w}
+		pf.byDigit[d] = ent
+		pf.entries = append(pf.entries, ent)
+	}
+	win := int64(2 * workers)
+	if win > 16 {
+		win = 16
+	}
+	if b := e.gov.Budget(); b > 0 && len(pf.entries) > 0 {
+		e.mu.Lock()
+		avg := e.diskBytes / int64(len(pf.entries))
+		e.mu.Unlock()
+		if avg > 0 && win > b/2/avg {
+			win = b / 2 / avg // may be 0: pure demand loading
+		}
+	}
+	pf.window = win
+	return pf
+}
+
+// pump schedules loader tasks until the window is full or the cursor runs
+// off the end. Called from the root task and whenever a window slot frees.
+func (pf *prefetcher) pump(c *sched.Ctx) {
+	for {
+		if pf.active.Load() >= pf.window {
+			return
+		}
+		pf.active.Add(1)
+		idx := pf.next.Add(1) - 1
+		if idx >= int64(len(pf.entries)) {
+			pf.active.Add(-1)
+			return
+		}
+		ent := pf.entries[idx]
+		if !ent.state.CompareAndSwap(pfIdle, pfScheduled) {
+			pf.active.Add(-1) // already claimed by its merge task
+			continue
+		}
+		c.Spawn(func(c *sched.Ctx) { pf.load(c, ent) })
+	}
+}
+
+// load is the loader task body: open, stat, try-reserve, decode. A refused
+// reservation or an abort drops the entry; an I/O failure fails the run.
+func (pf *prefetcher) load(c *sched.Ctx, ent *pfEntry) {
+	e := pf.e
+	if !ent.state.CompareAndSwap(pfScheduled, pfLoading) {
+		pf.slotFreed(c) // consumer claimed it first
+		return
+	}
+	if c.Aborted() {
+		ent.state.Store(pfDropped)
+		pf.active.Add(-1)
+		return
+	}
+	f, size, err := e.openSpill(ent.w.path)
+	if err != nil {
+		ent.state.Store(pfDropped)
+		pf.active.Add(-1)
+		c.Fail(err)
+		return
+	}
+	if !e.tryAcquireLoad(size) {
+		f.Close()
+		ent.state.Store(pfDropped)
+		pf.active.Add(-1)
+		return
+	}
+	keys, cols, err := e.decodeSpill(f, ent.w.path, size)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("external: close spill %s: %w", filepath.Base(ent.w.path), cerr)
+	}
+	if err != nil {
+		e.releaseLoad(&loadedPart{bytes: size})
+		ent.state.Store(pfDropped)
+		pf.active.Add(-1)
+		c.Fail(err)
+		return
+	}
+	ent.data = &loadedPart{keys: keys, cols: cols, bytes: size}
+	ent.state.Store(pfLoaded)
+	e.mu.Lock()
+	e.stats.PrefetchedPartitions++
+	e.mu.Unlock()
+	// The loaded entry keeps its window slot until taken or dropped.
+}
+
+// take hands partition d's prefetched load to its merge task, or returns
+// nil when the task must load on demand (never scheduled, refused, or
+// dropped). It claims the entry in every case so loaders and droppers
+// leave it alone afterwards.
+func (pf *prefetcher) take(c *sched.Ctx, d int) *loadedPart {
+	ent := pf.byDigit[d]
+	if ent == nil {
+		return nil
+	}
+	for {
+		switch s := ent.state.Load(); s {
+		case pfIdle, pfScheduled, pfDropped:
+			if ent.state.CompareAndSwap(s, pfClaimed) {
+				if s == pfScheduled {
+					// The queued loader will find the claim and free the
+					// slot itself; nothing is held yet.
+					return nil
+				}
+				return nil
+			}
+		case pfLoading:
+			if c.Aborted() {
+				return nil
+			}
+			runtime.Gosched() // another worker is mid-load; it finishes unpreempted
+		case pfLoaded:
+			if ent.state.CompareAndSwap(pfLoaded, pfClaimed) {
+				ld := ent.data
+				ent.data = nil
+				pf.slotFreed(c)
+				return ld
+			}
+		case pfClaimed:
+			return nil
+		}
+	}
+}
+
+// dropOne reclaims one loaded-but-unclaimed prefetch reservation for a
+// starving on-demand load. Returns whether anything was freed.
+func (pf *prefetcher) dropOne() bool {
+	for _, ent := range pf.entries {
+		if ent.state.Load() == pfLoaded && ent.state.CompareAndSwap(pfLoaded, pfDropped) {
+			ld := ent.data
+			ent.data = nil
+			pf.e.releaseLoad(ld)
+			pf.active.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// slotFreed returns a window slot and refills the pipeline.
+func (pf *prefetcher) slotFreed(c *sched.Ctx) {
+	pf.active.Add(-1)
+	pf.pump(c)
+}
+
+// releaseUnclaimed drops whatever the prefetcher still holds after the
+// pool has quiesced (only reachable on the error path: a successful run
+// claims every entry). Safe because no task is running anymore.
+func (pf *prefetcher) releaseUnclaimed() {
+	for _, ent := range pf.entries {
+		if ent.state.Load() == pfLoaded && ent.state.CompareAndSwap(pfLoaded, pfDropped) {
+			ld := ent.data
+			ent.data = nil
+			pf.e.releaseLoad(ld)
+		}
+	}
+}
+
+// Sequential reference path (Config.SequentialMerge): single-goroutine
+// digit loop with the legacy map merge — the oracle the differential tests
+// compare the parallel engine against, and the PR 3 baseline of the
+// benchmarks. It shares the fragment assembly so its output order is the
+// parallel path's by construction.
+
+func (e *extExec) mergeSequential(ctx context.Context, parts []*spillWriter, res *Result) error {
+	frags := make([]*frag, hashfn.Fanout)
+	// Residents first: they already hold budget, and merging them releases
+	// it before the file loads reserve theirs.
+	for d := range parts {
+		if parts[d] != nil || e.resident[d].n() == 0 {
+			continue
+		}
+		r := &e.resident[d]
+		keys, cols := mergeRowsMap(e.plan, r.keys, r.partials)
+		frags[d] = &frag{keys: keys, cols: cols}
+		e.releaseResident(d)
+	}
+	for d := range parts {
+		if parts[d] == nil {
+			continue
+		}
+		f, err := e.mergeSeqFile(ctx, parts[d], 1)
+		if err != nil {
+			return err
+		}
+		frags[d] = f
+	}
+	for _, f := range frags {
+		e.appendFrag(f, res)
+	}
+	return nil
+}
+
+func (e *extExec) mergeSeqFile(ctx context.Context, w *spillWriter, level int) (*frag, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.bumpMergeLevel(level)
+	ld, err := e.loadPartition(nil, nil, w.path)
+	if err != nil {
+		return nil, err
+	}
+	e.removeSpill(w)
+	if len(ld.keys) > e.cfg.MemoryBudgetRows && level < hashfn.MaxLevels {
+		subs, err := e.repartition(ld, level)
+		e.releaseLoad(ld)
+		if err != nil {
+			return nil, err
+		}
+		f := &frag{sub: make([]*frag, hashfn.Fanout)}
+		for dd, sw := range subs {
+			if sw == nil {
+				continue
+			}
+			cf, err := e.mergeSeqFile(ctx, sw, level+1)
+			if err != nil {
+				return nil, err
+			}
+			f.sub[dd] = cf
+		}
+		return f, nil
+	}
+	keys, cols := mergeRowsMap(e.plan, ld.keys, ld.cols)
+	e.releaseLoad(ld)
+	return &frag{keys: keys, cols: cols}, nil
+}
+
+// mergeRowsMap is the reference merge: a Go map from key to output row in
+// first-appearance order, merging per cell with the scalar super-aggregate.
+func mergeRowsMap(p *plan, keys []uint64, partials [][]uint64) ([]uint64, [][]uint64) {
+	index := make(map[uint64]int, 1024)
+	var outKeys []uint64
+	width := p.width()
+	out := make([][]uint64, width)
+	for i := range keys {
+		k := keys[i]
+		s, ok := index[k]
+		if !ok {
+			s = len(outKeys)
+			index[k] = s
+			outKeys = append(outKeys, k)
+			for c := 0; c < width; c++ {
+				out[c] = append(out[c], partials[c][i])
+			}
+			continue
+		}
+		for c := 0; c < width; c++ {
+			st := [1]uint64{out[c][s]}
+			src := [1]uint64{partials[c][i]}
+			p.mergeKind[c].Merge(st[:], src[:])
+			out[c][s] = st[0]
+		}
+	}
+	return outKeys, out
+}
+
+// appendFinalized appends merged partial rows to the result, finalizing
+// per the original specs: AVG from its (SUM, COUNT) decomposition — exact
+// in the float column — everything else widened in place.
+func (e *extExec) appendFinalized(keys []uint64, out [][]uint64, res *Result) {
+	res.Keys = append(res.Keys, keys...)
+	for si, s := range e.plan.orig {
+		off := e.plan.off[si]
+		col := res.Aggs[si]
+		fcol := res.AggsFloat[si]
+		for g := range keys {
+			if s.Kind == agg.Avg {
+				sum := int64(out[off][g])
+				cnt := int64(out[off+1][g])
+				if cnt == 0 {
+					col = append(col, 0)
+					fcol = append(fcol, 0)
+				} else {
+					col = append(col, sum/cnt)
+					fcol = append(fcol, float64(sum)/float64(cnt))
+				}
+			} else {
+				v := int64(out[off][g])
+				col = append(col, v)
+				fcol = append(fcol, float64(v))
+			}
+		}
+		res.Aggs[si] = col
+		res.AggsFloat[si] = fcol
+	}
+}
+
+// mergeInMemory is the oracle's whole-partition merge (map merge plus
+// finalization), kept under its historical name for the tests that drive
+// it directly.
+func (e *extExec) mergeInMemory(keys []uint64, partials [][]uint64, res *Result) {
+	outKeys, out := mergeRowsMap(e.plan, keys, partials)
+	e.appendFinalized(outKeys, out, res)
+}

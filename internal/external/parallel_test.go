@@ -1,0 +1,362 @@
+package external
+
+// Differential tests of the parallel merge engine: the parallel,
+// prefetching, block-codec path must produce bit-identical results to the
+// sequential map-merge oracle and to the in-memory operator, across
+// distributions, recursion depths and worker counts — and identical output
+// ORDER across worker counts (the deterministic-assembly guarantee).
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/memgov"
+	"cacheagg/internal/xrand"
+)
+
+// sortedRows flattens a result into key-sorted rows for order-insensitive
+// bit comparison.
+type sortedRows struct {
+	keys  []uint64
+	aggs  [][]int64
+	flts  [][]float64
+	perm  []int
+	specs int
+}
+
+func sortRows(res *Result) sortedRows {
+	s := sortedRows{specs: len(res.Aggs)}
+	s.perm = make([]int, len(res.Keys))
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	sort.Slice(s.perm, func(a, b int) bool { return res.Keys[s.perm[a]] < res.Keys[s.perm[b]] })
+	s.keys = make([]uint64, len(res.Keys))
+	s.aggs = make([][]int64, s.specs)
+	s.flts = make([][]float64, s.specs)
+	for c := 0; c < s.specs; c++ {
+		s.aggs[c] = make([]int64, len(res.Keys))
+		s.flts[c] = make([]float64, len(res.Keys))
+	}
+	for out, in := range s.perm {
+		s.keys[out] = res.Keys[in]
+		for c := 0; c < s.specs; c++ {
+			s.aggs[c][out] = res.Aggs[c][in]
+			s.flts[c][out] = res.AggsFloat[c][in]
+		}
+	}
+	return s
+}
+
+// mustEqualSorted asserts two results carry bit-identical rows (including
+// the float finalization) once key-sorted.
+func mustEqualSorted(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Groups() != want.Groups() {
+		t.Fatalf("%s: groups %d vs %d", label, got.Groups(), want.Groups())
+	}
+	g, w := sortRows(got), sortRows(want)
+	for i := range g.keys {
+		if g.keys[i] != w.keys[i] {
+			t.Fatalf("%s: row %d key %d vs %d", label, i, g.keys[i], w.keys[i])
+		}
+		for c := 0; c < g.specs; c++ {
+			if g.aggs[c][i] != w.aggs[c][i] {
+				t.Fatalf("%s: key %d col %d: %d vs %d", label, g.keys[i], c, g.aggs[c][i], w.aggs[c][i])
+			}
+			if g.flts[c][i] != w.flts[c][i] {
+				t.Fatalf("%s: key %d col %d float: %v vs %v", label, g.keys[i], c, g.flts[c][i], w.flts[c][i])
+			}
+		}
+	}
+}
+
+// TestParallelMatchesOracleAndCore is the tentpole differential: for every
+// distribution × budget (driving 1 and 2+ merge levels) × worker count,
+// the parallel engine must be bit-identical to (a) the sequential map
+// oracle and (b) the in-memory operator, on all aggregate kinds incl. AVG.
+func TestParallelMatchesOracleAndCore(t *testing.T) {
+	dists := []datagen.Dist{datagen.Uniform, datagen.Zipf, datagen.Sequential}
+	budgets := []int{6000, 200} // one merge level vs forced deep recursion
+	for _, dist := range dists {
+		for _, budget := range budgets {
+			in := mkInput(dist, 40000, 20000, uint64(budget))
+			seqCfg := testCfg(budget)
+			seqCfg.SequentialMerge = true
+			oracle, err := Aggregate(seqCfg, in)
+			if err != nil {
+				t.Fatalf("%v/%d oracle: %v", dist, budget, err)
+			}
+			checkResult(t, oracle, in)
+			coreRes, err := core.Aggregate(core.Config{Workers: 2, CacheBytes: 32 << 10}, in)
+			if err != nil {
+				t.Fatalf("%v/%d core: %v", dist, budget, err)
+			}
+			for _, workers := range []int{1, 4} {
+				cfg := testCfg(budget)
+				cfg.MergeWorkers = workers
+				res, err := Aggregate(cfg, in)
+				if err != nil {
+					t.Fatalf("%v/%d/w%d: %v", dist, budget, workers, err)
+				}
+				label := dist.String() + "/parallel-vs-oracle"
+				mustEqualSorted(t, label, res, oracle)
+				mustEqualSorted(t, dist.String()+"/parallel-vs-core", res, &Result{
+					Keys: coreRes.Keys, Aggs: coreRes.Aggs, AggsFloat: coreRes.AggsFloat,
+				})
+				if budget == 200 && res.Stats.MergeLevels < 2 {
+					t.Fatalf("%v/w%d: budget %d did not force recursion (levels=%d)",
+						dist, workers, budget, res.Stats.MergeLevels)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelOrderDeterministic asserts the stronger property: the output
+// ORDER (not just the sorted content) is identical across worker counts
+// and repeated runs — partitions concatenate in digit order regardless of
+// the schedule.
+func TestParallelOrderDeterministic(t *testing.T) {
+	in := mkInput(datagen.Uniform, 30000, 15000, 11)
+	var base *Result
+	for _, workers := range []int{1, 4, 4, 0} {
+		cfg := testCfg(300)
+		cfg.MergeWorkers = workers
+		res, err := Aggregate(cfg, in)
+		if err != nil {
+			t.Fatalf("w%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if len(res.Keys) != len(base.Keys) {
+			t.Fatalf("w%d: %d groups vs %d", workers, len(res.Keys), len(base.Keys))
+		}
+		for i := range res.Keys {
+			if res.Keys[i] != base.Keys[i] {
+				t.Fatalf("w%d: output order diverged at row %d (%d vs %d)",
+					workers, i, res.Keys[i], base.Keys[i])
+			}
+		}
+	}
+}
+
+// sharedPrefixKeys returns n keys whose hashes share the level-0 AND
+// level-1 digits, so they survive two radix splits together — the cheapest
+// input that forces a third merge level under a small row budget.
+func sharedPrefixKeys(n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	for k := uint64(0); len(keys) < n; k++ {
+		h := hashfn.Murmur2(k)
+		if hashfn.Digit(h, 0) == 0 && hashfn.Digit(h, 1) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestParallelThreeMergeLevels(t *testing.T) {
+	keys := sharedPrefixKeys(300)
+	in := &core.Input{Keys: keys}
+	seqCfg := testCfg(50)
+	seqCfg.SequentialMerge = true
+	oracle, err := Aggregate(seqCfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(50)
+	cfg.MergeWorkers = 4
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MergeLevels < 3 {
+		t.Fatalf("shared-prefix keys + budget 50 reached only %d merge levels", res.Stats.MergeLevels)
+	}
+	mustEqualSorted(t, "three-levels", res, oracle)
+	if res.Groups() != len(keys) {
+		t.Fatalf("groups = %d, want %d", res.Groups(), len(keys))
+	}
+}
+
+// TestParallelSingleProc pins GOMAXPROCS=1: the engine must still complete
+// (no scheduling deadlock between merges, loaders and admission waits) and
+// match the oracle.
+func TestParallelSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	in := mkInput(datagen.Zipf, 30000, 10000, 23)
+	seqCfg := testCfg(250)
+	seqCfg.SequentialMerge = true
+	oracle, err := Aggregate(seqCfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(250) // MergeWorkers 0 → GOMAXPROCS → 1
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualSorted(t, "gomaxprocs-1", res, oracle)
+}
+
+// TestParallelHybridBudget runs the parallel merge under a byte budget
+// tight enough to drive the hybrid resident/evict machinery and the
+// admission waits, and requires a fully drained governor afterwards.
+func TestParallelHybridBudget(t *testing.T) {
+	in := mkInput(datagen.Uniform, 60000, 40000, 31)
+	gov := memgov.New(8 << 20)
+	cfg := testCfg(0)
+	cfg.MemoryBudgetBytes = 8 << 20
+	cfg.Governor = gov
+	cfg.MergeWorkers = 4
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	if got := gov.Reserved(); got != 0 {
+		t.Fatalf("governor still holds %d bytes after the run (prefetch or load leak)", got)
+	}
+	seqCfg := testCfg(0)
+	seqCfg.MemoryBudgetBytes = 8 << 20
+	seqCfg.SequentialMerge = true
+	oracle, err := Aggregate(seqCfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualSorted(t, "hybrid-budget", res, oracle)
+}
+
+// TestV1ReadCompat proves a version-1 file written by the previous build
+// still decodes through both the plain reader and the reserving merge-path
+// loader.
+func TestV1ReadCompat(t *testing.T) {
+	e := testExec(t)
+	e.gov = memgov.New(0)
+	keys := []uint64{7, 8, 9, 7}
+	partials := []uint64{1, 2, 3, 4}
+	path := filepath.Join(e.dir, "v1.spill")
+	if err := os.WriteFile(path, encodeSpillV1(keys, partials), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotKeys, gotCols, err := e.readSpill(path)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	for i := range keys {
+		if gotKeys[i] != keys[i] || gotCols[0][i] != partials[i] {
+			t.Fatalf("v1 row %d: (%d,%d) want (%d,%d)", i, gotKeys[i], gotCols[0][i], keys[i], partials[i])
+		}
+	}
+	ld, err := e.loadPartition(nil, nil, path)
+	if err != nil {
+		t.Fatalf("loadPartition on v1 file: %v", err)
+	}
+	if len(ld.keys) != len(keys) {
+		t.Fatalf("loadPartition rows = %d, want %d", len(ld.keys), len(keys))
+	}
+	e.releaseLoad(ld)
+	if got := e.gov.Reserved(); got != 0 {
+		t.Fatalf("load reservation not drained: %d", got)
+	}
+}
+
+// TestPrefetchHappens asserts the prefetcher actually runs ahead on a
+// spill-heavy unlimited-budget workload (the stat is also what the bench
+// sweep reports).
+func TestPrefetchHappens(t *testing.T) {
+	in := mkInput(datagen.Uniform, 50000, 30000, 41)
+	cfg := testCfg(500)
+	cfg.MergeWorkers = 4
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, in)
+	if res.Stats.PrefetchedPartitions == 0 {
+		t.Fatal("no partition was ever prefetched on a 256-partition workload")
+	}
+}
+
+// TestMergeBatchedTablePath exercises the blocked-table merge directly at a
+// size above smallMergeRows — the differential tests above use partitions
+// small enough to take the map shortcut — and checks it is bit-identical to
+// the map oracle after a key sort.
+func TestMergeBatchedTablePath(t *testing.T) {
+	p := buildPlan([]agg.Spec{
+		{Kind: agg.Count},
+		{Kind: agg.Sum, Col: 0},
+		{Kind: agg.Min, Col: 0},
+		{Kind: agg.Avg, Col: 0},
+	})
+	e := &extExec{
+		cfg:  testCfg(100).withDefaults(),
+		plan: p,
+		gov:  memgov.New(0),
+		kern: agg.NewLayout(p.dec).Kernels(),
+	}
+	n := 3 * smallMergeRows
+	rng := xrand.NewXoshiro256(99)
+	keys := make([]uint64, n)
+	cols := make([][]uint64, p.width())
+	for c := range cols {
+		cols[c] = make([]uint64, n)
+	}
+	for i := range keys {
+		keys[i] = 1 + rng.Next()%1500
+		for c := range cols {
+			cols[c][i] = rng.Next() % 4096
+		}
+	}
+
+	got := e.mergeBatched(keys, cols, 1)
+	wantK, wantC := mergeRowsMap(p, keys, cols)
+	if e.gov.Reserved() != 0 {
+		t.Fatalf("governor not drained: %d bytes", e.gov.Reserved())
+	}
+
+	sortCM := func(k []uint64, cs [][]uint64) ([]uint64, [][]uint64) {
+		perm := make([]int, len(k))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return k[perm[a]] < k[perm[b]] })
+		ok := make([]uint64, len(k))
+		oc := make([][]uint64, len(cs))
+		for c := range cs {
+			oc[c] = make([]uint64, len(k))
+		}
+		for i, pi := range perm {
+			ok[i] = k[pi]
+			for c := range cs {
+				oc[c][i] = cs[c][pi]
+			}
+		}
+		return ok, oc
+	}
+	gk, gc := sortCM(got.keys, got.cols)
+	wk, wc := sortCM(wantK, wantC)
+	if len(gk) != len(wk) {
+		t.Fatalf("group count: table %d, map %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("key[%d]: table %d, map %d", i, gk[i], wk[i])
+		}
+		for c := range gc {
+			if gc[c][i] != wc[c][i] {
+				t.Fatalf("col %d key %d: table %#x, map %#x", c, gk[i], gc[c][i], wc[c][i])
+			}
+		}
+	}
+}

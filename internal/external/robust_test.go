@@ -38,18 +38,13 @@ func writeTestSpill(t *testing.T, e *extExec, keys []uint64, partial []uint64) *
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := make([]byte, e.recSize())
+	cols := [][]uint64{partial}
 	for i, k := range keys {
-		for j := range rec {
-			rec[j] = 0
-		}
-		rec[0] = byte(k)
-		rec[8] = byte(partial[i])
-		if err := e.writeRecord(w, rec); err != nil {
+		if err := e.appendState(w, k, cols, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := w.finish(); err != nil {
+	if err := e.finishSpill(w); err != nil {
 		t.Fatal(err)
 	}
 	return w
@@ -107,8 +102,8 @@ func TestSpillTruncationDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Cut at a record boundary (drops a record but keeps a plausible
-	// shape), mid-record, and inside the footer.
+	// Cut the footer off cleanly (the block then overruns the remaining
+	// bytes), mid-footer, mid-block, and to nothing.
 	for _, keep := range []int{len(raw) - e.recSize(), len(raw) - 5, spillHeaderSize + 3, 0} {
 		if err := os.WriteFile(w.path, raw[:keep], 0o644); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,135 @@
+package faultfs
+
+// Concurrency contract tests: one injector instance hammered from many
+// goroutines must stay race-free (run under -race in CI) and keep its
+// counting invariants — exactly the load the parallel merge phase of
+// internal/external puts on it.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hammerFS drives one FS from g goroutines, each running a full
+// create-write-close-open-read-stat-remove cycle per iteration against its
+// own file, tolerating (but tallying) injected faults.
+func hammerFS(t *testing.T, fsys FS, dir string, g, iters int) (faults int64) {
+	t.Helper()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			mine := int64(0)
+			for it := 0; it < iters; it++ {
+				path := filepath.Join(dir, fmt.Sprintf("h-%d-%d", w, it))
+				err := func() error {
+					f, err := fsys.Create(path)
+					if err != nil {
+						return err
+					}
+					if _, err := f.Write(buf); err != nil {
+						f.Close()
+						return err
+					}
+					if err := f.Close(); err != nil {
+						return err
+					}
+					f, err = fsys.Open(path)
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					if _, err := f.Stat(); err != nil {
+						return err
+					}
+					if _, err := f.Read(buf); err != nil {
+						return err
+					}
+					return nil
+				}()
+				if err != nil {
+					var ie *InjectedError
+					if !errors.As(err, &ie) {
+						t.Errorf("worker %d: non-injected failure: %v", w, err)
+						return
+					}
+					mine++
+				}
+				fsys.Remove(path) // faulted removes leave the file for TempDir cleanup
+			}
+			mu.Lock()
+			faults += mine
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return faults
+}
+
+func TestInjectorConcurrentHammer(t *testing.T) {
+	const g, iters = 8, 60
+	// One permanent plan per op kind: the fault must fire exactly once no
+	// matter how many goroutines race past the trigger point.
+	for _, op := range []Op{OpCreate, OpWrite, OpClose, OpOpen, OpRead, OpRemove} {
+		inj := NewInjector(OS(), op, g*iters/2)
+		hammerFS(t, inj, t.TempDir(), g, iters)
+		if !inj.Triggered() {
+			t.Fatalf("%v plan never fired under concurrency", op)
+		}
+		if got := inj.Count(op); got < g*iters/2 {
+			t.Fatalf("%v count = %d, below the trigger point", op, got)
+		}
+	}
+}
+
+func TestFlakyConcurrentHammer(t *testing.T) {
+	const g, iters = 8, 40
+	flaky := NewFlaky(OS(), OpWrite, 5, 3)
+	faults := hammerFS(t, flaky, t.TempDir(), g, iters)
+	if faults != 3 {
+		t.Fatalf("flaky streak of 3 produced %d faults", faults)
+	}
+	if got, want := flaky.Count(OpWrite), g*iters; got != want {
+		t.Fatalf("write count = %d, want %d (no lost updates)", got, want)
+	}
+}
+
+func TestChaosConcurrentHammer(t *testing.T) {
+	const g, iters = 8, 40
+	chaos := NewChaos(OS(), 0xFEED, 50)
+	faults := hammerFS(t, chaos, t.TempDir(), g, iters)
+	if faults == 0 {
+		t.Fatal("5% chaos over thousands of ops injected nothing")
+	}
+	if got := chaos.Faults(); got < faults {
+		t.Fatalf("Faults() = %d, below the %d surfaced to callers", got, faults)
+	}
+}
+
+func TestRetryConcurrentHammer(t *testing.T) {
+	const g, iters = 8, 40
+	// Transient chaos under the retry layer: most faults are absorbed, the
+	// retry counter must account for every absorbed attempt without races.
+	chaos := NewChaos(OS(), 0xBEEF, 30)
+	retry := NewRetry(chaos, RetryPolicy{MaxAttempts: 6, Sleep: func(time.Duration) {}})
+	faults := hammerFS(t, retry, t.TempDir(), g, iters)
+	if retry.Retries() == 0 {
+		t.Fatal("chaos under retry performed zero retries")
+	}
+	if faults > 0 {
+		// Possible (6 straight faults on one op) but should be rare; only
+		// the accounting is asserted here.
+		t.Logf("%d faults leaked through %d-attempt retry", faults, 6)
+	}
+	if _, err := os.Stat(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,27 @@
 //   - NewRetry wraps any FS with the capped-exponential-backoff retry
 //     policy the spill path uses to ride out transient faults, counting
 //     every retry for the operator's statistics.
+//
+// # Concurrency
+//
+// Every wrapper in this package — Injector (NewInjector/NewFlaky), Chaos,
+// and Retry — is safe for concurrent use by any number of goroutines, as
+// are the Files they hand out: the spill path merges partitions on a
+// work-stealing pool, so one injector instance sees create/read/write/
+// close/remove calls from many workers at once. Mutable injector state
+// (operation counts, the chaos generator) sits behind a mutex; the cheap
+// counters (Retry.Retries, Chaos.Faults) are atomics.
+//
+// Determinism under concurrency is necessarily weaker than single-threaded
+// determinism. An (Op, N) injection plan still fires exactly once at the
+// N-th operation of its kind — operations are numbered in mutex-acquisition
+// order — but WHICH call site is the N-th now depends on the schedule.
+// Likewise Chaos draws its fault decisions from the seeded generator in
+// arrival order, so the per-op fault totals for a fixed operation count
+// stay seed-determined while their placement varies run to run. Tests that
+// must replay an exact fault-to-site mapping (e.g. the per-seed
+// determinism soak) run the operator in its sequential-merge mode, which
+// restores a deterministic operation order.
 package faultfs
 
 import (
