@@ -39,6 +39,7 @@ import (
 	"cacheagg/internal/faultfs"
 	"cacheagg/internal/hashfn"
 	"cacheagg/internal/memgov"
+	"cacheagg/internal/trace"
 )
 
 // Func identifies an aggregate function.
@@ -164,6 +165,11 @@ type Options struct {
 	MemoryBudgetBytes int64
 	// CollectStats enables execution statistics on the result.
 	CollectStats bool
+	// Tracer, when non-nil, records execution events (strategy switches,
+	// table splits, spill and merge traffic, memory high-water samples)
+	// and populates Result.Phases. The nil default costs one branch per
+	// block of rows on the hot path — see docs/OBSERVABILITY.md.
+	Tracer *Tracer
 }
 
 // ErrMemoryBudget is wrapped by errors reporting that MemoryBudgetBytes is
@@ -221,6 +227,10 @@ type Result struct {
 	Aggs [][]int64
 	// Stats is populated when Options.CollectStats was set.
 	Stats Stats
+	// Phases is the per-phase time breakdown of this call, populated when
+	// Options.Tracer was set. See the Phases type for the wall-time vs
+	// summed-worker-time semantics of each field.
+	Phases Phases
 
 	specs  []AggSpec
 	hashes []uint64
@@ -289,6 +299,17 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 		CollectStats: opt.CollectStats,
 		Governor:     gov,
 	}
+	var pre trace.Snapshot
+	if t := opt.Tracer; t != nil {
+		pre = t.rec.Snapshot()
+		cfg.Tracer = t.rec
+		if gov != nil {
+			rec := t.rec
+			gov.SetHighWaterHook(govGrain(opt.MemoryBudgetBytes), func(hw int64) {
+				rec.Emit(trace.KindGovHighWater, 0, 0, -1, float64(hw))
+			})
+		}
+	}
 	cin := &core.Input{
 		Keys:    in.GroupBy,
 		AggCols: in.Columns,
@@ -297,7 +318,11 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 	cres, err := core.AggregateContext(ctx, cfg, cin)
 	if err != nil {
 		if gov != nil && errors.Is(err, core.ErrMemoryBudget) {
-			return degradeToExternal(ctx, in, opt, cin, gov)
+			res, err := degradeToExternal(ctx, in, opt, cin, gov)
+			if err == nil && opt.Tracer != nil {
+				res.Phases = opt.Tracer.phasesSince(pre)
+			}
+			return res, err
 		}
 		return nil, err
 	}
@@ -327,6 +352,9 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 	if gov != nil {
 		res.Stats.PeakReservedBytes = gov.HighWater()
 	}
+	if opt.Tracer != nil {
+		res.Phases = opt.Tracer.phasesSince(pre)
+	}
 	return res, nil
 }
 
@@ -352,6 +380,12 @@ func degradeToExternal(ctx context.Context, in Input, opt Options, cin *core.Inp
 			Workers:    opt.Workers,
 			CacheBytes: opt.CacheBytes,
 		},
+	}
+	if opt.Tracer != nil {
+		// The external layer adopts the core tracer for its own spill and
+		// merge events; the shared governor keeps the high-water hook
+		// installed above.
+		ecfg.Core.Tracer = opt.Tracer.rec
 	}
 	if testHookExternalFS != nil {
 		ecfg.FS = testHookExternalFS

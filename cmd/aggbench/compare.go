@@ -1,0 +1,136 @@
+package main
+
+// `aggbench compare`: diff two sweep-record JSON files (the -json output
+// of the sweep/external commands, or the committed BENCH_phase*.json
+// baselines) into a markdown delta table.
+//
+// Built for the CI bench-delta step: it writes to $GITHUB_STEP_SUMMARY
+// when set, annotates each point against a noise tolerance, and NEVER
+// fails — shared-runner benchmark noise must not gate merges, so every
+// outcome (missing files included) exits 0 with a note in the table.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// workersRe matches the worker-count component of a point name so that
+// baselines recorded on machines with a different core count still pair
+// with fresh runs (external/seq/P=8/... vs P=4/...).
+var workersRe = regexp.MustCompile(`P=\d+`)
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "baseline records JSON (e.g. BENCH_phase3.json)")
+	current := fs.String("current", "", "fresh records JSON from this run")
+	title := fs.String("title", "Bench delta", "heading of the markdown section")
+	tol := fs.Float64("tolerance", 10, "percent change considered within noise")
+	outPath := fs.String("out", "", "write markdown here (default: $GITHUB_STEP_SUMMARY, else stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 0 // non-gating by contract, even on bad flags
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath == "" {
+		*outPath = os.Getenv("GITHUB_STEP_SUMMARY")
+	}
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench compare: %v (falling back to stdout)\n", err)
+		} else {
+			defer f.Close()
+			out = f
+		}
+	}
+	writeCompare(out, *title, *baseline, *current, *tol)
+	return 0
+}
+
+func writeCompare(out io.Writer, title, basePath, curPath string, tol float64) {
+	fmt.Fprintf(out, "### %s\n\n", title)
+	base, berr := readRecords(basePath)
+	cur, cerr := readRecords(curPath)
+	if berr != nil || cerr != nil {
+		// A missing or malformed file is a note, not a failure: fresh
+		// checkouts may predate a baseline, and the delta is advisory.
+		if berr != nil {
+			fmt.Fprintf(out, "baseline `%s` unavailable: %v\n\n", basePath, berr)
+		}
+		if cerr != nil {
+			fmt.Fprintf(out, "current `%s` unavailable: %v\n\n", curPath, cerr)
+		}
+		return
+	}
+	fmt.Fprintf(out, "`%s` → `%s`, noise tolerance ±%.0f%% (advisory, never gates)\n\n",
+		basePath, curPath, tol)
+	fmt.Fprintln(out, "| point | baseline ns/op | current ns/op | Δ | |")
+	fmt.Fprintln(out, "|---|---:|---:|---:|---|")
+
+	// Exact name match first; if a point finds no partner, retry with the
+	// worker count wildcarded (baselines are recorded on other machines).
+	baseByName := map[string]sweepRecord{}
+	baseByNorm := map[string]sweepRecord{}
+	for _, r := range base {
+		baseByName[r.Name] = r
+		baseByNorm[workersRe.ReplaceAllString(r.Name, "P=*")] = r
+	}
+	names := make([]string, 0, len(cur))
+	curByName := map[string]sweepRecord{}
+	for _, r := range cur {
+		names = append(names, r.Name)
+		curByName[r.Name] = r
+	}
+	sort.Strings(names)
+	unmatched := 0
+	for _, name := range names {
+		c := curByName[name]
+		b, ok := baseByName[name]
+		if !ok {
+			b, ok = baseByNorm[workersRe.ReplaceAllString(name, "P=*")]
+		}
+		if !ok || b.NsPerOp <= 0 {
+			unmatched++
+			fmt.Fprintf(out, "| %s | — | %.0f | — | new point |\n", name, c.NsPerOp)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		note := "ok"
+		switch {
+		case delta > tol:
+			note = fmt.Sprintf("slower than baseline by >%.0f%%", tol)
+		case delta < -tol:
+			note = fmt.Sprintf("faster than baseline by >%.0f%%", tol)
+		case math.Abs(delta) <= tol:
+			note = "within noise"
+		}
+		fmt.Fprintf(out, "| %s | %.0f | %.0f | %+.1f%% | %s |\n",
+			name, b.NsPerOp, c.NsPerOp, delta, note)
+	}
+	fmt.Fprintf(out, "\n%d points compared, %d without a baseline partner.\n\n",
+		len(names)-unmatched, unmatched)
+}
+
+func readRecords(path string) ([]sweepRecord, error) {
+	if path == "" {
+		return nil, fmt.Errorf("no file given")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []sweepRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("no records")
+	}
+	return recs, nil
+}

@@ -16,6 +16,7 @@ import (
 	"cacheagg/internal/core"
 	"cacheagg/internal/datagen"
 	"cacheagg/internal/external"
+	"cacheagg/internal/trace"
 	"cacheagg/internal/xrand"
 )
 
@@ -99,9 +100,21 @@ func externalSweep(sc scale) []*bench.Table {
 				}
 			}
 			for _, mode := range modes {
-				add(externalPoint(
-					fmt.Sprintf("external/%s/P=%d/K=2^%d/budget=%d", mode, sc.workers, kExp, budget),
-					sc.n, durs[mode]), stats[mode])
+				name := fmt.Sprintf("external/%s/P=%d/K=2^%d/budget=%d", mode, sc.workers, kExp, budget)
+				add(externalPoint(name, sc.n, durs[mode]), stats[mode])
+				mode := mode
+				tracePoint(name, func(rec *trace.Recorder) {
+					cfg := external.Config{
+						MemoryBudgetRows: budget,
+						SequentialMerge:  mode == "seq",
+						MergeWorkers:     sc.workers,
+						Tracer:           rec,
+						Core:             core.Config{Workers: sc.workers, CacheBytes: sc.cache},
+					}
+					if _, err := external.Aggregate(cfg, in); err != nil {
+						panic(err)
+					}
+				})
 			}
 		}
 	}

@@ -75,10 +75,21 @@ func main() {
 	tsv := fs.Bool("tsv", false, "emit TSV instead of aligned tables")
 	sim := fs.Bool("sim", false, "fig1: also run the cache-simulator validation")
 	jsonPath := fs.String("json", "", "write machine-readable sweep records to this file (sweep command)")
+	traceFlag := fs.String("trace-dir", "", "write one JSONL execution trace per sweep point into this directory (sweep/external)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken at exit to this file")
+	if cmd == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *traceFlag != "" {
+		if err := os.MkdirAll(*traceFlag, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: -trace-dir: %v\n", err)
+			os.Exit(1)
+		}
+		traceDir = *traceFlag
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -184,9 +195,14 @@ func usage() {
 
 usage: aggbench <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
                  tbl-insert|tbl-sortdual|tbl-columnar|interference|sweep|
-                 external|all> [flags]
+                 external|compare|all> [flags]
 
 flags: -logn N  -workers P  -cache BYTES  -reps R  -tsv  -sim
        -json FILE  (sweep/external: machine-readable records)
-       -cpuprofile FILE  -memprofile FILE  (pprof output of the run)`)
+       -trace-dir DIR  (sweep/external: one JSONL trace per point)
+       -cpuprofile FILE  -memprofile FILE  (pprof output of the run)
+
+compare: diff two -json record files as a markdown delta table
+       aggbench compare -baseline OLD.json -current NEW.json [-tolerance PCT]
+       [-title T] [-out FILE]  (defaults to $GITHUB_STEP_SUMMARY or stdout)`)
 }

@@ -10,6 +10,7 @@ import (
 	"cacheagg/internal/bench"
 	"cacheagg/internal/core"
 	"cacheagg/internal/datagen"
+	"cacheagg/internal/trace"
 	"cacheagg/internal/xrand"
 )
 
@@ -76,11 +77,19 @@ func sweep(sc scale) []*bench.Table {
 				continue
 			}
 			keys := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: sc.n, K: 1 << uint(kExp), Seed: 11})
-			add(sweepPoint(fmt.Sprintf("distinct/%s/K=2^%d", s.Name(), kExp), sc.n, func() {
+			name := fmt.Sprintf("distinct/%s/K=2^%d", s.Name(), kExp)
+			add(sweepPoint(name, sc.n, func() {
 				if _, err := core.Distinct(cfg, keys); err != nil {
 					panic(err)
 				}
 			}))
+			tracePoint(name, func(rec *trace.Recorder) {
+				tcfg := cfg
+				tcfg.Tracer = rec
+				if _, err := core.Distinct(tcfg, keys); err != nil {
+					panic(err)
+				}
+			})
 		}
 	}
 
@@ -100,11 +109,19 @@ func sweep(sc scale) []*bench.Table {
 			in.Specs = append(in.Specs, agg.Spec{Kind: agg.Sum, Col: c})
 		}
 		cfg := core.Config{Strategy: core.DefaultAdaptive(), Workers: sc.workers, CacheBytes: sc.cache}
-		add(sweepPoint(fmt.Sprintf("sum/C=%d/K=2^16", nc), sc.n, func() {
+		name := fmt.Sprintf("sum/C=%d/K=2^16", nc)
+		add(sweepPoint(name, sc.n, func() {
 			if _, err := core.Aggregate(cfg, in); err != nil {
 				panic(err)
 			}
 		}))
+		tracePoint(name, func(rec *trace.Recorder) {
+			tcfg := cfg
+			tcfg.Tracer = rec
+			if _, err := core.Aggregate(tcfg, in); err != nil {
+				panic(err)
+			}
+		})
 	}
 	return []*bench.Table{t}
 }

@@ -1,0 +1,52 @@
+package main
+
+// -trace-dir support: after a sweep point is measured, the workload runs
+// once more with a tracer installed and the retained events land in
+// <dir>/<point>.jsonl. Tracing a separate run (instead of the measured
+// iterations) keeps the benchmark numbers untouched and the trace files
+// one-execution sized.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cacheagg/internal/trace"
+)
+
+// traceDir is the -trace-dir destination; empty disables point tracing.
+var traceDir string
+
+// tracePoint runs fn once against a fresh recorder and writes the events
+// to <traceDir>/<sanitized name>.jsonl. No-op when -trace-dir is unset.
+func tracePoint(name string, fn func(rec *trace.Recorder)) {
+	if traceDir == "" {
+		return
+	}
+	rec := trace.NewRecorder(1 << 16)
+	fn(rec)
+	file := strings.NewReplacer("/", "_", "^", "", "=", "-").Replace(name) + ".jsonl"
+	path := filepath.Join(traceDir, file)
+	if err := writeTraceFile(path, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "aggbench: -trace-dir: %v\n", err)
+	}
+}
+
+func writeTraceFile(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := trace.WriteJSONL(w, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

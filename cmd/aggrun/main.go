@@ -25,6 +25,7 @@ import (
 
 	"cacheagg/internal/core"
 	"cacheagg/internal/datagen"
+	"cacheagg/internal/trace"
 )
 
 func parseStrategy(name string, passes int) (core.Strategy, error) {
@@ -71,6 +72,7 @@ func run() error {
 		topN     = flag.Int("top", 0, "print the first N result rows")
 		verify   = flag.Bool("verify", false, "check the result against a reference aggregation")
 		timeout  = flag.Duration("timeout", 0, "abort the aggregation after this long (0 = no limit)")
+		traceOut = flag.String("trace", "", "record an execution trace and write it to this file as JSONL")
 	)
 	flag.Parse()
 
@@ -98,6 +100,11 @@ func run() error {
 		Workers:      *workers,
 		CacheBytes:   *cache,
 		CollectStats: true,
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(1 << 16)
+		cfg.Tracer = rec
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -135,6 +142,22 @@ func run() error {
 	fmt.Println()
 	fmt.Printf("switches   %d\n", st.Switches)
 	fmt.Printf("directemit %d buckets\n", st.DirectEmits)
+
+	if rec != nil {
+		snap := rec.Snapshot()
+		fmt.Printf("trace      %d events", snap.Emitted)
+		for p := 0; p < trace.NumPhases; p++ {
+			if snap.Phases[p] > 0 {
+				fmt.Printf("  %s=%v", trace.Phase(p),
+					time.Duration(snap.Phases[p]).Round(time.Microsecond))
+			}
+		}
+		fmt.Println()
+		if err := writeTrace(*traceOut, rec); err != nil {
+			return err
+		}
+		fmt.Printf("trace      written to %s\n", *traceOut)
+	}
 
 	for i := 0; i < *topN && i < res.Groups(); i++ {
 		fmt.Printf("row %d: key=%d hash=%#016x\n", i, res.Keys[i], res.Hashes[i])
@@ -205,6 +228,27 @@ func readKeys(path, format string) ([]uint64, error) {
 	default:
 		return nil, fmt.Errorf("unknown format %q", format)
 	}
+}
+
+// writeTrace dumps the recorder's retained events to path as JSONL.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := trace.WriteJSONL(w, rec.Events()); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	return nil
 }
 
 func fatal(err error) {

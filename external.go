@@ -116,7 +116,7 @@ func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext Ex
 		}
 		specs[i] = agg.Spec{Kind: a.Func.kind(), Col: a.Col}
 	}
-	res, err := external.AggregateContext(ctx, external.Config{
+	cfg := external.Config{
 		MemoryBudgetRows:  ext.MemoryBudgetRows,
 		MemoryBudgetBytes: ext.MemoryBudgetBytes,
 		TempDir:           ext.TempDir,
@@ -127,7 +127,13 @@ func AggregateExternalContext(ctx context.Context, in Input, opt Options, ext Ex
 			Workers:    opt.Workers,
 			CacheBytes: opt.CacheBytes,
 		},
-	}, &core.Input{
+	}
+	if t := opt.Tracer; t != nil {
+		// The external layer hands its tracer down to the in-memory
+		// leaves and installs the governor high-water hook itself.
+		cfg.Tracer = t.rec
+	}
+	res, err := external.AggregateContext(ctx, cfg, &core.Input{
 		Keys:    in.GroupBy,
 		AggCols: in.Columns,
 		Specs:   specs,

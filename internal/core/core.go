@@ -34,6 +34,7 @@ import (
 	"cacheagg/internal/hashfn"
 	"cacheagg/internal/hashtable"
 	"cacheagg/internal/memgov"
+	"cacheagg/internal/trace"
 )
 
 // ErrMemoryBudget marks a run aborted because the Config.Governor byte
@@ -82,6 +83,11 @@ type Config struct {
 	// check the budget at morsel and task boundaries, so the overshoot is
 	// bounded by one morsel of production per worker.
 	Governor *memgov.Governor
+	// Tracer, when non-nil, receives execution events (strategy switches,
+	// table splits/emits) and per-phase timings. The absent-tracer fast
+	// path is one nil-check per block of rows; leave nil (the untyped nil
+	// interface, not a typed nil pointer) when not observing.
+	Tracer trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -341,4 +347,21 @@ func (e *exec) timed(ws *workerState, level int, fn func()) {
 	start := time.Now()
 	fn()
 	ws.stats.levelNanos[level] += time.Since(start).Nanoseconds()
+}
+
+// stamp starts a phase lap, returning the zero time when no tracer is
+// installed — the nil fast path is this single branch.
+func (e *exec) stamp() time.Time {
+	if e.tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// lap charges the time since t0 to phase p (no-op without a tracer).
+func (e *exec) lap(t0 time.Time, p trace.Phase) {
+	if e.tr == nil {
+		return
+	}
+	e.tr.AddPhase(p, time.Since(t0).Nanoseconds())
 }

@@ -12,6 +12,7 @@ import (
 	"cacheagg/internal/partition"
 	"cacheagg/internal/runs"
 	"cacheagg/internal/sched"
+	"cacheagg/internal/trace"
 )
 
 // scratchRows is the block size of the intake loop: hashes and initial
@@ -39,6 +40,9 @@ type exec struct {
 	chunkRow   int64
 	fixedBytes int64 // up-front reservation for per-worker machinery
 
+	// tr is the optional execution tracer (nil when not observing).
+	tr trace.Tracer
+
 	pool    *sched.Pool
 	morsels *sched.Morsels
 	workers []workerState
@@ -55,6 +59,8 @@ type exec struct {
 // intake scratch blocks. Tasks on one worker never interleave, so no
 // locking is needed — the paper's share-nothing design.
 type workerState struct {
+	// id is the worker's pool index, stamped on emitted trace events.
+	id    int
 	table *hashtable.Table
 	// finalTables are reusable leaf-finalization tables, keyed by
 	// capacity: a leaf bucket of n rows gets the smallest power-of-two
@@ -131,6 +137,7 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 		kern:    lay.Kernels(),
 		words:   lay.Words,
 		gov:     cfg.Governor,
+		tr:      cfg.Tracer,
 	}
 	e.cacheRows = hashtable.CapacityForCache(cfg.CacheBytes, e.words)
 	if e.cacheRows < hashfn.Fanout*hashtable.MinBlockRows {
@@ -163,6 +170,7 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 	kp := kitPool(e.kits)
 	for w := range e.workers {
 		ws := &e.workers[w]
+		ws.id = w
 		if k, _ := kp.Get().(*workerKit); k != nil {
 			ws.table = k.table
 			ws.finalTables = k.finalTables
@@ -294,6 +302,7 @@ func (e *exec) run(ctx context.Context) error {
 	// Phase A — intake: split the input into runs (Algorithm 2, line 5).
 	e.morsels = sched.NewMorsels(len(e.in.Keys), e.cfg.MorselRows)
 	nWorkers := e.pool.Workers()
+	t0 := e.stamp()
 	if err := e.pool.RunContext(ctx, func(ctx *sched.Ctx) {
 		// One intake task per worker; morsel stealing balances them.
 		for w := 1; w < nWorkers; w++ {
@@ -303,6 +312,7 @@ func (e *exec) run(ctx context.Context) error {
 	}); err != nil {
 		return err
 	}
+	e.lap(t0, trace.PhaseIntake)
 
 	// Phase B — recursion into the buckets (Algorithm 2, line 8).
 	return e.pool.RunContext(ctx, func(ctx *sched.Ctx) {
@@ -360,7 +370,9 @@ func (e *exec) intake(ctx *sched.Ctx) {
 				switch st.NextMode() {
 				case ModePartition:
 					blk := min(hi-i, scratchRows)
+					t0 := e.stamp()
 					e.scatterRaw(ws, scat, keys, cols, i, i+blk)
+					e.lap(t0, trace.PhaseScatter)
 					st.OnPartitioned(blk)
 					ws.stats.partitionedRows += int64(blk)
 					i += blk
@@ -374,6 +386,7 @@ func (e *exec) intake(ctx *sched.Ctx) {
 
 	// Flush residual state into the local buckets.
 	e.timed(ws, 0, func() {
+		t0 := e.stamp()
 		if table.Len() > 0 {
 			ws.mem.Reserve(int64(table.Len()) * e.interRow)
 			splits := table.SplitRuns()
@@ -387,6 +400,7 @@ func (e *exec) intake(ctx *sched.Ctx) {
 			views[d] = &local[d]
 		}
 		scat.SealInto(views)
+		e.lap(t0, trace.PhaseSplit)
 	})
 
 	// Publish into the shared root buckets (the only intake-side
@@ -409,6 +423,7 @@ func (e *exec) intake(ctx *sched.Ctx) {
 // per cache-sized table) drops back to per-event bookkeeping.
 func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table,
 	keys []uint64, cols [][]int64, i, hi int, local *[hashfn.Fanout]runs.Bucket) int {
+	t0 := e.stamp()
 	for i < hi {
 		blk := min(hi-i, scratchRows)
 		hs := ws.hashScratch[:blk]
@@ -422,6 +437,8 @@ func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table
 				break
 			}
 			// Table full at row i+done: split into the local buckets.
+			e.lap(t0, trace.PhaseTableBuild)
+			t0 = e.stamp()
 			alpha := table.Alpha()
 			ws.stats.tablesEmitted++
 			ws.stats.alphaSum += alpha
@@ -430,15 +447,25 @@ func (e *exec) hashRaw(ws *workerState, st StrategyState, table *hashtable.Table
 			for d, r := range splits {
 				local[d].Add(r)
 			}
+			if e.tr != nil {
+				e.tr.Emit(trace.KindTableSplit, ws.id, 0, -1, alpha)
+			}
 			st.OnTableEmit(alpha)
 			if st.NextMode() != ModeHash {
 				ws.stats.switches++
+				if e.tr != nil {
+					e.tr.Emit(trace.KindStrategySwitch, ws.id, 0, -1, alpha)
+				}
+				e.lap(t0, trace.PhaseSplit)
 				return i + done // row not consumed; caller re-dispatches
 			}
+			e.lap(t0, trace.PhaseSplit)
+			t0 = e.stamp()
 			// Fresh table, retry the unconsumed tail of the block.
 		}
 		i += blk
 	}
+	e.lap(t0, trace.PhaseTableBuild)
 	return i
 }
 
@@ -561,6 +588,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 			switch st.NextMode() {
 			case ModePartition:
 				blk := min(r.Len()-i, scratchRows)
+				t0 := e.stamp()
 				hs := r.Hashes
 				if hs == nil {
 					hs = ws.hashScratch[:blk]
@@ -569,6 +597,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 					hs = hs[i : i+blk]
 				}
 				scat.Scatter(hs, r.Keys[i:i+blk], ws.sliceStates(r.States, i, i+blk))
+				e.lap(t0, trace.PhaseScatter)
 				st.OnPartitioned(blk)
 				ws.stats.partitionedRows += int64(blk)
 				ws.mem.Reserve(int64(blk) * e.interRow)
@@ -577,7 +606,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 				usedScatter = true
 			default: // ModeHash; ModeFinal cannot occur mid-bucket for our strategies
 				var emitted bool
-				i, emitted = e.hashRun(ws, st, table, r, i, sub)
+				i, emitted = e.hashRun(ws, st, table, r, i, sub, level, prefix)
 				if emitted {
 					pure = false
 				}
@@ -593,6 +622,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 		return nil
 	}
 
+	t0 := e.stamp()
 	if table.Len() > 0 {
 		ws.mem.Reserve(int64(table.Len()) * e.interRow)
 		splits := table.SplitRuns()
@@ -607,6 +637,7 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 		}
 		scat.SealInto(views)
 	}
+	e.lap(t0, trace.PhaseSplit)
 
 	var children []child
 	for d := range sub {
@@ -626,10 +657,11 @@ func (e *exec) doBucket(ctx *sched.Ctx, ws *workerState, b *runs.Bucket, level i
 // block slices, recomputed hashes are materialized morsel-wide, and rows are
 // absorbed through the software-pipelined batch merge.
 func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table,
-	r *runs.Run, start int, sub []runs.Bucket) (next int, emitted bool) {
+	r *runs.Run, start int, sub []runs.Bucket, level int, prefix uint64) (next int, emitted bool) {
 	carried := r.Hashes != nil
 	i := start
 	n := r.Len()
+	t0 := e.stamp()
 	for i < n {
 		blk := min(n-i, scratchRows)
 		var hs []uint64
@@ -650,6 +682,8 @@ func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table
 			// Table full at row i+done: split and hand control back to the
 			// caller's decision loop (matching the scalar path, which
 			// returns after every emit).
+			e.lap(t0, trace.PhaseTableBuild)
+			t0 = e.stamp()
 			alpha := table.Alpha()
 			ws.stats.tablesEmitted++
 			ws.stats.alphaSum += alpha
@@ -658,14 +692,22 @@ func (e *exec) hashRun(ws *workerState, st StrategyState, table *hashtable.Table
 			for d, run := range splits {
 				sub[d].Add(run)
 			}
+			if e.tr != nil {
+				e.tr.Emit(trace.KindTableSplit, ws.id, level, int64(prefix), alpha)
+			}
 			st.OnTableEmit(alpha)
 			if st.NextMode() != ModeHash {
 				ws.stats.switches++
+				if e.tr != nil {
+					e.tr.Emit(trace.KindStrategySwitch, ws.id, level, int64(prefix), alpha)
+				}
 			}
+			e.lap(t0, trace.PhaseSplit)
 			return i + done, true
 		}
 		i += blk
 	}
+	e.lap(t0, trace.PhaseTableBuild)
 	return i, false
 }
 
@@ -703,13 +745,16 @@ func (e *exec) leafTable(ws *workerState, n, level int) *hashtable.Table {
 func (e *exec) finalizeLeaf(ws *workerState, b *runs.Bucket, level int, prefix uint64) {
 	n := b.Rows()
 	table := e.leafTable(ws, n, level)
+	t0 := e.stamp()
 	for _, r := range b.Runs {
 		if !e.absorbRun(ws, table, r) {
+			e.lap(t0, trace.PhaseTableBuild)
 			table.Reset()
 			e.finalizeGrown(ws, b, prefix, level)
 			return
 		}
 	}
+	e.lap(t0, trace.PhaseTableBuild)
 	e.emitTable(ws, table, prefix, level)
 	ws.stats.directEmits++
 }
@@ -769,12 +814,14 @@ func (e *exec) finalizeGrown(ws *workerState, b *runs.Bucket, prefix uint64, lev
 	}
 	table.Reset()
 	table.SetLevel(min(level, hashfn.MaxLevels-1))
+	t0 := e.stamp()
 	for _, r := range b.Runs {
 		if !e.absorbRun(ws, table, r) {
 			// Cannot happen: capacity ≥ 4·rows ≥ 4·groups with fill 0.5.
 			panic("core: grown finalization table overflowed")
 		}
 	}
+	e.lap(t0, trace.PhaseTableBuild)
 	e.emitTable(ws, table, prefix, level)
 	ws.stats.directEmits++
 }
@@ -785,6 +832,7 @@ func (e *exec) finalizeGrown(ws *workerState, b *runs.Bucket, prefix uint64, lev
 // chunks in prefix order yields the hash-ordered result.
 func (e *exec) emitTable(ws *workerState, table *hashtable.Table, prefix uint64, level int) {
 	n := table.Len()
+	t0 := e.stamp()
 	ch := chunk{
 		sortKey: prefix << uint(64-hashfn.DigitBits*min(level, hashfn.MaxLevels)),
 		hashes:  make([]uint64, n),
@@ -796,6 +844,10 @@ func (e *exec) emitTable(ws *workerState, table *hashtable.Table, prefix uint64,
 	}
 	table.EmitColumns(ch.hashes, ch.keys, ch.states)
 	table.Reset()
+	e.lap(t0, trace.PhaseSplit)
+	if e.tr != nil {
+		e.tr.Emit(trace.KindTableEmit, ws.id, level, int64(prefix), float64(n))
+	}
 	// Output chunks are retained until assemble; they are part of the
 	// run's footprint.
 	ws.mem.Reserve(int64(n) * e.chunkRow)

@@ -37,6 +37,7 @@ import (
 	"slices"
 
 	"cacheagg/internal/faultfs"
+	"cacheagg/internal/trace"
 )
 
 const (
@@ -63,6 +64,7 @@ const (
 // behind extExec.mu.
 type spillWriter struct {
 	path    string
+	id      int
 	f       faultfs.File
 	buf     *bufio.Writer
 	crc     hash.Hash32
@@ -95,6 +97,7 @@ func (e *extExec) newWriter() (*spillWriter, error) {
 	}
 	w := &spillWriter{
 		path:      path,
+		id:        id,
 		f:         f,
 		buf:       bufio.NewWriterSize(f, spillBufSize),
 		crc:       crc32.NewIEEE(),
@@ -156,6 +159,7 @@ func (e *extExec) flushBlock(w *spillWriter) error {
 	if n == 0 {
 		return nil
 	}
+	t0 := e.stamp()
 	w.stageN = 0
 	enc := w.enc[:spillBlockHeader+(1+len(w.stageCols))*n*8]
 	binary.LittleEndian.PutUint32(enc[0:], uint32(n))
@@ -183,6 +187,10 @@ func (e *extExec) flushBlock(w *spillWriter) error {
 		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
 	}
 	w.records += uint64(n)
+	if e.tr != nil {
+		e.tr.Emit(trace.KindSpillWrite, 0, 0, int64(w.id), float64(n))
+	}
+	e.lap(t0, trace.PhaseSpill)
 	return nil
 }
 
@@ -293,14 +301,24 @@ func (e *extExec) decodeSpill(f faultfs.File, path string, size int64) ([]uint64
 	if rb := binary.LittleEndian.Uint16(hdr[6:]); int(rb) != e.recSize() {
 		return nil, nil, corrupt(path, fmt.Sprintf("record width %d, plan needs %d", rb, e.recSize()))
 	}
+	var keys []uint64
+	var cols [][]uint64
+	var err error
 	switch v := binary.LittleEndian.Uint16(hdr[4:]); v {
 	case spillVersion:
-		return e.decodeV2(r, crc, path, size)
+		keys, cols, err = e.decodeV2(r, crc, path, size)
 	case spillVersion1:
-		return e.decodeV1(r, crc, path, size)
+		keys, cols, err = e.decodeV1(r, crc, path, size)
 	default:
 		return nil, nil, corrupt(path, fmt.Sprintf("unsupported version %d", v))
 	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if e.tr != nil {
+		e.tr.Emit(trace.KindSpillRead, 0, 0, -1, float64(size))
+	}
+	return keys, cols, nil
 }
 
 // decodeV2 decodes the block-codec body: per-block payload CRCs first,

@@ -50,6 +50,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cacheagg/internal/agg"
 	"cacheagg/internal/core"
@@ -57,6 +58,7 @@ import (
 	"cacheagg/internal/hashfn"
 	"cacheagg/internal/memgov"
 	"cacheagg/internal/partition"
+	"cacheagg/internal/trace"
 )
 
 // Config configures an external aggregation.
@@ -101,6 +103,11 @@ type Config struct {
 	// The backend is wrapped in a faultfs.Retry, so transient faults
 	// (EINTR/EAGAIN-class) are absorbed with capped exponential backoff.
 	FS faultfs.FS
+	// Tracer, when non-nil, receives spill/merge/prefetch events and the
+	// spill and merge phase timings, and is handed down to the in-memory
+	// leaves (unless Core.Tracer is already set). Leave nil (the untyped
+	// nil interface) when not observing.
+	Tracer trace.Tracer
 	// Core configures the in-memory operator used for the leaves.
 	Core core.Config
 }
@@ -299,14 +306,43 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 		cfg.MemoryBudgetRows = int(min(max(rows, 1024), 1<<20))
 	}
 
+	// One tracer observes both layers: an external-level tracer is handed
+	// to the in-memory leaves, and a leaf-level one is adopted up here.
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = cfg.Core.Tracer
+	} else if cfg.Core.Tracer == nil {
+		cfg.Core.Tracer = tr
+	}
+
 	gov := cfg.Governor
 	if gov == nil {
 		gov = memgov.New(cfg.MemoryBudgetBytes)
+		if tr != nil {
+			grain := int64(1 << 20)
+			if b := cfg.MemoryBudgetBytes; b > 0 {
+				grain = max(b/64, 32<<10)
+			}
+			t := tr
+			gov.SetHighWaterHook(grain, func(hw int64) {
+				t.Emit(trace.KindGovHighWater, 0, 0, -1, float64(hw))
+			})
+		}
 	}
 	if cfg.Core.Governor == nil {
 		cfg.Core.Governor = gov
 	}
 	// All spill I/O goes through the transient-fault retry layer.
+	if tr != nil {
+		prev := cfg.Retry.OnRetry
+		t := tr
+		cfg.Retry.OnRetry = func(op faultfs.Op) {
+			if prev != nil {
+				prev(op)
+			}
+			t.Emit(trace.KindSpillRetry, 0, 0, int64(op), 1)
+		}
+	}
 	retry := faultfs.NewRetry(cfg.FS, cfg.Retry)
 	cfg.FS = retry
 
@@ -314,7 +350,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	if err != nil {
 		return nil, fmt.Errorf("external: %w", err)
 	}
-	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov, kern: agg.NewLayout(p.dec).Kernels()}
+	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov, tr: tr, kern: agg.NewLayout(p.dec).Kernels()}
 	defer func() {
 		if err != nil {
 			e.cleanupAll()
@@ -353,6 +389,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 		AggsFloat: make([][]float64, len(in.Specs)),
 	}
 	if work {
+		t0 := e.stamp()
 		if cfg.SequentialMerge {
 			err = e.mergeSequential(ctx, parts, res)
 		} else {
@@ -361,6 +398,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 		if err != nil {
 			return nil, err
 		}
+		e.lap(t0, trace.PhaseMerge)
 	}
 	e.stats.SpillRetries = retry.Retries()
 	e.stats.PeakReservedBytes = gov.HighWater()
@@ -373,6 +411,7 @@ type extExec struct {
 	plan *plan
 	dir  string
 	gov  *memgov.Governor
+	tr   trace.Tracer // optional execution tracer (nil when not observing)
 	kern *agg.Kernels // merge kernels of the decomposed plan
 
 	// mu guards the shared mutable state of the concurrent merge phase:
@@ -412,6 +451,23 @@ func (r *resident) n() int { return len(r.keys) }
 
 // recSize is the byte size of one spilled record: key + decomposed partials.
 func (e *extExec) recSize() int { return 8 + 8*e.plan.width() }
+
+// stamp starts a phase lap, returning the zero time when no tracer is
+// installed — the nil fast path is this single branch.
+func (e *extExec) stamp() time.Time {
+	if e.tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// lap charges the time since t0 to phase p (no-op without a tracer).
+func (e *extExec) lap(t0 time.Time, p trace.Phase) {
+	if e.tr == nil {
+		return
+	}
+	e.tr.AddPhase(p, time.Since(t0).Nanoseconds())
+}
 
 // chargeLocked reserves n bytes of spill budget, failing fast before the
 // write that would exceed Config.MaxSpillBytes. Callers hold e.mu.

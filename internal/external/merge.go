@@ -41,6 +41,7 @@ import (
 	"cacheagg/internal/hashfn"
 	"cacheagg/internal/hashtable"
 	"cacheagg/internal/sched"
+	"cacheagg/internal/trace"
 )
 
 // errAborted is the silent give-up of a merge task once the pool is
@@ -168,6 +169,11 @@ func (e *extExec) mergeParallel(ctx context.Context, parts []*spillWriter, res *
 	}
 	pf := e.newPrefetcher(parts, workers)
 	pool := sched.NewPool(workers)
+	if tr := e.tr; tr != nil {
+		pool.OnSteal = func(thief, victim int) {
+			tr.Emit(trace.KindMergeSteal, thief, 0, int64(victim), 0)
+		}
+	}
 	err := pool.RunContext(ctx, func(c *sched.Ctx) {
 		// File merges are pushed first and resident merges last: the owner
 		// pops LIFO, so the resident merges run first and release their
@@ -203,7 +209,13 @@ func (e *extExec) mergeParallel(ctx context.Context, parts []*spillWriter, res *
 					return
 				}
 				r := &e.resident[d]
+				if e.tr != nil {
+					e.tr.Emit(trace.KindMergeStart, c.Worker, 1, int64(d), float64(r.n()))
+				}
 				frags[d] = e.mergeBatched(r.keys, r.partials, 1)
+				if e.tr != nil {
+					e.tr.Emit(trace.KindMergeFinish, c.Worker, 1, int64(d), float64(len(frags[d].keys)))
+				}
 				e.releaseResident(d)
 				e.inflight.Add(-1)
 			})
@@ -225,6 +237,9 @@ func (e *extExec) mergeParallel(ctx context.Context, parts []*spillWriter, res *
 // next digit and spawn one subtask per sub-partition.
 func (e *extExec) mergeFile(c *sched.Ctx, pf *prefetcher, w *spillWriter, level, d int) (*frag, error) {
 	e.bumpMergeLevel(level)
+	if e.tr != nil {
+		e.tr.Emit(trace.KindMergeStart, c.Worker, level, int64(d), 0)
+	}
 	var ld *loadedPart
 	if pf != nil && d >= 0 {
 		ld = pf.take(c, d)
@@ -269,9 +284,16 @@ func (e *extExec) mergeFile(c *sched.Ctx, pf *prefetcher, w *spillWriter, level,
 				f.sub[dd] = cf
 			})
 		}
+		if e.tr != nil {
+			e.tr.Emit(trace.KindMergeFinish, c.Worker, level, int64(d), 0)
+		}
 		return f, nil
 	}
-	return e.mergeBatched(ld.keys, ld.cols, level), nil
+	f := e.mergeBatched(ld.keys, ld.cols, level)
+	if e.tr != nil {
+		e.tr.Emit(trace.KindMergeFinish, c.Worker, level, int64(d), float64(len(f.keys)))
+	}
+	return f, nil
 }
 
 // repartition splits a loaded partition by the next hash digit into up to
@@ -510,6 +532,9 @@ func (pf *prefetcher) load(c *sched.Ctx, ent *pfEntry) {
 		f.Close()
 		ent.state.Store(pfDropped)
 		pf.active.Add(-1)
+		if e.tr != nil {
+			e.tr.Emit(trace.KindPrefetchDrop, c.Worker, 0, int64(ent.d), float64(size))
+		}
 		return
 	}
 	keys, cols, err := e.decodeSpill(f, ent.w.path, size)
@@ -528,6 +553,9 @@ func (pf *prefetcher) load(c *sched.Ctx, ent *pfEntry) {
 	e.mu.Lock()
 	e.stats.PrefetchedPartitions++
 	e.mu.Unlock()
+	if e.tr != nil {
+		e.tr.Emit(trace.KindPrefetchLoad, c.Worker, 0, int64(ent.d), float64(size))
+	}
 	// The loaded entry keeps its window slot until taken or dropped.
 }
 
@@ -560,6 +588,9 @@ func (pf *prefetcher) take(c *sched.Ctx, d int) *loadedPart {
 			if ent.state.CompareAndSwap(pfLoaded, pfClaimed) {
 				ld := ent.data
 				ent.data = nil
+				if e := pf.e; e.tr != nil {
+					e.tr.Emit(trace.KindPrefetchHit, c.Worker, 0, int64(d), float64(ld.bytes))
+				}
 				pf.slotFreed(c)
 				return ld
 			}
@@ -576,6 +607,9 @@ func (pf *prefetcher) dropOne() bool {
 		if ent.state.Load() == pfLoaded && ent.state.CompareAndSwap(pfLoaded, pfDropped) {
 			ld := ent.data
 			ent.data = nil
+			if e := pf.e; e.tr != nil {
+				e.tr.Emit(trace.KindPrefetchDrop, 0, 0, int64(ent.d), float64(ld.bytes))
+			}
 			pf.e.releaseLoad(ld)
 			pf.active.Add(-1)
 			return true
@@ -598,6 +632,9 @@ func (pf *prefetcher) releaseUnclaimed() {
 		if ent.state.Load() == pfLoaded && ent.state.CompareAndSwap(pfLoaded, pfDropped) {
 			ld := ent.data
 			ent.data = nil
+			if e := pf.e; e.tr != nil {
+				e.tr.Emit(trace.KindPrefetchDrop, 0, 0, int64(ent.d), float64(ld.bytes))
+			}
 			pf.e.releaseLoad(ld)
 		}
 	}
@@ -618,15 +655,21 @@ func (e *extExec) mergeSequential(ctx context.Context, parts []*spillWriter, res
 			continue
 		}
 		r := &e.resident[d]
+		if e.tr != nil {
+			e.tr.Emit(trace.KindMergeStart, 0, 1, int64(d), float64(r.n()))
+		}
 		keys, cols := mergeRowsMap(e.plan, r.keys, r.partials)
 		frags[d] = &frag{keys: keys, cols: cols}
+		if e.tr != nil {
+			e.tr.Emit(trace.KindMergeFinish, 0, 1, int64(d), float64(len(keys)))
+		}
 		e.releaseResident(d)
 	}
 	for d := range parts {
 		if parts[d] == nil {
 			continue
 		}
-		f, err := e.mergeSeqFile(ctx, parts[d], 1)
+		f, err := e.mergeSeqFile(ctx, parts[d], 1, d)
 		if err != nil {
 			return err
 		}
@@ -638,11 +681,14 @@ func (e *extExec) mergeSequential(ctx context.Context, parts []*spillWriter, res
 	return nil
 }
 
-func (e *extExec) mergeSeqFile(ctx context.Context, w *spillWriter, level int) (*frag, error) {
+func (e *extExec) mergeSeqFile(ctx context.Context, w *spillWriter, level, d int) (*frag, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e.bumpMergeLevel(level)
+	if e.tr != nil {
+		e.tr.Emit(trace.KindMergeStart, 0, level, int64(d), 0)
+	}
 	ld, err := e.loadPartition(nil, nil, w.path)
 	if err != nil {
 		return nil, err
@@ -659,16 +705,22 @@ func (e *extExec) mergeSeqFile(ctx context.Context, w *spillWriter, level int) (
 			if sw == nil {
 				continue
 			}
-			cf, err := e.mergeSeqFile(ctx, sw, level+1)
+			cf, err := e.mergeSeqFile(ctx, sw, level+1, -1)
 			if err != nil {
 				return nil, err
 			}
 			f.sub[dd] = cf
 		}
+		if e.tr != nil {
+			e.tr.Emit(trace.KindMergeFinish, 0, level, int64(d), 0)
+		}
 		return f, nil
 	}
 	keys, cols := mergeRowsMap(e.plan, ld.keys, ld.cols)
 	e.releaseLoad(ld)
+	if e.tr != nil {
+		e.tr.Emit(trace.KindMergeFinish, 0, level, int64(d), float64(len(keys)))
+	}
 	return &frag{keys: keys, cols: cols}, nil
 }
 

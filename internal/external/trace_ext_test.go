@@ -1,0 +1,71 @@
+package external
+
+// Reconciliation between the execution trace and the Stats counters: both
+// observe the same spill and merge activity through independent code
+// paths, so their totals must agree exactly.
+
+import (
+	"testing"
+
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/faultfs"
+	"cacheagg/internal/trace"
+)
+
+func TestTraceReconcilesWithStats(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		in := mkInput(datagen.Uniform, 50000, 20000, 11)
+		rec := trace.NewRecorder(1 << 16)
+		cfg := testCfg(8192)
+		cfg.SequentialMerge = seq
+		cfg.Tracer = rec
+		res, err := Aggregate(cfg, in)
+		if err != nil {
+			t.Fatalf("seq=%v: %v", seq, err)
+		}
+		checkResult(t, res, in)
+		s := rec.Snapshot()
+		if got := int64(s.Sums[trace.KindSpillWrite]); got != res.Stats.SpilledRows {
+			t.Errorf("seq=%v: spill-write row sum %d, Stats.SpilledRows %d", seq, got, res.Stats.SpilledRows)
+		}
+		if s.Counts[trace.KindSpillWrite] == 0 || s.Counts[trace.KindSpillRead] == 0 {
+			t.Errorf("seq=%v: no spill traffic traced (writes %d, reads %d)",
+				seq, s.Counts[trace.KindSpillWrite], s.Counts[trace.KindSpillRead])
+		}
+		if st, fin := s.Counts[trace.KindMergeStart], s.Counts[trace.KindMergeFinish]; st == 0 || st != fin {
+			t.Errorf("seq=%v: merge starts %d, finishes %d", seq, st, fin)
+		}
+		if got := s.Counts[trace.KindPrefetchLoad]; got != int64(res.Stats.PrefetchedPartitions) {
+			t.Errorf("seq=%v: prefetch-load count %d, Stats.PrefetchedPartitions %d",
+				seq, got, res.Stats.PrefetchedPartitions)
+		}
+		if got := s.Counts[trace.KindSpillRetry]; got != res.Stats.SpillRetries {
+			t.Errorf("seq=%v: spill-retry count %d, Stats.SpillRetries %d", seq, got, res.Stats.SpillRetries)
+		}
+	}
+}
+
+func TestTraceSpillRetriesMatchInjectedFaults(t *testing.T) {
+	// Inject transient write faults: every absorbed retry must appear in
+	// the trace, in lockstep with Stats.SpillRetries.
+	flaky := faultfs.NewFlaky(faultfs.OS(), faultfs.OpWrite, 50, 2)
+	rec := trace.NewRecorder(trace.DefaultCapacity)
+	cfg := testCfg(100)
+	cfg.TempDir = t.TempDir()
+	cfg.FS = flaky
+	cfg.Retry = noSleepPolicy()
+	cfg.Tracer = rec
+	in := &core.Input{Keys: sameDigitKeys(300)}
+	res, err := Aggregate(cfg, in)
+	if err != nil {
+		t.Fatalf("transient fault not absorbed: %v", err)
+	}
+	if res.Stats.SpillRetries == 0 {
+		t.Fatal("fault injection produced no retries")
+	}
+	s := rec.Snapshot()
+	if got := s.Counts[trace.KindSpillRetry]; got != res.Stats.SpillRetries {
+		t.Fatalf("spill-retry events %d, Stats.SpillRetries %d", got, res.Stats.SpillRetries)
+	}
+}

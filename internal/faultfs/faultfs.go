@@ -293,6 +293,11 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 	// Sleep replaces time.Sleep in tests; nil selects time.Sleep.
 	Sleep func(time.Duration)
+	// OnRetry, when non-nil, is invoked once per performed retry (i.e. in
+	// lockstep with the Retries counter) with the operation kind being
+	// retried. It runs on the retrying goroutine before the backoff sleep,
+	// so it must be cheap and safe for concurrent calls.
+	OnRetry func(op Op)
 }
 
 // DefaultRetryPolicy is the spill path's default: up to 4 attempts with
@@ -342,15 +347,19 @@ func NewRetry(inner FS, pol RetryPolicy) *Retry {
 // first attempt of any operation).
 func (r *Retry) Retries() int64 { return r.retries.Load() }
 
-// do runs op, retrying transient failures per the policy.
-func (r *Retry) do(op func() error) error {
+// do runs fn, retrying transient failures per the policy. op names the
+// operation kind for the OnRetry observer.
+func (r *Retry) do(op Op, fn func() error) error {
 	delay := r.pol.BaseDelay
 	for attempt := 1; ; attempt++ {
-		err := op()
+		err := fn()
 		if err == nil || !IsTransient(err) || attempt >= r.pol.MaxAttempts {
 			return err
 		}
 		r.retries.Add(1)
+		if r.pol.OnRetry != nil {
+			r.pol.OnRetry(op)
+		}
 		r.pol.Sleep(delay)
 		delay *= 2
 		if delay > r.pol.MaxDelay {
@@ -361,7 +370,7 @@ func (r *Retry) do(op func() error) error {
 
 func (r *Retry) Create(name string) (File, error) {
 	var f File
-	err := r.do(func() error {
+	err := r.do(OpCreate, func() error {
 		var e error
 		f, e = r.inner.Create(name)
 		return e
@@ -374,7 +383,7 @@ func (r *Retry) Create(name string) (File, error) {
 
 func (r *Retry) Open(name string) (File, error) {
 	var f File
-	err := r.do(func() error {
+	err := r.do(OpOpen, func() error {
 		var e error
 		f, e = r.inner.Open(name)
 		return e
@@ -386,7 +395,7 @@ func (r *Retry) Open(name string) (File, error) {
 }
 
 func (r *Retry) Remove(name string) error {
-	return r.do(func() error { return r.inner.Remove(name) })
+	return r.do(OpRemove, func() error { return r.inner.Remove(name) })
 }
 
 // retryFile applies the retry policy to per-file operations.
@@ -397,7 +406,7 @@ type retryFile struct {
 
 func (f *retryFile) Read(p []byte) (int, error) {
 	var n int
-	err := f.r.do(func() error {
+	err := f.r.do(OpRead, func() error {
 		var e error
 		n, e = f.f.Read(p)
 		if n > 0 {
@@ -415,7 +424,7 @@ func (f *retryFile) Read(p []byte) (int, error) {
 
 func (f *retryFile) Write(p []byte) (int, error) {
 	var n int
-	err := f.r.do(func() error {
+	err := f.r.do(OpWrite, func() error {
 		var e error
 		n, e = f.f.Write(p)
 		if e != nil && n > 0 {
@@ -436,7 +445,7 @@ func (f *retryFile) Close() error { return f.f.Close() }
 
 func (f *retryFile) Stat() (os.FileInfo, error) {
 	var fi os.FileInfo
-	err := f.r.do(func() error {
+	err := f.r.do(OpRead, func() error {
 		var e error
 		fi, e = f.f.Stat()
 		return e

@@ -214,3 +214,28 @@ func TestChaosFaultsAreTransient(t *testing.T) {
 		t.Fatalf("chaos fault not transient: %v", err)
 	}
 }
+
+func TestOnRetryObserverMatchesRetriesCounter(t *testing.T) {
+	pol, _ := noSleep(4)
+	var ops []Op
+	pol.OnRetry = func(op Op) { ops = append(ops, op) }
+	rfs := NewRetry(NewFlaky(OS(), OpWrite, 1, 2), pol)
+	f, err := rfs.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatalf("write should succeed after retries: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(ops)) != rfs.Retries() {
+		t.Fatalf("observer saw %d retries, counter says %d", len(ops), rfs.Retries())
+	}
+	for _, op := range ops {
+		if op != OpWrite {
+			t.Fatalf("observer ops = %v, want only write", ops)
+		}
+	}
+}

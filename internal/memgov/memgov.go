@@ -46,6 +46,13 @@ type Governor struct {
 	budget   int64 // 0 = unlimited (pure accounting, never over budget)
 	reserved atomic.Int64
 	high     atomic.Int64
+
+	// High-water sampling hook (see SetHighWaterHook). hookNext is the
+	// next high-water value at which the hook fires; advancing it by CAS
+	// makes each grain crossing fire exactly once across workers.
+	hook      func(highWater int64)
+	hookGrain int64
+	hookNext  atomic.Int64
 }
 
 // New creates a governor enforcing the given budget in bytes. budget <= 0
@@ -112,10 +119,42 @@ func (g *Governor) TryReserve(n int64) bool {
 // Release returns n bytes to the budget.
 func (g *Governor) Release(n int64) { g.reserved.Add(-n) }
 
+// SetHighWaterHook installs f to be called (at most once per grain bytes
+// of high-water growth) whenever the reservation high-water mark rises
+// past the next sampling threshold. grain <= 0 selects 1 MiB. Install
+// before sharing the governor across goroutines; f must be cheap and safe
+// for concurrent calls, and must not call back into the governor.
+func (g *Governor) SetHighWaterHook(grain int64, f func(highWater int64)) {
+	if grain <= 0 {
+		grain = 1 << 20
+	}
+	g.hook = f
+	g.hookGrain = grain
+	g.hookNext.Store(0)
+}
+
 func (g *Governor) bumpHigh(now int64) {
 	for {
 		h := g.high.Load()
-		if now <= h || g.high.CompareAndSwap(h, now) {
+		if now <= h {
+			break
+		}
+		if g.high.CompareAndSwap(h, now) {
+			break
+		}
+	}
+	if g.hook == nil {
+		return
+	}
+	for {
+		next := g.hookNext.Load()
+		if now < next {
+			return
+		}
+		// Jump the threshold past now so one burst fires one sample.
+		step := ((now-next)/g.hookGrain + 1) * g.hookGrain
+		if g.hookNext.CompareAndSwap(next, next+step) {
+			g.hook(now)
 			return
 		}
 	}

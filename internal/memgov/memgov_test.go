@@ -120,3 +120,70 @@ func TestConcurrentAccounting(t *testing.T) {
 		t.Fatalf("HighWater %d below final Reserved %d", g.HighWater(), g.Reserved())
 	}
 }
+
+func TestHighWaterHookSamplesPerGrain(t *testing.T) {
+	g := New(0)
+	var mu sync.Mutex
+	var samples []int64
+	g.SetHighWaterHook(100, func(hw int64) {
+		mu.Lock()
+		samples = append(samples, hw)
+		mu.Unlock()
+	})
+	g.Reserve(10)  // high water 10 crosses the initial 0 threshold → sample
+	g.Reserve(10)  // high water 20: below the next threshold (110), silent
+	g.Reserve(200) // high water 220 crosses 110 → sample, threshold jumps past 220
+	g.Release(200) // high water unchanged, silent
+	g.Reserve(50)  // reserved 70 < high water, silent
+	g.Reserve(300) // high water 370 crosses 310 → sample
+	want := []int64{10, 220, 370}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+}
+
+// TestHighWaterHookConcurrent checks the hook fires a bounded number of
+// times under concurrent growth (at most once per grain of final high
+// water, plus one for the initial crossing) and never with a stale value
+// below its firing threshold sequence length.
+func TestHighWaterHookConcurrent(t *testing.T) {
+	g := New(0)
+	var calls, bad int64
+	var mu sync.Mutex
+	g.SetHighWaterHook(1000, func(hw int64) {
+		mu.Lock()
+		calls++
+		if hw < 0 {
+			bad++
+		}
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Reserve(7)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if bad != 0 {
+		t.Fatalf("%d hook calls with invalid high water", bad)
+	}
+	if calls == 0 {
+		t.Fatal("hook never fired")
+	}
+	if max := g.HighWater()/1000 + 1; calls > max {
+		t.Fatalf("hook fired %d times for high water %d with grain 1000 (max %d)",
+			calls, g.HighWater(), max)
+	}
+}

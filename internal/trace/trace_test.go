@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEmitCountersAndEvents(t *testing.T) {
+	r := NewRecorder(64)
+	r.Emit(KindTableSplit, 3, 1, 42, 11.5)
+	r.Emit(KindTableSplit, 3, 1, 42, 2.5)
+	r.Emit(KindStrategySwitch, 0, 0, -1, 3.0)
+	r.AddPhase(PhaseTableBuild, 100)
+	r.AddPhase(PhaseTableBuild, 50)
+	r.AddPhase(PhaseMerge, 7)
+
+	s := r.Snapshot()
+	if s.Emitted != 3 || s.Dropped != 0 {
+		t.Fatalf("emitted=%d dropped=%d, want 3/0", s.Emitted, s.Dropped)
+	}
+	if got := s.Counts[KindTableSplit]; got != 2 {
+		t.Fatalf("table-split count = %d, want 2", got)
+	}
+	if got := s.Sums[KindTableSplit]; got != 14.0 {
+		t.Fatalf("table-split sum = %v, want 14", got)
+	}
+	if got := s.Counts[KindStrategySwitch]; got != 1 {
+		t.Fatalf("switch count = %d, want 1", got)
+	}
+	if s.Phases[PhaseTableBuild] != 150 || s.Phases[PhaseMerge] != 7 {
+		t.Fatalf("phases = %v", s.Phases)
+	}
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len(events) = %d, want 3", len(evs))
+	}
+	if evs[0].Kind != KindTableSplit || evs[0].Worker != 3 || evs[0].Level != 1 ||
+		evs[0].Part != 42 || evs[0].Value != 11.5 || evs[0].Seq != 0 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[2].Kind != KindStrategySwitch || evs[2].Part != -1 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Nanos < evs[i-1].Nanos {
+			t.Fatalf("timestamps not monotone: %d then %d", evs[i-1].Nanos, evs[i].Nanos)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewestAndExactCounts(t *testing.T) {
+	r := NewRecorder(8) // power of two already
+	const total = 100
+	for i := 0; i < total; i++ {
+		r.Emit(KindSpillWrite, 1, 0, int64(i), 1)
+	}
+	s := r.Snapshot()
+	if s.Emitted != total || s.Dropped != total-8 {
+		t.Fatalf("emitted=%d dropped=%d, want %d/%d", s.Emitted, s.Dropped, total, total-8)
+	}
+	if s.Counts[KindSpillWrite] != total {
+		t.Fatalf("count = %d, want %d (counters must survive ring wrap)", s.Counts[KindSpillWrite], total)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("len(events) = %d, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - 8 + i)
+		if ev.Seq != wantSeq || ev.Part != int64(wantSeq) {
+			t.Fatalf("event %d = %+v, want seq/part %d", i, ev, wantSeq)
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	r := NewRecorder(5)
+	if len(r.slots) != 8 {
+		t.Fatalf("capacity 5 rounded to %d, want 8", len(r.slots))
+	}
+	r = NewRecorder(0)
+	if len(r.slots) != DefaultCapacity {
+		t.Fatalf("default capacity = %d, want %d", len(r.slots), DefaultCapacity)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRecorder(16)
+	r.Emit(KindTableEmit, 0, 0, 1, 10)
+	r.AddPhase(PhaseIntake, 5)
+	pre := r.Snapshot()
+	r.Emit(KindTableEmit, 0, 0, 2, 7)
+	r.Emit(KindMergeStart, 1, 1, 3, 0)
+	r.AddPhase(PhaseIntake, 20)
+	d := r.Snapshot().Sub(pre)
+	if d.Emitted != 2 || d.Counts[KindTableEmit] != 1 || d.Sums[KindTableEmit] != 7 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.Counts[KindMergeStart] != 1 || d.Phases[PhaseIntake] != 20 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+// TestConcurrentEmit hammers the ring and counters from many goroutines;
+// under -race this proves the seqlock protocol is data-race free, and the
+// counter totals must be exact regardless.
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRecorder(256)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(Kind(i%int(NumKinds)), w, i%3, int64(i), 1.0)
+				if i%64 == 0 {
+					r.Events() // concurrent reader
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	var totalCount int64
+	var totalSum float64
+	for k := 0; k < NumKinds; k++ {
+		totalCount += s.Counts[k]
+		totalSum += s.Sums[k]
+	}
+	if totalCount != workers*per {
+		t.Fatalf("total count = %d, want %d", totalCount, workers*per)
+	}
+	if math.Abs(totalSum-workers*per) > 1e-6 {
+		t.Fatalf("total sum = %v, want %v", totalSum, workers*per)
+	}
+	evs := r.Events()
+	if len(evs) == 0 || len(evs) > 256 {
+		t.Fatalf("len(events) = %d, want (0,256]", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind >= NumKinds || ev.Worker >= workers || ev.Value != 1.0 {
+			t.Fatalf("torn event leaked: %+v", ev)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(16)
+	r.Emit(KindStrategySwitch, 2, 0, -1, 12.25)
+	r.Emit(KindSpillWrite, 0, 1, 9, 512)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first struct {
+		Seq    uint64  `json:"seq"`
+		Nanos  int64   `json:"t_ns"`
+		Kind   string  `json:"kind"`
+		Worker int     `json:"worker"`
+		Level  int     `json:"level"`
+		Part   int64   `json:"part"`
+		Value  float64 `json:"value"`
+	}
+	if err := json.Unmarshal(lines[0], &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if first.Kind != "strategy-switch" || first.Worker != 2 || first.Part != -1 || first.Value != 12.25 {
+		t.Fatalf("line 0 = %+v", first)
+	}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		n := k.String()
+		if n == "" || seen[n] {
+			t.Fatalf("kind %d has bad/duplicate name %q", k, n)
+		}
+		seen[n] = true
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		n := p.String()
+		if n == "" || seen[n] {
+			t.Fatalf("phase %d has bad/duplicate name %q", p, n)
+		}
+		seen[n] = true
+	}
+	if Kind(200).String() != "kind(200)" || Phase(200).String() != "phase(200)" {
+		t.Fatal("out-of-range String() not defensive")
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	r := NewRecorder(DefaultCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(KindTableSplit, i&7, 0, int64(i), 11.0)
+	}
+}

@@ -1,0 +1,237 @@
+package cacheagg
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"cacheagg/internal/datagen"
+)
+
+func traceInput(dist datagen.Dist, n int, k uint64, seed uint64) Input {
+	keys := datagen.Generate(datagen.Spec{Dist: dist, N: n, K: k, Seed: seed})
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i%1000) - 500
+	}
+	return Input{
+		GroupBy:    keys,
+		Columns:    [][]int64{vals},
+		Aggregates: []AggSpec{{Func: Count}, {Func: Sum, Col: 0}, {Func: Avg, Col: 0}},
+	}
+}
+
+// sameResult compares two results group-by-group via key lookup: the
+// group set and every aggregate must match (row order within a hash
+// bucket may differ between runs).
+func sameResult(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: group counts differ: %d vs %d", label, a.Len(), b.Len())
+	}
+	bi := b.Index()
+	for i, g := range a.Groups {
+		j, ok := bi[g]
+		if !ok {
+			t.Fatalf("%s: group %d missing from traced result", label, g)
+		}
+		for c := range a.Aggs {
+			if a.Aggs[c][i] != b.Aggs[c][j] {
+				t.Fatalf("%s: group %d agg %d differs: %d vs %d", label, g, c, a.Aggs[c][i], b.Aggs[c][j])
+			}
+		}
+	}
+}
+
+// TestTracerReconcilesWithStats cross-checks the two independent observers
+// of the same execution: the trace counters must agree with the Stats
+// fields, and installing a tracer must not change the result.
+func TestTracerReconcilesWithStats(t *testing.T) {
+	for _, dist := range []datagen.Dist{datagen.Uniform, datagen.HeavyHitter, datagen.Sorted} {
+		for _, collect := range []bool{true, false} {
+			in := traceInput(dist, 200000, 50000, 42)
+			plain, err := Aggregate(in, opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := NewTracer(0)
+			o := opts()
+			o.CollectStats = collect
+			o.Tracer = tr
+			traced, err := Aggregate(in, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, plain, traced, dist.String())
+			snap := tr.Snapshot()
+			if !collect {
+				continue
+			}
+			st := traced.Stats
+			if got := snap.Counts["table-split"]; got != st.TablesEmitted {
+				t.Errorf("%v: table-split count %d, Stats.TablesEmitted %d", dist, got, st.TablesEmitted)
+			}
+			if got := snap.Counts["strategy-switch"]; got != st.Switches {
+				t.Errorf("%v: strategy-switch count %d, Stats.Switches %d", dist, got, st.Switches)
+			}
+			if got := snap.Counts["table-emit"]; got != st.DirectEmits {
+				t.Errorf("%v: table-emit count %d, Stats.DirectEmits %d", dist, got, st.DirectEmits)
+			}
+			// Each table-split event carries its table's α; the sum must
+			// reproduce the Stats mean up to float accumulation order.
+			if st.TablesEmitted > 0 {
+				want := st.MeanAlpha * float64(st.TablesEmitted)
+				if got := snap.Sums["table-split"]; math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+					t.Errorf("%v: table-split α sum %g, Stats implies %g", dist, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTracerPhasesInMemory(t *testing.T) {
+	tr := NewTracer(0)
+	o := opts()
+	o.Tracer = tr
+	if _, err := Aggregate(traceInput(datagen.Uniform, 300000, 100000, 7), o); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Aggregate(traceInput(datagen.Uniform, 300000, 100000, 7), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.Intake <= 0 {
+		t.Fatalf("Phases.Intake = %v", res.Phases.Intake)
+	}
+	if res.Phases.TableBuild+res.Phases.Scatter+res.Phases.Split <= 0 {
+		t.Fatalf("no worker phase time: %+v", res.Phases)
+	}
+	if res.Phases.Merge != 0 || res.Phases.Spill != 0 {
+		t.Fatalf("in-memory run reported out-of-core phases: %+v", res.Phases)
+	}
+}
+
+func TestTracerDegradedRunTracesSpillAndMerge(t *testing.T) {
+	tr := NewTracer(0)
+	o := opts()
+	o.Tracer = tr
+	o.CollectStats = true
+	o.MemoryBudgetBytes = 8 << 20
+	res, err := Aggregate(traceInput(datagen.Uniform, 400000, 300000, 3), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.DegradedToExternal {
+		t.Fatal("400k-row working set fit in 8 MiB? degradation not reported")
+	}
+	snap := tr.Snapshot()
+	if snap.Counts["spill-write"] == 0 || snap.Counts["spill-read"] == 0 {
+		t.Fatalf("degraded run traced no spill traffic: %v", snap.Counts)
+	}
+	if snap.Counts["merge-start"] == 0 || snap.Counts["merge-start"] != snap.Counts["merge-finish"] {
+		t.Fatalf("merge starts %d, finishes %d", snap.Counts["merge-start"], snap.Counts["merge-finish"])
+	}
+	if snap.Counts["gov-high-water"] == 0 {
+		t.Fatal("governor high-water samples missing")
+	}
+	if hw := snap.Sums["gov-high-water"]; hw <= 0 {
+		t.Fatalf("high-water sample sum %g", hw)
+	}
+	if res.Phases.Merge <= 0 || res.Phases.Spill <= 0 {
+		t.Fatalf("degraded run missing spill/merge phase time: %+v", res.Phases)
+	}
+}
+
+// The direct external entry point must wire Options.Tracer the same way
+// the degrade path does.
+func TestTracerAggregateExternal(t *testing.T) {
+	tr := NewTracer(0)
+	res, err := AggregateExternal(traceInput(datagen.Uniform, 400000, 300000, 5),
+		Options{Tracer: tr},
+		ExternalOptions{TempDir: t.TempDir(), MemoryBudgetBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if snap.Counts["spill-write"] == 0 || snap.Counts["spill-read"] == 0 {
+		t.Fatalf("external run traced no spill traffic: %v", snap.Counts)
+	}
+	if got := int64(snap.Sums["spill-write"]); got != res.Stats.SpilledRows {
+		t.Fatalf("spill-write row sum %d, Stats.SpilledRows %d", got, res.Stats.SpilledRows)
+	}
+	if snap.Counts["merge-start"] == 0 || snap.Counts["merge-start"] != snap.Counts["merge-finish"] {
+		t.Fatalf("merge starts %d, finishes %d", snap.Counts["merge-start"], snap.Counts["merge-finish"])
+	}
+	if snap.PhaseNanos["merge"] <= 0 || snap.PhaseNanos["spill"] <= 0 {
+		t.Fatalf("external run missing spill/merge phase time: %v", snap.PhaseNanos)
+	}
+}
+
+func TestTracerEventsAndJSONL(t *testing.T) {
+	tr := NewTracer(256)
+	o := opts()
+	o.Tracer = tr
+	if _, err := Aggregate(traceInput(datagen.Uniform, 100000, 30000, 9), o); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events retained")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("line %d has empty kind", lines)
+		}
+		lines++
+	}
+	if lines != len(evs) {
+		t.Fatalf("JSONL lines %d, events %d", lines, len(evs))
+	}
+	var snap TraceSnapshot
+	if err := json.Unmarshal([]byte(tr.String()), &snap); err != nil {
+		t.Fatalf("String() not JSON: %v", err)
+	}
+	if snap.Emitted == 0 {
+		t.Fatal("String() snapshot empty")
+	}
+}
+
+// TestMeanAlphaNoTablesEmitted pins the guard on the MeanAlpha division:
+// a run that emits no full tables (tiny input, or none at all) must
+// report MeanAlpha = 0, never NaN.
+func TestMeanAlphaNoTablesEmitted(t *testing.T) {
+	for _, in := range []Input{
+		{},
+		traceInput(datagen.Uniform, 2000, 10, 5),
+	} {
+		o := opts()
+		o.CollectStats = true
+		res, err := Aggregate(in, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.TablesEmitted == 0 && res.Stats.MeanAlpha != 0 {
+			t.Fatalf("MeanAlpha = %v with zero tables emitted", res.Stats.MeanAlpha)
+		}
+		if math.IsNaN(res.Stats.MeanAlpha) {
+			t.Fatal("MeanAlpha is NaN")
+		}
+	}
+}
