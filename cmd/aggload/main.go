@@ -1,0 +1,316 @@
+// Command aggload is the load harness for aggserve: it drives many
+// concurrent clients against a running server with a mixed profile of
+// datasets, aggregate shapes, priorities and deadlines, and then audits
+// the outcome taxonomy.
+//
+// Every response must be one of the two documented shapes — a well-formed
+// JSONL result whose trailer row count matches the rows received, or a
+// typed error envelope with a known code. Anything else (an unknown code,
+// a malformed body, an internal/internal_panic response, a transport
+// error) is a harness failure and a nonzero exit. Overload outcomes
+// (admission_queue_full, budget_unavailable, shed, deadline_exceeded) are
+// expected under pressure and merely counted.
+//
+// Examples:
+//
+//	aggload -url http://localhost:8080 -clients 64 -requests 20
+//	aggload -url http://localhost:8080 -clients 256 -requests 50 \
+//	  -tight-deadlines 0.2 -max-p99 2s
+//
+// Exit codes: 0 = every outcome typed and bounds held, 1 = taxonomy or
+// bound violation, 2 = usage error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// expectedCodes are the typed outcomes a loaded-but-healthy server may
+// legitimately produce. internal and internal_panic are deliberately
+// absent: under any load, those are bugs.
+var expectedCodes = map[string]bool{
+	"admission_queue_full": true,
+	"budget_unavailable":   true,
+	"shed":                 true,
+	"deadline_exceeded":    true,
+	"draining":             true,
+	"cancelled":            true,
+}
+
+type outcome struct {
+	kind    string // "ok", an error code, "transport", "malformed"
+	latency time.Duration
+	detail  string
+}
+
+func run() int {
+	var (
+		url      = flag.String("url", "", "base URL of the aggserve instance (required)")
+		clients  = flag.Int("clients", 64, "concurrent client goroutines")
+		requests = flag.Int("requests", 20, "requests per client")
+		seed     = flag.Int64("seed", 1, "profile seed")
+		tight    = flag.Float64("tight-deadlines", 0.1, "fraction of requests with a near-unmeetable deadline")
+		noCache  = flag.Float64("no-cache", 0.2, "fraction of requests bypassing the result cache")
+		maxP99   = flag.Duration("max-p99", 0, "fail if successful-request p99 exceeds this (0 = no bound)")
+		minOK    = flag.Int("min-ok", 1, "fail unless at least this many requests succeed")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "aggload: -url is required")
+		flag.Usage()
+		return 2
+	}
+	if *clients < 1 || *requests < 1 {
+		fmt.Fprintln(os.Stderr, "aggload: -clients and -requests must be positive")
+		return 2
+	}
+
+	datasets, err := discoverDatasets(*url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggload:", err)
+		return 1
+	}
+	fmt.Printf("aggload: %d clients x %d requests against %s (datasets %v)\n",
+		*clients, *requests, *url, datasets)
+
+	httpc := &http.Client{Timeout: 2 * time.Minute}
+	outcomes := make([]outcome, *clients**requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for i := 0; i < *requests; i++ {
+				req := buildRequest(rng, datasets, *tight, *noCache)
+				outcomes[c**requests+i] = doRequest(httpc, *url, req)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return audit(outcomes, elapsed, *maxP99, *minOK)
+}
+
+// discoverDatasets asks /healthz which datasets the server hosts.
+func discoverDatasets(url string) ([]string, error) {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status   string   `json:"status"`
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "serving" {
+		return nil, fmt.Errorf("server is %q, not serving", h.Status)
+	}
+	if len(h.Datasets) == 0 {
+		return nil, fmt.Errorf("server hosts no datasets")
+	}
+	sort.Strings(h.Datasets)
+	return h.Datasets, nil
+}
+
+// buildRequest draws one request from the mixed profile: random dataset,
+// 1-3 aggregates over the two derived columns, a priority mix of roughly
+// 20/60/20, and deadlines that are absent, generous, or (for the tight
+// fraction) nearly unmeetable.
+func buildRequest(rng *rand.Rand, datasets []string, tight, noCache float64) map[string]any {
+	req := map[string]any{
+		"dataset": datasets[rng.Intn(len(datasets))],
+	}
+	funcs := []string{"count", "sum", "min", "max", "avg"}
+	nagg := 1 + rng.Intn(3)
+	aggs := make([]map[string]any, nagg)
+	for i := range aggs {
+		f := funcs[rng.Intn(len(funcs))]
+		a := map[string]any{"func": f}
+		if f != "count" {
+			a["col"] = rng.Intn(2)
+		}
+		aggs[i] = a
+	}
+	req["aggregates"] = aggs
+	switch p := rng.Float64(); {
+	case p < 0.2:
+		req["priority"] = "low"
+	case p > 0.8:
+		req["priority"] = "high"
+	}
+	switch d := rng.Float64(); {
+	case d < tight:
+		req["deadline_ms"] = 1 + rng.Intn(3)
+	case d < tight+0.5:
+		req["deadline_ms"] = 10000 + rng.Intn(10000)
+	}
+	if rng.Float64() < noCache {
+		req["no_cache"] = true
+	}
+	return req
+}
+
+// doRequest executes one request and classifies the response.
+func doRequest(httpc *http.Client, url string, req map[string]any) outcome {
+	body, _ := json.Marshal(req)
+	start := time.Now()
+	resp, err := httpc.Post(url+"/v1/aggregate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{kind: "transport", detail: err.Error()}
+	}
+	defer resp.Body.Close()
+	lat := func() time.Duration { return time.Since(start) }
+
+	if resp.StatusCode == http.StatusOK {
+		if err := validateResult(resp); err != nil {
+			return outcome{kind: "malformed", detail: err.Error()}
+		}
+		return outcome{kind: "ok", latency: lat()}
+	}
+	var env struct {
+		Error struct {
+			Code         string `json:"code"`
+			Detail       string `json:"detail"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code == "" {
+		return outcome{kind: "malformed",
+			detail: fmt.Sprintf("status %d with undecodable error envelope", resp.StatusCode)}
+	}
+	return outcome{kind: env.Error.Code, latency: lat(), detail: env.Error.Detail}
+}
+
+// validateResult checks the JSONL success shape: a header line with a
+// group count, that many rows, and a done trailer agreeing on the count.
+func validateResult(resp *http.Response) error {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return fmt.Errorf("empty body")
+	}
+	var hdr struct {
+		Groups *int `json:"groups"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Groups == nil {
+		return fmt.Errorf("bad header %q", sc.Text())
+	}
+	rows, done := 0, false
+	for sc.Scan() {
+		if done {
+			return fmt.Errorf("data after the done trailer")
+		}
+		var line struct {
+			G    *uint64 `json:"g"`
+			Done bool    `json:"done"`
+			Rows int     `json:"rows"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("bad line %q", sc.Text())
+		}
+		if line.Done {
+			done = true
+			if line.Rows != rows {
+				return fmt.Errorf("trailer says %d rows, saw %d", line.Rows, rows)
+			}
+			continue
+		}
+		if line.G == nil {
+			return fmt.Errorf("row without group key: %q", sc.Text())
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("truncated body: no done trailer after %d rows", rows)
+	}
+	if rows != *hdr.Groups {
+		return fmt.Errorf("header says %d groups, saw %d rows", *hdr.Groups, rows)
+	}
+	return nil
+}
+
+// audit prints the outcome census and decides the exit code.
+func audit(outcomes []outcome, elapsed time.Duration, maxP99 time.Duration, minOK int) int {
+	counts := map[string]int{}
+	var okLats []time.Duration
+	var failures []string
+	for _, o := range outcomes {
+		counts[o.kind]++
+		switch {
+		case o.kind == "ok":
+			okLats = append(okLats, o.latency)
+		case expectedCodes[o.kind]:
+			// typed overload outcome: fine
+		default:
+			if len(failures) < 5 {
+				failures = append(failures, fmt.Sprintf("%s: %s", o.kind, o.detail))
+			}
+		}
+	}
+
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("aggload: %d requests in %v\n", len(outcomes), elapsed.Round(time.Millisecond))
+	for _, k := range kinds {
+		fmt.Printf("  %-22s %d\n", k, counts[k])
+	}
+
+	code := 0
+	if p99 := quantile(okLats, 0.99); len(okLats) > 0 {
+		fmt.Printf("  p50 %v  p99 %v\n",
+			quantile(okLats, 0.50).Round(time.Millisecond), p99.Round(time.Millisecond))
+		if maxP99 > 0 && p99 > maxP99 {
+			fmt.Printf("aggload: FAIL p99 %v exceeds bound %v\n", p99, maxP99)
+			code = 1
+		}
+	}
+	if counts["ok"] < minOK {
+		fmt.Printf("aggload: FAIL only %d successes, need %d\n", counts["ok"], minOK)
+		code = 1
+	}
+	if len(failures) > 0 {
+		fmt.Printf("aggload: FAIL untyped or malformed outcomes:\n  %s\n",
+			strings.Join(failures, "\n  "))
+		code = 1
+	}
+	if code == 0 {
+		fmt.Println("aggload: PASS — every outcome typed, bounds held")
+	}
+	return code
+}
+
+func quantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	i := int(q * float64(len(lats)-1))
+	return lats[i]
+}

@@ -9,6 +9,17 @@
 //	aggrun -in keys.bin -format binary -strategy hashing-only -stats
 //	agggen -dist zipf -n 1000000 -format binary -o /tmp/z.bin && \
 //	  aggrun -in /tmp/z.bin -format binary
+//	aggrun -n 4194304 -k 4194304 -budget 16777216 -spill -spill-budget 1073741824
+//
+// Exit codes are typed so scripts and load harnesses can assert on the
+// failure class instead of parsing stderr:
+//
+//	0  success
+//	1  generic failure (bad input file, internal error)
+//	2  usage error (unknown flag or flag value)
+//	3  memory budget exceeded (-budget too small, and -spill not given)
+//	4  spill budget exceeded (-spill-budget too small for the degraded run)
+//	5  deadline exceeded (-timeout elapsed)
 package main
 
 import (
@@ -25,8 +36,38 @@ import (
 
 	"cacheagg/internal/core"
 	"cacheagg/internal/datagen"
+	"cacheagg/internal/external"
+	"cacheagg/internal/memgov"
 	"cacheagg/internal/trace"
 )
+
+// Typed exit codes. Zero and one are the conventional success/failure
+// pair, two is what package flag uses for parse errors, and the rest map
+// the operator's typed failures one-to-one.
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitUsage       = 2
+	exitMemBudget   = 3
+	exitSpillBudget = 4
+	exitDeadline    = 5
+)
+
+// exitCode classifies an error from run() into the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, external.ErrSpillBudget):
+		return exitSpillBudget
+	case errors.Is(err, core.ErrMemoryBudget):
+		return exitMemBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return exitDeadline
+	default:
+		return exitFailure
+	}
+}
 
 func parseStrategy(name string, passes int) (core.Strategy, error) {
 	switch name {
@@ -45,8 +86,8 @@ func parseStrategy(name string, passes int) (core.Strategy, error) {
 
 func main() {
 	// All failures — bad flag values, unreadable inputs, timeouts, even a
-	// bug-induced panic inside the operator — exit with status 1 and a
-	// one-line error, never a stack trace.
+	// bug-induced panic inside the operator — exit with a one-line error
+	// and the documented code for their class, never a stack trace.
 	defer func() {
 		if r := recover(); r != nil {
 			fatal(fmt.Errorf("internal error: %v", r))
@@ -73,8 +114,17 @@ func run() error {
 		verify   = flag.Bool("verify", false, "check the result against a reference aggregation")
 		timeout  = flag.Duration("timeout", 0, "abort the aggregation after this long (0 = no limit)")
 		traceOut = flag.String("trace", "", "record an execution trace and write it to this file as JSONL")
+		budget   = flag.Int64("budget", 0, "memory budget in bytes enforced by a governor (0 = unlimited)")
+		spill    = flag.Bool("spill", false, "degrade to the out-of-core path when -budget is exceeded")
+		spillCap = flag.Int64("spill-budget", 0, "cap on spill bytes for the degraded run (0 = no cap)")
 	)
 	flag.Parse()
+	if *spill && *budget <= 0 {
+		return usageError("-spill requires a positive -budget (nothing to degrade from)")
+	}
+	if *spillCap != 0 && !*spill {
+		return usageError("-spill-budget only applies with -spill")
+	}
 
 	var keys []uint64
 	if *in != "" {
@@ -101,6 +151,11 @@ func run() error {
 		CacheBytes:   *cache,
 		CollectStats: true,
 	}
+	var gov *memgov.Governor
+	if *budget > 0 {
+		gov = memgov.New(*budget)
+		cfg.Governor = gov
+	}
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder(1 << 16)
@@ -114,9 +169,15 @@ func run() error {
 	}
 	start := time.Now()
 	res, err := core.DistinctContext(ctx, cfg, keys)
+	if err != nil && *spill && errors.Is(err, core.ErrMemoryBudget) {
+		// The in-memory run hit the -budget wall; rerun out-of-core under
+		// the same governor (its reservations were released with the failed
+		// run, and the shared high-water mark then spans the whole query).
+		return runExternal(ctx, cfg, gov, *budget, *spillCap, keys, start, *topN, *verify)
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			return fmt.Errorf("aggregation exceeded -timeout %v", *timeout)
+			return fmt.Errorf("aggregation exceeded -timeout %v: %w", *timeout, err)
 		}
 		return err
 	}
@@ -164,7 +225,7 @@ func run() error {
 	}
 
 	if *verify {
-		if err := verifyDistinct(keys, res); err != nil {
+		if err := verifyDistinct(keys, res.Keys); err != nil {
 			return err
 		}
 		fmt.Println("verify     OK (matches reference aggregation)")
@@ -172,17 +233,70 @@ func run() error {
 	return nil
 }
 
-// verifyDistinct checks a Distinct result against a simple map reference.
-func verifyDistinct(keys []uint64, res *core.Result) error {
-	ref := make(map[uint64]struct{}, res.Groups())
+// runExternal is the degraded continuation of run(): the in-memory attempt
+// exceeded -budget and -spill was given, so the same distinct query reruns
+// through the out-of-core operator, spilling to disk under the same
+// governor. A too-small -spill-budget surfaces as ErrSpillBudget (exit 4).
+func runExternal(ctx context.Context, cfg core.Config, gov *memgov.Governor,
+	budget, spillCap int64, keys []uint64, start time.Time, topN int, verify bool) error {
+	ecfg := external.Config{
+		MemoryBudgetBytes: budget,
+		Governor:          gov,
+		MaxSpillBytes:     spillCap,
+		Core:              cfg,
+	}
+	// The governor hook belongs to the external run now; the core tracer
+	// (if any) rides along inside cfg.
+	ecfg.Core.Governor = nil
+	res, err := external.AggregateContext(ctx, ecfg, &core.Input{Keys: keys})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("degraded aggregation exceeded -timeout: %w", err)
+		}
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("mode       external (degraded: -budget %d exceeded in memory)\n", budget)
+	fmt.Printf("rows       %d\n", len(keys))
+	fmt.Printf("groups     %d\n", res.Groups())
+	fmt.Printf("time       %v (%.1f ns/row)\n", elapsed.Round(time.Microsecond),
+		float64(elapsed.Nanoseconds())/float64(max(len(keys), 1)))
+	fmt.Printf("spilled    %d rows, %d bytes (merge depth %d, %d resident, %d evicted)\n",
+		res.Stats.SpilledRows, res.Stats.SpilledBytes, res.Stats.MergeLevels,
+		res.Stats.ResidentPartitions, res.Stats.EvictedPartitions)
+	fmt.Printf("highwater  %d bytes\n", gov.HighWater())
+	for i := 0; i < topN && i < res.Groups(); i++ {
+		fmt.Printf("row %d: key=%d\n", i, res.Keys[i])
+	}
+	if verify {
+		if err := verifyDistinct(keys, res.Keys); err != nil {
+			return err
+		}
+		fmt.Println("verify     OK (matches reference aggregation)")
+	}
+	return nil
+}
+
+// usageError mimics package flag's handling of bad flag values: message to
+// stderr, usage, exit 2.
+func usageError(msg string) error {
+	fmt.Fprintln(os.Stderr, "aggrun:", msg)
+	flag.Usage()
+	os.Exit(exitUsage)
+	return nil
+}
+
+// verifyDistinct checks a distinct result's keys against a map reference.
+func verifyDistinct(keys, resKeys []uint64) error {
+	ref := make(map[uint64]struct{}, len(resKeys))
 	for _, k := range keys {
 		ref[k] = struct{}{}
 	}
-	if res.Groups() != len(ref) {
-		return fmt.Errorf("verify: %d groups, reference has %d", res.Groups(), len(ref))
+	if len(resKeys) != len(ref) {
+		return fmt.Errorf("verify: %d groups, reference has %d", len(resKeys), len(ref))
 	}
-	seen := make(map[uint64]struct{}, res.Groups())
-	for _, k := range res.Keys {
+	seen := make(map[uint64]struct{}, len(resKeys))
+	for _, k := range resKeys {
 		if _, dup := seen[k]; dup {
 			return fmt.Errorf("verify: duplicate group %d", k)
 		}
@@ -253,5 +367,5 @@ func writeTrace(path string, rec *trace.Recorder) error {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "aggrun:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -11,6 +13,7 @@ import (
 	"testing"
 
 	"cacheagg/internal/core"
+	"cacheagg/internal/external"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -104,21 +107,38 @@ func TestReadKeysErrors(t *testing.T) {
 
 func TestVerifyDistinct(t *testing.T) {
 	keys := []uint64{3, 3, 9, 1}
-	res := &core.Result{Keys: []uint64{3, 9, 1}}
-	if err := verifyDistinct(keys, res); err != nil {
+	if err := verifyDistinct(keys, []uint64{3, 9, 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Wrong count.
-	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 9}}); err == nil {
+	if err := verifyDistinct(keys, []uint64{3, 9}); err == nil {
 		t.Fatal("missing group should fail")
 	}
 	// Duplicate.
-	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 3, 9}}); err == nil {
+	if err := verifyDistinct(keys, []uint64{3, 3, 9}); err == nil {
 		t.Fatal("duplicate group should fail")
 	}
 	// Phantom.
-	if err := verifyDistinct(keys, &core.Result{Keys: []uint64{3, 9, 5}}); err == nil {
+	if err := verifyDistinct(keys, []uint64{3, 9, 5}); err == nil {
 		t.Fatal("phantom group should fail")
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, exitOK},
+		{errors.New("anything"), exitFailure},
+		{fmt.Errorf("wrap: %w", core.ErrMemoryBudget), exitMemBudget},
+		{fmt.Errorf("wrap: %w", external.ErrSpillBudget), exitSpillBudget},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), exitDeadline},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Fatalf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }
 
@@ -153,14 +173,64 @@ func runSelf(t *testing.T, args ...string) (exitCode int, stderr string) {
 
 func TestCLITimeoutExitsCleanly(t *testing.T) {
 	code, stderr := runSelf(t, "-n", "100000", "-timeout", "1ns")
-	if code != 1 {
-		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	if code != exitDeadline {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitDeadline, stderr)
 	}
 	if !strings.Contains(stderr, "aggrun:") || !strings.Contains(stderr, "-timeout") {
 		t.Fatalf("want a one-line timeout error, got: %q", stderr)
 	}
 	if strings.Contains(stderr, "goroutine") {
 		t.Fatalf("stderr contains a stack trace: %q", stderr)
+	}
+}
+
+func TestCLIMemoryBudgetExitCode(t *testing.T) {
+	// A 1 MiB budget cannot hold even one worker's machinery for an
+	// all-distinct input: typed failure, exit 3.
+	code, stderr := runSelf(t, "-n", "1000000", "-k", "18446744073709551615",
+		"-workers", "2", "-budget", "1048576")
+	if code != exitMemBudget {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitMemBudget, stderr)
+	}
+	if !strings.Contains(stderr, "memory budget") {
+		t.Fatalf("want a memory-budget error, got %q", stderr)
+	}
+}
+
+func TestCLISpillDegradesAndSucceeds(t *testing.T) {
+	// Same over-budget query with -spill: degrade out-of-core and succeed,
+	// with the verified result.
+	code, stderr := runSelf(t, "-n", "1000000", "-k", "18446744073709551615",
+		"-cache", "32768", "-workers", "2", "-budget", "4194304", "-spill", "-verify")
+	if code != exitOK {
+		t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr)
+	}
+}
+
+func TestCLISpillBudgetExitCode(t *testing.T) {
+	// Degraded run with a 1 KiB spill cap: the spill phase must fail fast
+	// with the typed spill-budget error, exit 4.
+	code, stderr := runSelf(t, "-n", "1000000", "-k", "18446744073709551615",
+		"-cache", "32768", "-workers", "2", "-budget", "4194304", "-spill", "-spill-budget", "1024")
+	if code != exitSpillBudget {
+		t.Fatalf("exit code = %d, want %d (stderr: %s)", code, exitSpillBudget, stderr)
+	}
+	if !strings.Contains(stderr, "spill budget") {
+		t.Fatalf("want a spill-budget error, got %q", stderr)
+	}
+}
+
+func TestCLIUsageExitCodes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-spill"},                         // -spill without -budget
+		{"-spill-budget", "1024"},          // -spill-budget without -spill
+		{"-not-a-flag"},                    // unknown flag (package flag)
+		{"-budget", "zero point five MiB"}, // unparsable value (package flag)
+	} {
+		code, stderr := runSelf(t, args...)
+		if code != exitUsage {
+			t.Fatalf("%v: exit code = %d, want %d (stderr: %s)", args, code, exitUsage, stderr)
+		}
 	}
 }
 

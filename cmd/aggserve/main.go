@@ -1,0 +1,142 @@
+// Command aggserve hosts the multi-tenant aggregation service: a long-lived
+// HTTP server answering JSONL aggregation queries over a set of shared
+// datasets, with admission control against one global memory budget,
+// per-request deadlines, a result cache, and graceful drain on SIGTERM.
+//
+// Examples:
+//
+//	aggserve -datasets events=zipf:1048576:65536
+//	aggserve -addr :9090 -budget 268435456 \
+//	  -datasets 'events=zipf:4194304:65536:7,clicks=uniform:1048576:4096'
+//
+// Endpoints: POST /v1/aggregate (JSONL), GET /healthz, GET /metrics.
+// See docs/SERVING.md for the request format, the admission state machine,
+// and the error taxonomy.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cacheagg"
+	"cacheagg/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		specs = flag.String("datasets", "demo=zipf:1048576:65536",
+			"comma-separated dataset specs, each name=dist:rows:keydomain[:seed]")
+		budget   = flag.Int64("budget", 256<<20, "global memory budget in bytes (0 = unlimited)")
+		queue    = flag.Int("queue", 64, "admission queue depth")
+		maxWait  = flag.Duration("max-wait", 5*time.Second, "longest a query may wait for budget")
+		workers  = flag.Int("query-workers", 2, "worker threads per query (0 = GOMAXPROCS)")
+		qcache   = flag.Int("query-cache", 256<<10, "per-worker cache bytes per query")
+		rcache   = flag.Int64("result-cache", 16<<20, "result cache bytes (0 disables)")
+		deadline = flag.Duration("default-deadline", 10*time.Second,
+			"deadline for queries that set none (0 = unlimited)")
+		maxDl     = flag.Duration("max-deadline", 60*time.Second, "cap on client-requested deadlines")
+		drainWait = flag.Duration("drain-timeout", 30*time.Second,
+			"how long shutdown waits for in-flight queries")
+	)
+	flag.Parse()
+
+	reg, err := parseDatasets(*specs)
+	if err != nil {
+		return err
+	}
+	tracer := cacheagg.NewTracer(1 << 14)
+	srv, err := serve.NewServer(serve.Config{
+		Registry: reg,
+		Admission: serve.AdmitConfig{
+			BudgetBytes: *budget,
+			MaxQueue:    *queue,
+			MaxWait:     *maxWait,
+		},
+		QueryWorkers:     *workers,
+		QueryCacheBytes:  *qcache,
+		ResultCacheBytes: *rcache,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDl,
+		Tracer:           tracer,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT → drain: stop admitting, let in-flight queries finish
+	// (bounded by -drain-timeout), then close the listener.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("aggserve: listening on %s (%d datasets, budget %d bytes)\n",
+			*addr, len(reg.Names()), *budget)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("aggserve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-errc
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Println("aggserve: drained, bye")
+	return nil
+}
+
+// parseDatasets builds the registry from a comma-separated spec list.
+func parseDatasets(specs string) (*serve.Registry, error) {
+	var ds []*serve.Dataset
+	for _, s := range strings.Split(specs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		d, err := serve.ParseDatasetSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("-datasets: no datasets given")
+	}
+	return serve.NewRegistry(ds...)
+}

@@ -26,8 +26,11 @@
 package memgov
 
 import (
+	"container/list"
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -53,6 +56,20 @@ type Governor struct {
 	hook      func(highWater int64)
 	hookGrain int64
 	hookNext  atomic.Int64
+
+	// Blocking-reservation waiters (see TryReserveOrWait). nWaiters
+	// mirrors the queue length so the release hot path can skip the lock
+	// with one atomic load when nobody is waiting.
+	waitMu   sync.Mutex
+	waiters  list.List // of *waiter, FIFO
+	nWaiters atomic.Int32
+}
+
+// waiter is one goroutine parked in TryReserveOrWait. kick has capacity 1:
+// a release signals it to re-attempt its reservation.
+type waiter struct {
+	need int64
+	kick chan struct{}
 }
 
 // New creates a governor enforcing the given budget in bytes. budget <= 0
@@ -98,6 +115,9 @@ func (g *Governor) OverBudget() bool {
 func (g *Governor) Reserve(n int64) {
 	now := g.reserved.Add(n)
 	g.bumpHigh(now)
+	if n < 0 {
+		g.wake()
+	}
 }
 
 // TryReserve accounts n bytes only if the total stays within budget; it
@@ -116,8 +136,95 @@ func (g *Governor) TryReserve(n int64) bool {
 	}
 }
 
-// Release returns n bytes to the budget.
-func (g *Governor) Release(n int64) { g.reserved.Add(-n) }
+// Release returns n bytes to the budget and wakes the longest-waiting
+// TryReserveOrWait caller, if any, to re-attempt its reservation.
+func (g *Governor) Release(n int64) {
+	g.reserved.Add(-n)
+	g.wake()
+}
+
+// TryReserveOrWait accounts n bytes, blocking until the budget has room or
+// ctx is cancelled. Blocked callers form a FIFO queue: releases wake the
+// longest waiter first, and a reservation that cannot be satisfied does
+// not let later, smaller requests overtake it (no starvation of large
+// requests). Cancellation removes the caller from the queue immediately —
+// a departed waiter holds no budget and blocks nobody — and returns
+// ctx.Err(). On an unlimited governor it never blocks. n must be
+// non-negative.
+func (g *Governor) TryReserveOrWait(ctx context.Context, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Fast path: nobody queued ahead of us and the budget has room.
+	if g.nWaiters.Load() == 0 && g.TryReserve(n) {
+		return nil
+	}
+	w := &waiter{need: n, kick: make(chan struct{}, 1)}
+	g.waitMu.Lock()
+	// Re-check under the lock: a release may have drained the queue
+	// between the fast path and here.
+	if g.waiters.Len() == 0 && g.TryReserve(n) {
+		g.waitMu.Unlock()
+		return nil
+	}
+	elem := g.waiters.PushBack(w)
+	g.nWaiters.Store(int32(g.waiters.Len()))
+	g.waitMu.Unlock()
+
+	for {
+		select {
+		case <-ctx.Done():
+			g.waitMu.Lock()
+			g.waiters.Remove(elem)
+			g.nWaiters.Store(int32(g.waiters.Len()))
+			g.waitMu.Unlock()
+			// Our departure may promote a waiter that now fits (we might
+			// have been head-of-line with a too-large request, or hold an
+			// unconsumed kick); wake the new head unconditionally so no
+			// wakeup is lost.
+			g.wake()
+			return ctx.Err()
+		case <-w.kick:
+			g.waitMu.Lock()
+			if g.waiters.Front() != elem {
+				// Not our turn yet (a later-queued waiter was kicked by a
+				// stale signal); wait for the next release.
+				g.waitMu.Unlock()
+				continue
+			}
+			if !g.TryReserve(n) {
+				g.waitMu.Unlock()
+				continue
+			}
+			g.waiters.Remove(elem)
+			g.nWaiters.Store(int32(g.waiters.Len()))
+			g.waitMu.Unlock()
+			// Budget may still have room for the next waiter in line.
+			g.wake()
+			return nil
+		}
+	}
+}
+
+// Waiting returns the number of goroutines parked in TryReserveOrWait.
+func (g *Governor) Waiting() int { return int(g.nWaiters.Load()) }
+
+// wake signals the head waiter to re-attempt its reservation. One atomic
+// load on the no-waiter path keeps releases cheap.
+func (g *Governor) wake() {
+	if g.nWaiters.Load() == 0 {
+		return
+	}
+	g.waitMu.Lock()
+	if e := g.waiters.Front(); e != nil {
+		w := e.Value.(*waiter)
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+	g.waitMu.Unlock()
+}
 
 // SetHighWaterHook installs f to be called (at most once per grain bytes
 // of high-water growth) whenever the reservation high-water mark rises

@@ -1,9 +1,12 @@
 package memgov
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestReserveReleaseHighWater(t *testing.T) {
@@ -144,6 +147,152 @@ func TestHighWaterHookSamplesPerGrain(t *testing.T) {
 		if samples[i] != want[i] {
 			t.Fatalf("samples = %v, want %v", samples, want)
 		}
+	}
+}
+
+func TestTryReserveOrWaitFastPath(t *testing.T) {
+	g := New(100)
+	if err := g.TryReserveOrWait(context.Background(), 60); err != nil {
+		t.Fatalf("60/100 must be granted without blocking: %v", err)
+	}
+	if g.Reserved() != 60 {
+		t.Fatalf("Reserved = %d, want 60", g.Reserved())
+	}
+	// Unlimited governors never block.
+	u := New(0)
+	if err := u.TryReserveOrWait(context.Background(), 1<<40); err != nil {
+		t.Fatalf("unlimited governor blocked: %v", err)
+	}
+}
+
+func TestTryReserveOrWaitBlocksUntilRelease(t *testing.T) {
+	g := New(100)
+	g.Reserve(80)
+	done := make(chan error, 1)
+	go func() { done <- g.TryReserveOrWait(context.Background(), 50) }()
+	select {
+	case err := <-done:
+		t.Fatalf("50 over an 80/100 ledger must block, returned %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release(40) // 40/100 reserved → 50 fits
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("TryReserveOrWait after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not woken by Release")
+	}
+	if g.Reserved() != 90 {
+		t.Fatalf("Reserved = %d, want 90", g.Reserved())
+	}
+}
+
+func TestTryReserveOrWaitCancellation(t *testing.T) {
+	g := New(100)
+	g.Reserve(100)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.TryReserveOrWait(ctx, 10) }()
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("cancelled waiter still queued: Waiting = %d", g.Waiting())
+	}
+	if g.Reserved() != 100 {
+		t.Fatalf("cancelled waiter changed the ledger: %d", g.Reserved())
+	}
+	// An already-cancelled context returns before touching the queue.
+	if err := g.TryReserveOrWait(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: %v", err)
+	}
+}
+
+func TestTryReserveOrWaitFIFO(t *testing.T) {
+	g := New(100)
+	g.Reserve(100)
+	order := make(chan int, 2)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		if err := g.TryReserveOrWait(context.Background(), 90); err != nil {
+			t.Error(err)
+		}
+		order <- 1
+		g.Release(90)
+	}()
+	<-ready
+	for g.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		if err := g.TryReserveOrWait(context.Background(), 10); err != nil {
+			t.Error(err)
+		}
+		order <- 2
+	}()
+	for g.Waiting() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Freeing 100 could satisfy the later, smaller request first; FIFO
+	// demands the 90-byte head waiter wins before the 10-byte one runs.
+	g.Release(100)
+	if first := <-order; first != 1 {
+		t.Fatalf("waiter %d granted first, want the head waiter (1)", first)
+	}
+	if second := <-order; second != 2 {
+		t.Fatalf("second grant went to %d, want 2", second)
+	}
+}
+
+func TestTryReserveOrWaitChurn(t *testing.T) {
+	g := New(1 << 10)
+	var wg sync.WaitGroup
+	var granted, cancelled atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := int64(64 + (w*37+i*13)%512)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if (w+i)%3 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*time.Millisecond)
+				}
+				err := g.TryReserveOrWait(ctx, n)
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					cancelled.Add(1)
+					continue
+				}
+				granted.Add(1)
+				g.Release(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Reserved() != 0 {
+		t.Fatalf("ledger not drained after churn: %d", g.Reserved())
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("waiters leaked after churn: %d", g.Waiting())
+	}
+	if granted.Load() == 0 {
+		t.Fatal("no reservation ever granted under churn")
 	}
 }
 

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cacheagg/internal/testutil"
+)
+
+func TestAdmitFastPathAndRelease(t *testing.T) {
+	c := NewController(AdmitConfig{BudgetBytes: 100 << 20, MinGrantBytes: 1 << 20}, nil)
+	g, err := c.Admit(context.Background(), PriorityNormal, 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Mode != GrantFull || g.Queued {
+		t.Fatalf("grant = %+v, want unqueued full", g)
+	}
+	if got := c.Ledger().Reserved(); got != 10<<20 {
+		t.Fatalf("ledger = %d, want %d", got, 10<<20)
+	}
+	g.Release()
+	g.Release() // idempotent
+	if got := c.Ledger().Reserved(); got != 0 {
+		t.Fatalf("ledger after release = %d, want 0", got)
+	}
+}
+
+func TestAdmitClampsOversizedEstimate(t *testing.T) {
+	c := NewController(AdmitConfig{BudgetBytes: 8 << 20, MinGrantBytes: 1 << 20}, nil)
+	g, err := c.Admit(context.Background(), PriorityNormal, 1<<40)
+	if err != nil {
+		t.Fatalf("a query bigger than the machine must still be admitted: %v", err)
+	}
+	defer g.Release()
+	if g.Bytes != 8<<20 {
+		t.Fatalf("grant = %d, want clamped to the 8 MiB budget", g.Bytes)
+	}
+}
+
+func TestDegradationLadder(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	m := &Metrics{}
+	c := NewController(AdmitConfig{
+		BudgetBytes:   10 << 20,
+		MinGrantBytes: 2 << 20,
+		ShrinkAfter:   20 * time.Millisecond,
+		ExternalAfter: 20 * time.Millisecond,
+		MaxWait:       time.Second,
+	}, m)
+	// First query takes 8 of 10 MiB and sits on it.
+	g1, err := c.Admit(context.Background(), PriorityNormal, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second wants 8 MiB too: full (8) never fits, shrunken (4) never
+	// fits, the 2 MiB external floor does → forced external.
+	g2, err := c.Admit(context.Background(), PriorityNormal, 8<<20)
+	if err != nil {
+		t.Fatalf("ladder must admit at the external floor: %v", err)
+	}
+	if g2.Mode != GrantExternal || g2.Bytes != 2<<20 {
+		t.Fatalf("grant = mode %v bytes %d, want external 2 MiB", g2.Mode, g2.Bytes)
+	}
+	if m.DegradedExternal.Load() != 1 {
+		t.Fatalf("DegradedExternal = %d, want 1", m.DegradedExternal.Load())
+	}
+	// Third wants 7 MiB with 0 free: even the floor can't fit → typed
+	// budget rejection with a retry hint.
+	g3, err := c.Admit(contextWithTimeout(t, 300*time.Millisecond), PriorityNormal, 7<<20)
+	if err == nil {
+		g3.Release()
+		t.Fatal("admission with a full ledger must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller deadline to end the wait", err)
+	}
+	g1.Release()
+	g2.Release()
+	if got := c.Ledger().Reserved(); got != 0 {
+		t.Fatalf("ledger = %d after all releases", got)
+	}
+}
+
+func TestBudgetUnavailableTyped(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	c := NewController(AdmitConfig{
+		BudgetBytes:   4 << 20,
+		MinGrantBytes: 2 << 20,
+		ShrinkAfter:   5 * time.Millisecond,
+		ExternalAfter: 5 * time.Millisecond,
+		MaxWait:       30 * time.Millisecond,
+	}, nil)
+	g1, err := c.Admit(context.Background(), PriorityNormal, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Release()
+	_, err = c.Admit(context.Background(), PriorityNormal, 4<<20)
+	if !errors.Is(err, ErrBudgetUnavailable) {
+		t.Fatalf("err = %v, want ErrBudgetUnavailable", err)
+	}
+	var serr *Error
+	if !errors.As(err, &serr) || serr.RetryAfter <= 0 {
+		t.Fatalf("budget rejection carries no Retry-After hint: %v", err)
+	}
+}
+
+func TestQueueFullAndShed(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	m := &Metrics{}
+	c := NewController(AdmitConfig{
+		BudgetBytes:   4 << 20,
+		MinGrantBytes: 4 << 20,
+		MaxQueue:      2,
+		ShrinkAfter:   10 * time.Millisecond,
+		ExternalAfter: 10 * time.Millisecond,
+		MaxWait:       5 * time.Second,
+	}, m)
+	// Saturate the budget so every following Admit parks.
+	hold, err := c.Admit(context.Background(), PriorityNormal, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One query occupies the reserving state, two more fill the queue.
+	results := make(chan error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := c.Admit(context.Background(), PriorityLow, 4<<20)
+			if err == nil {
+				g.Release()
+			}
+			results <- err
+		}()
+		// Deterministic arrival order: reserving, queued, queued.
+		waitFor(t, func() bool { return c.QueueLen()+c.Ledger().Waiting() > i })
+	}
+	waitFor(t, func() bool { return c.QueueLen() == 2 })
+
+	// A low-priority arrival outranks nothing → typed queue-full.
+	_, err = c.Admit(context.Background(), PriorityLow, 4<<20)
+	if !errors.Is(err, ErrAdmissionQueueFull) {
+		t.Fatalf("err = %v, want ErrAdmissionQueueFull", err)
+	}
+	if m.RejectedQueue.Load() != 1 {
+		t.Fatalf("RejectedQueue = %d, want 1", m.RejectedQueue.Load())
+	}
+
+	// A high-priority arrival sheds the youngest queued low-priority
+	// waiter and takes its place.
+	highDone := make(chan error, 1)
+	go func() {
+		g, err := c.Admit(context.Background(), PriorityHigh, 4<<20)
+		if err == nil {
+			g.Release()
+		}
+		highDone <- err
+	}()
+	shedErr := <-results
+	if !errors.Is(shedErr, ErrShed) {
+		t.Fatalf("victim got %v, want ErrShed", shedErr)
+	}
+	if m.Shed.Load() != 1 {
+		t.Fatalf("Shed = %d, want 1", m.Shed.Load())
+	}
+
+	// Releasing the hold lets the remaining queue drain.
+	hold.Release()
+	if err := <-highDone; err != nil {
+		t.Fatalf("high-priority waiter: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil && !errors.Is(err, ErrShed) {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	}
+	wg.Wait()
+	if got := c.Ledger().Reserved(); got != 0 {
+		t.Fatalf("ledger = %d after drain", got)
+	}
+}
+
+func TestQueuedWaiterHonorsCancellation(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	c := NewController(AdmitConfig{
+		BudgetBytes:   4 << 20,
+		MinGrantBytes: 4 << 20,
+		MaxWait:       10 * time.Second,
+	}, nil)
+	hold, err := c.Admit(context.Background(), PriorityNormal, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, PriorityNormal, 4<<20)
+		done <- err
+	}()
+	// Wait until it is parked (either queued or in the reserving state).
+	waitFor(t, func() bool { return c.QueueLen() > 0 || c.Ledger().Waiting() > 0 })
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter stuck — its queue slot did not free")
+	}
+	waitFor(t, func() bool { return c.QueueLen() == 0 && c.Ledger().Waiting() == 0 })
+}
+
+func TestDrainingRejectsAdmission(t *testing.T) {
+	c := NewController(AdmitConfig{BudgetBytes: 1 << 20}, nil)
+	c.SetDraining()
+	_, err := c.Admit(context.Background(), PriorityHigh, 1<<20)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+}
+
+func TestUnlimitedBudgetAdmitsInstantly(t *testing.T) {
+	c := NewController(AdmitConfig{}, nil)
+	for i := 0; i < 100; i++ {
+		g, err := c.Admit(context.Background(), PriorityLow, 1<<40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Release()
+		if g.Mode != GrantFull {
+			t.Fatalf("unlimited budget degraded to %v", g.Mode)
+		}
+	}
+}
+
+func TestEstimateCostMonotone(t *testing.T) {
+	small := EstimateCost(1000, 1, 1, 64<<10)
+	big := EstimateCost(1<<20, 1, 1, 64<<10)
+	if small <= 0 || big <= small {
+		t.Fatalf("EstimateCost not monotone in rows: %d vs %d", small, big)
+	}
+	wide := EstimateCost(1000, 8, 1, 64<<10)
+	if wide <= small {
+		t.Fatalf("EstimateCost not monotone in width: %d vs %d", wide, small)
+	}
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+// Shared datasets: the multi-tenant story assumes many clients querying
+// the same hosted columns (the "logs of one service" shape), so datasets
+// are registered once at startup and queries reference them by name.
+// Generation is deterministic — a dataset spec names a datagen
+// distribution, so every aggserve instance booted with the same flags
+// hosts bit-identical data.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cacheagg/internal/datagen"
+)
+
+// Dataset is one hosted input: a grouping column plus derived aggregate
+// input columns. Immutable after registration; safe for concurrent reads.
+type Dataset struct {
+	// Name is the registry key.
+	Name string
+	// Keys is the grouping column.
+	Keys []uint64
+	// Cols are the aggregate input columns.
+	Cols [][]int64
+	// Spec describes how the data was generated (diagnostics only).
+	Spec string
+}
+
+// Rows returns the dataset length.
+func (d *Dataset) Rows() int { return len(d.Keys) }
+
+// NewDataset builds a hosted dataset from explicit columns.
+func NewDataset(name string, keys []uint64, cols [][]int64) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: dataset needs a name")
+	}
+	for i, c := range cols {
+		if len(c) != len(keys) {
+			return nil, fmt.Errorf("serve: dataset %s column %d has %d rows, keys have %d",
+				name, i, len(c), len(keys))
+		}
+	}
+	return &Dataset{Name: name, Keys: keys, Cols: cols, Spec: "explicit"}, nil
+}
+
+// ParseDatasetSpec builds a dataset from a "name=dist:n:k[:seed]" spec,
+// e.g. "events=zipf:1000000:65536" — the aggserve -dataset flag format.
+// Two deterministic value columns are derived from the keys so every
+// aggregate function has something to chew on: col 0 is key-correlated
+// (key mod 1000), col 1 is row-position noise.
+func ParseDatasetSpec(spec string) (*Dataset, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("serve: dataset spec %q is not name=dist:n:k[:seed]", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return nil, fmt.Errorf("serve: dataset spec %q is not name=dist:n:k[:seed]", spec)
+	}
+	dist, err := datagen.ParseDist(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("serve: dataset %s: %w", name, err)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("serve: dataset %s: bad row count %q", name, parts[1])
+	}
+	k, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil || k == 0 {
+		return nil, fmt.Errorf("serve: dataset %s: bad key domain %q", name, parts[2])
+	}
+	seed := uint64(1)
+	if len(parts) == 4 {
+		seed, err = strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dataset %s: bad seed %q", name, parts[3])
+		}
+	}
+	keys := datagen.Generate(datagen.Spec{Dist: dist, N: n, K: k, Seed: seed})
+	col0 := make([]int64, n)
+	col1 := make([]int64, n)
+	for i, key := range keys {
+		col0[i] = int64(key % 1000)
+		col1[i] = int64((uint64(i)*2654435761 + seed) % 4096)
+	}
+	return &Dataset{
+		Name: name,
+		Keys: keys,
+		Cols: [][]int64{col0, col1},
+		Spec: rest,
+	}, nil
+}
+
+// Registry is the immutable set of hosted datasets, built before the
+// server starts serving.
+type Registry struct {
+	byName map[string]*Dataset
+}
+
+// NewRegistry indexes the given datasets, rejecting duplicate names.
+func NewRegistry(datasets ...*Dataset) (*Registry, error) {
+	r := &Registry{byName: make(map[string]*Dataset, len(datasets))}
+	for _, d := range datasets {
+		if _, dup := r.byName[d.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate dataset %q", d.Name)
+		}
+		r.byName[d.Name] = d
+	}
+	return r, nil
+}
+
+// Lookup returns the named dataset or a typed unknown-dataset error.
+func (r *Registry) Lookup(name string) (*Dataset, error) {
+	if r != nil {
+		if d, ok := r.byName[name]; ok {
+			return d, nil
+		}
+	}
+	return nil, errf(ErrUnknownDataset, nil, "dataset %q is not hosted", name)
+}
+
+// Names lists the hosted dataset names (diagnostics; unordered).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,82 @@
+package serve
+
+// Fuzz target for the JSONL request decoder — the service's first line of
+// defense. Arbitrary bytes must either decode into a request that honors
+// every configured limit, or fail with a typed 4xx serve error. Never a
+// panic, never an untyped error, never a 5xx from parsing.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func FuzzServeRequest(f *testing.F) {
+	// Valid shapes.
+	f.Add(`{"dataset":"events"}`)
+	f.Add(`{"dataset":"events","aggregates":[{"func":"count"},{"func":"avg","col":1}]}`)
+	f.Add(`{"keys":[1,2,3],"columns":[[4,5,6]],"aggregates":[{"func":"sum","col":0}]}`)
+	f.Add(`{"dataset":"d","priority":"high","deadline_ms":1500,"no_cache":true}`)
+	// Hostile shapes: malformed, unknown fields, trailing data, wrong
+	// types, boundary abuse.
+	f.Add(`{"dataset":`)
+	f.Add(`{"dataset":"events","bogus":1}`)
+	f.Add(`{"dataset":"events"} garbage`)
+	f.Add(`{"dataset":"events","keys":[1]}`)
+	f.Add(`{"keys":[1,2],"columns":[[1]]}`)
+	f.Add(`{"deadline_ms":-5,"dataset":"d"}`)
+	f.Add(`{"priority":"urgent","dataset":"d"}`)
+	f.Add(`{"aggregates":[{"func":"median"}],"dataset":"d"}`)
+	f.Add(`{"keys":[` + strings.Repeat("1,", 99) + `1]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add(`""`)
+	f.Add("\x00\xff\xfe")
+
+	lim := Limits{MaxBodyBytes: 4096, MaxInlineRows: 64, MaxAggregates: 4}
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeRequest(bytes.NewReader([]byte(body)), lim)
+		if err != nil {
+			var serr *Error
+			if !errors.As(err, &serr) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			if serr.Status < 400 || serr.Status > 499 {
+				t.Fatalf("decode error %q has status %d, want 4xx", serr.Code, serr.Status)
+			}
+			return
+		}
+		// Accepted: every documented invariant must hold.
+		if (req.Dataset == "") == (req.Keys == nil) {
+			t.Fatalf("accepted request with dataset=%q and keys=%v", req.Dataset, req.Keys)
+		}
+		if len(req.Keys) > lim.MaxInlineRows {
+			t.Fatalf("accepted %d inline rows, limit %d", len(req.Keys), lim.MaxInlineRows)
+		}
+		if len(req.Aggregates) > lim.MaxAggregates {
+			t.Fatalf("accepted %d aggregates, limit %d", len(req.Aggregates), lim.MaxAggregates)
+		}
+		for _, col := range req.Columns {
+			if len(col) != len(req.Keys) {
+				t.Fatalf("accepted ragged column: %d values for %d keys", len(col), len(req.Keys))
+			}
+		}
+		for _, a := range req.Aggregates {
+			if _, err := parseFunc(a.Func); err != nil {
+				t.Fatalf("accepted unknown func %q", a.Func)
+			}
+		}
+		if _, err := parsePriority(req.Priority); err != nil {
+			t.Fatalf("accepted unknown priority %q", req.Priority)
+		}
+		if req.DeadlineMillis < 0 {
+			t.Fatalf("accepted negative deadline %d", req.DeadlineMillis)
+		}
+		// And the derived views must not panic either.
+		if got := len(req.aggSpecs()); got != len(req.Aggregates) {
+			t.Fatalf("aggSpecs dropped specs: %d of %d", got, len(req.Aggregates))
+		}
+		req.priority()
+	})
+}
