@@ -19,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +54,14 @@ func run() error {
 		maxDl     = flag.Duration("max-deadline", 60*time.Second, "cap on client-requested deadlines")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for in-flight queries")
+		ingestDir = flag.String("ingest-dir", "",
+			"directory for durable streaming ingest sessions (empty disables /v1/ingest)")
+		ingestBudget = flag.Int64("ingest-budget", 0,
+			"per-session ingest memory budget in bytes (0 = unlimited)")
+		ingestEpoch = flag.Int64("ingest-epoch-rows", 0,
+			"rows per ingest epoch checkpoint (0 = library default)")
+		ingestNoSync = flag.Bool("ingest-no-sync", false,
+			"skip checkpoint fsyncs (tests/benchmarks only; unsafe on power loss)")
 	)
 	flag.Parse()
 
@@ -74,13 +83,23 @@ func run() error {
 		DefaultDeadline:  *deadline,
 		MaxDeadline:      *maxDl,
 		Tracer:           tracer,
+
+		IngestDir:          *ingestDir,
+		IngestBudgetBytes:  *ingestBudget,
+		IngestEpochMaxRows: *ingestEpoch,
+		IngestNoSync:       *ingestNoSync,
 	})
 	if err != nil {
 		return err
 	}
 
+	// Listen before serving so the actual bound address (significant with
+	// ":0" in tests and drills) is printed, not the requested one.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -92,8 +111,8 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("aggserve: listening on %s (%d datasets, budget %d bytes)\n",
-			*addr, len(reg.Names()), *budget)
-		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			ln.Addr(), len(reg.Names()), *budget)
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}

@@ -1,0 +1,299 @@
+package main
+
+// Process-level robustness drills. The test binary re-execs itself as the
+// real server (AGGSERVE_CHILD=1 routes main through run()), so the drills
+// exercise exactly what production runs: the listener, the signal
+// handlers, and the ingest recovery path — not a test double.
+//
+//   - TestSIGTERMDrainSealsIngest: graceful shutdown. Buffered ingest
+//     blocks must be sealed into a final epoch by the drain, and a
+//     successor process must resume the session with those rows durable.
+//   - TestCrashRecoverySIGKILL: the hard way. SIGKILL mid-epoch, restart
+//     on the same directory, read the durable high-water mark, replay the
+//     un-acknowledged suffix, and demand the final aggregates be
+//     bit-identical to a single-process oracle run.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("AGGSERVE_CHILD") == "1" {
+		if err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, "aggserve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// server is one child aggserve process under test.
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *bufio.Scanner // stdout, line-buffered
+}
+
+// startServer launches the test binary as an aggserve child and waits for
+// its listen line to learn the bound address.
+func startServer(t *testing.T, args ...string) *server {
+	t.Helper()
+	base := []string{"-addr", "127.0.0.1:0", "-datasets", "d=uniform:1024:64"}
+	cmd := exec.Command(os.Args[0], append(base, args...)...)
+	cmd.Env = append(os.Environ(), "AGGSERVE_CHILD=1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "aggserve: listening on "); ok {
+			addr := strings.Fields(rest)[0]
+			return &server{cmd: cmd, addr: addr, out: sc}
+		}
+	}
+	t.Fatalf("server never printed its listen line (scan err %v)", sc.Err())
+	return nil
+}
+
+// waitLine reads child stdout until a line containing want appears.
+func (s *server) waitLine(t *testing.T, want string) {
+	t.Helper()
+	for s.out.Scan() {
+		if strings.Contains(s.out.Text(), want) {
+			return
+		}
+	}
+	t.Fatalf("child exited without printing %q (scan err %v)", want, s.out.Err())
+}
+
+// ingest posts one ingest op and returns (status, decoded single-object
+// body) — for query/finish responses the raw JSONL body is returned
+// under key "_jsonl".
+func (s *server) ingest(t *testing.T, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post("http://"+s.addr+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "application/jsonl") {
+		return resp.StatusCode, map[string]any{"_jsonl": string(raw)}
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("ingest response %q: %v", raw, err)
+	}
+	return resp.StatusCode, out
+}
+
+// pushBlock pushes one block, retrying on 429 backpressure until it is
+// acknowledged or the deadline passes.
+func (s *server) pushBlock(t *testing.T, session string, keys []uint64, col []int64) {
+	t.Helper()
+	kb, _ := json.Marshal(keys)
+	cb, _ := json.Marshal(col)
+	body := fmt.Sprintf(`{"session":%q,"op":"push","keys":%s,"columns":[%s]}`, session, kb, cb)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, _ := s.ingest(t, body)
+		switch status {
+		case http.StatusOK:
+			return
+		case http.StatusTooManyRequests:
+			if time.Now().After(deadline) {
+				t.Fatal("backpressure never cleared")
+			}
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("push status %d", status)
+		}
+	}
+}
+
+// parseFinish extracts group→aggs from a finish/query JSONL body.
+func parseFinish(t *testing.T, body string) map[uint64][]int64 {
+	t.Helper()
+	out := make(map[uint64][]int64)
+	for i, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if i == 0 || strings.Contains(line, `"done"`) {
+			continue
+		}
+		var row struct {
+			G uint64  `json:"g"`
+			A []int64 `json:"a"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row %q: %v", line, err)
+		}
+		out[row.G] = row.A
+	}
+	return out
+}
+
+// drillInput is the deterministic workload both drills share.
+func drillInput(rows int) (keys []uint64, col []int64) {
+	rng := rand.New(rand.NewSource(42))
+	keys = make([]uint64, rows)
+	col = make([]int64, rows)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(97))
+		col[i] = int64(rng.Intn(2001) - 1000)
+	}
+	return keys, col
+}
+
+// oracle computes count and sum per group over rows [0, n).
+func oracle(keys []uint64, col []int64, n int) map[uint64][]int64 {
+	out := make(map[uint64][]int64)
+	for i := 0; i < n; i++ {
+		a := out[keys[i]]
+		if a == nil {
+			a = []int64{0, 0}
+			out[keys[i]] = a
+		}
+		a[0]++
+		a[1] += col[i]
+	}
+	return out
+}
+
+func checkAggs(t *testing.T, got, want map[uint64][]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for g, w := range want {
+		a, ok := got[g]
+		if !ok || len(a) != 2 || a[0] != w[0] || a[1] != w[1] {
+			t.Fatalf("group %d = %v, want %v", g, a, w)
+		}
+	}
+}
+
+// TestSIGTERMDrainSealsIngest pushes blocks that nothing seals, SIGTERMs
+// the server, and checks (a) the drain completes ("drained, bye"), and
+// (b) a successor resumes the session with every acknowledged row durable
+// — buffered blocks were checkpointed on the way down, not dropped.
+func TestSIGTERMDrainSealsIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drill")
+	}
+	dir := t.TempDir()
+	s1 := startServer(t, "-ingest-dir", dir, "-ingest-no-sync")
+	status, _ := s1.ingest(t, `{"session":"term","op":"begin","aggregates":[{"func":"count"},{"func":"sum","col":0}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("begin status %d", status)
+	}
+	keys, col := drillInput(100)
+	s1.pushBlock(t, "term", keys[:50], col[:50])
+	s1.pushBlock(t, "term", keys[50:], col[50:])
+
+	if err := s1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	s1.waitLine(t, "drained, bye")
+	if err := s1.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v", err)
+	}
+
+	s2 := startServer(t, "-ingest-dir", dir, "-ingest-no-sync")
+	status, out := s2.ingest(t, `{"session":"term","op":"status"}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart status %d: %v", status, out)
+	}
+	if out["rows_durable"].(float64) != 100 {
+		t.Fatalf("rows_durable after SIGTERM = %v, want 100 (buffered blocks dropped?)", out["rows_durable"])
+	}
+	status, out = s2.ingest(t, `{"session":"term","op":"finish"}`)
+	if status != http.StatusOK {
+		t.Fatalf("finish status %d", status)
+	}
+	checkAggs(t, parseFinish(t, out["_jsonl"].(string)), oracle(keys, col, 100))
+}
+
+// TestCrashRecoverySIGKILL is the no-mercy drill: small epochs, SIGKILL
+// mid-stream, restart on the same directory, replay from the durable
+// high-water mark, and demand bit-identical final aggregates.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drill")
+	}
+	dir := t.TempDir()
+	const (
+		blockRows = 32
+		total     = 1280
+	)
+	keys, col := drillInput(total)
+	// Small epochs force many seal cycles so the kill lands mid-epoch.
+	s1 := startServer(t, "-ingest-dir", dir, "-ingest-no-sync", "-ingest-epoch-rows", "64")
+	status, _ := s1.ingest(t, `{"session":"kill","op":"begin","aggregates":[{"func":"count"},{"func":"sum","col":0}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("begin status %d", status)
+	}
+	pushed := 0
+	for ; pushed < total/2; pushed += blockRows {
+		s1.pushBlock(t, "kill", keys[pushed:pushed+blockRows], col[pushed:pushed+blockRows])
+	}
+	// No drain, no seal: the process dies with an open epoch.
+	if err := s1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	s1.cmd.Wait()
+
+	s2 := startServer(t, "-ingest-dir", dir, "-ingest-no-sync", "-ingest-epoch-rows", "64")
+	status, out := s2.ingest(t, `{"session":"kill","op":"status"}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-crash status %d: %v", status, out)
+	}
+	durable := int(out["rows_durable"].(float64))
+	if durable > pushed {
+		t.Fatalf("rows_durable %d exceeds pushed %d", durable, pushed)
+	}
+	if durable%blockRows != 0 {
+		t.Fatalf("rows_durable %d is not a block boundary", durable)
+	}
+	// Replay everything past the durable mark, then the rest of the input.
+	for off := durable; off < total; off += blockRows {
+		s2.pushBlock(t, "kill", keys[off:off+blockRows], col[off:off+blockRows])
+	}
+	status, out = s2.ingest(t, `{"session":"kill","op":"finish"}`)
+	if status != http.StatusOK {
+		t.Fatalf("finish status %d: %v", status, out)
+	}
+	checkAggs(t, parseFinish(t, out["_jsonl"].(string)), oracle(keys, col, total))
+
+	// The drained-and-finished server still shuts down cleanly.
+	if err := s2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	s2.waitLine(t, "drained, bye")
+	if err := s2.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v", err)
+	}
+}

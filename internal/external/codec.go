@@ -1,7 +1,8 @@
 package external
 
-// Spill-file codec: the checksummed on-disk format of the partition files
-// and the staged (software-write-combining) writer that produces it.
+// Block-file codec: the checksummed on-disk format shared by the spill
+// partition files and the streaming checkpoint epochs, plus the staged
+// (software-write-combining) writer that produces it.
 //
 // Version 2 format (little-endian), the one this package writes:
 //
@@ -25,6 +26,11 @@ package external
 //
 // The record width in the header lets a reader reject files written with a
 // different aggregate plan. All structural failures wrap ErrCorruptSpill.
+//
+// BlockWriter / OpenBlockFile / DecodeBlockFile / ReadBlockFile are the
+// standalone, exported faces of the codec (used by internal/stream for
+// epoch checkpoints); the spillWriter methods below wire the same codec
+// into the spill path's budget charging, statistics and tracing.
 
 import (
 	"bufio"
@@ -35,6 +41,7 @@ import (
 	"io"
 	"path/filepath"
 	"slices"
+	"time"
 
 	"cacheagg/internal/faultfs"
 	"cacheagg/internal/trace"
@@ -58,19 +65,23 @@ const (
 	spillBufSize = 1 << 14
 )
 
-// spillWriter writes one partition file in the checksummed spill format.
-// A writer is owned by one goroutine at a time (the spilling phase or a
-// single merge task); the shared accounting it touches lives in extExec
-// behind extExec.mu.
-type spillWriter struct {
+// BlockFileOverhead is the fixed byte cost of a block file: its header
+// plus its footer. Exported so callers can budget a file before writing
+// its first row.
+const BlockFileOverhead = spillHeaderSize + spillFooterSize
+
+// BlockWriter writes one file in the checksummed block format. A writer
+// is owned by one goroutine at a time; any shared accounting belongs in
+// the OnBlock/OnFlush hooks of its owner.
+type BlockWriter struct {
 	path    string
-	id      int
+	tag     string // "spill" or "checkpoint": names the file class in errors
 	f       faultfs.File
 	buf     *bufio.Writer
 	crc     hash.Hash32
 	records uint64
+	bytes   int64
 	closed  bool
-	removed bool
 
 	// Block staging: rows accumulate here column-major and are encoded
 	// and written as one block when full (or on finish).
@@ -78,26 +89,27 @@ type spillWriter struct {
 	stageCols [][]uint64
 	stageN    int
 	enc       []byte
+
+	// OnBlock, when non-nil, runs before each full or final block is
+	// encoded and written, with the encoded size and row count; an error
+	// aborts the flush (budget-charging hook).
+	OnBlock func(encBytes, rows int) error
+	// OnFlush, when non-nil, runs after each block write succeeds
+	// (tracing hook).
+	OnFlush func(rows int)
 }
 
-func (e *extExec) newWriter() (*spillWriter, error) {
-	width := e.plan.width()
-	e.mu.Lock()
-	if err := e.chargeLocked(spillHeaderSize + spillFooterSize); err != nil {
-		e.mu.Unlock()
-		return nil, err
-	}
-	e.nextID++
-	id := e.nextID
-	e.mu.Unlock()
-	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", id))
-	f, err := e.cfg.FS.Create(path)
+// NewBlockWriter creates path through fsys and writes the format header
+// for a file of width partial columns. On any failure the created file is
+// closed and removed, so no half-born file outlives the error.
+func NewBlockWriter(fsys faultfs.FS, path, tag string, width int) (*BlockWriter, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("external: create spill %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("external: create %s %s: %w", tag, filepath.Base(path), err)
 	}
-	w := &spillWriter{
+	w := &BlockWriter{
 		path:      path,
-		id:        id,
+		tag:       tag,
 		f:         f,
 		buf:       bufio.NewWriterSize(f, spillBufSize),
 		crc:       crc32.NewIEEE(),
@@ -108,22 +120,31 @@ func (e *extExec) newWriter() (*spillWriter, error) {
 	for c := range w.stageCols {
 		w.stageCols[c] = make([]uint64, spillBlockRows)
 	}
-	e.mu.Lock()
-	e.track = append(e.track, w)
-	e.mu.Unlock()
 	var hdr [spillHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], spillVersion)
-	binary.LittleEndian.PutUint16(hdr[6:], uint16(e.recSize()))
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(8+8*width))
 	if err := w.write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("external: write spill %s: %w", filepath.Base(path), err)
+		w.Abort()
+		fsys.Remove(path) // best effort; the caller never saw the file
+		return nil, fmt.Errorf("external: write %s %s: %w", tag, filepath.Base(path), err)
 	}
 	return w, nil
 }
 
-// appendState stages one (key, partial-state row) record from uint64
+// Path returns the file's path.
+func (w *BlockWriter) Path() string { return w.path }
+
+// Records returns how many rows have been flushed into blocks so far.
+func (w *BlockWriter) Records() uint64 { return w.records }
+
+// Bytes returns how many bytes have been written (header included, staged
+// rows excluded). After Finish it is the exact file size.
+func (w *BlockWriter) Bytes() int64 { return w.bytes }
+
+// AppendState stages one (key, partial-state row) record from uint64
 // partial columns, flushing the stage as a block when it fills.
-func (e *extExec) appendState(w *spillWriter, key uint64, cols [][]uint64, row int) error {
+func (w *BlockWriter) AppendState(key uint64, cols [][]uint64, row int) error {
 	n := w.stageN
 	w.stageKeys[n] = key
 	for c, col := range cols {
@@ -131,14 +152,14 @@ func (e *extExec) appendState(w *spillWriter, key uint64, cols [][]uint64, row i
 	}
 	w.stageN = n + 1
 	if w.stageN == spillBlockRows {
-		return e.flushBlock(w)
+		return w.flush()
 	}
 	return nil
 }
 
-// appendAggs is appendState for the int64 finalized-partial columns of a
+// AppendAggs is AppendState for the int64 finalized-partial columns of a
 // core.Result (identical bits, different static type).
-func (e *extExec) appendAggs(w *spillWriter, key uint64, cols [][]int64, row int) error {
+func (w *BlockWriter) AppendAggs(key uint64, cols [][]int64, row int) error {
 	n := w.stageN
 	w.stageKeys[n] = key
 	for c, col := range cols {
@@ -146,22 +167,26 @@ func (e *extExec) appendAggs(w *spillWriter, key uint64, cols [][]int64, row int
 	}
 	w.stageN = n + 1
 	if w.stageN == spillBlockRows {
-		return e.flushBlock(w)
+		return w.flush()
 	}
 	return nil
 }
 
-// flushBlock encodes the staged rows as one block — bulk little-endian
-// loops per column — charges the spill budget and statistics, and writes
-// the block through the buffer and the running file CRC.
-func (e *extExec) flushBlock(w *spillWriter) error {
+// flush encodes the staged rows as one block — bulk little-endian loops
+// per column — and writes it through the buffer and the running file CRC,
+// bracketed by the OnBlock/OnFlush hooks.
+func (w *BlockWriter) flush() error {
 	n := w.stageN
 	if n == 0 {
 		return nil
 	}
-	t0 := e.stamp()
-	w.stageN = 0
 	enc := w.enc[:spillBlockHeader+(1+len(w.stageCols))*n*8]
+	if w.OnBlock != nil {
+		if err := w.OnBlock(len(enc), n); err != nil {
+			return err
+		}
+	}
+	w.stageN = 0
 	binary.LittleEndian.PutUint32(enc[0:], uint32(n))
 	off := spillBlockHeader
 	for _, k := range w.stageKeys[:n] {
@@ -175,96 +200,200 @@ func (e *extExec) flushBlock(w *spillWriter) error {
 		}
 	}
 	binary.LittleEndian.PutUint32(enc[4:], crc32.ChecksumIEEE(enc[spillBlockHeader:]))
-	e.mu.Lock()
-	if err := e.chargeLocked(len(enc)); err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	e.stats.SpilledRows += int64(n)
-	e.stats.SpilledBytes += int64(n) * int64(e.recSize())
-	e.mu.Unlock()
 	if err := w.write(enc); err != nil {
-		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
+		return fmt.Errorf("external: write %s %s: %w", w.tag, filepath.Base(w.path), err)
 	}
 	w.records += uint64(n)
-	if e.tr != nil {
-		e.tr.Emit(trace.KindSpillWrite, 0, 0, int64(w.id), float64(n))
+	if w.OnFlush != nil {
+		w.OnFlush(n)
 	}
-	e.lap(t0, trace.PhaseSpill)
 	return nil
 }
 
-// finishSpill flushes any partial block and seals the file. After it the
-// file is a self-validating unit on disk.
-func (e *extExec) finishSpill(w *spillWriter) error {
-	if err := e.flushBlock(w); err != nil {
-		return err
-	}
-	return w.finish()
-}
-
 // write appends bytes to the file through the buffer and the running CRC.
-func (w *spillWriter) write(p []byte) error {
+func (w *BlockWriter) write(p []byte) error {
 	if _, err := w.buf.Write(p); err != nil {
 		return err
 	}
 	w.crc.Write(p)
+	w.bytes += int64(len(p))
 	return nil
 }
 
-// finish writes the footer, flushes and closes. Callers go through
-// finishSpill so staged rows are never lost.
-func (w *spillWriter) finish() error {
+// Finish flushes any staged rows, writes the footer, flushes the buffer,
+// optionally fsyncs (the checkpoint path's durability point — spill files
+// are scratch and skip it) and closes. After it the file is a
+// self-validating unit on disk.
+func (w *BlockWriter) Finish(sync bool) error {
+	if err := w.flush(); err != nil {
+		return err
+	}
 	var ftr [spillFooterSize]byte
 	binary.LittleEndian.PutUint64(ftr[0:], w.records)
 	binary.LittleEndian.PutUint32(ftr[8:], w.crc.Sum32())
 	binary.LittleEndian.PutUint32(ftr[12:], spillEndMagic)
 	if _, err := w.buf.Write(ftr[:]); err != nil {
-		return fmt.Errorf("external: write spill %s: %w", filepath.Base(w.path), err)
+		return fmt.Errorf("external: write %s %s: %w", w.tag, filepath.Base(w.path), err)
 	}
+	w.bytes += spillFooterSize
 	if err := w.buf.Flush(); err != nil {
-		return fmt.Errorf("external: flush spill %s: %w", filepath.Base(w.path), err)
+		return fmt.Errorf("external: flush %s %s: %w", w.tag, filepath.Base(w.path), err)
+	}
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("external: sync %s %s: %w", w.tag, filepath.Base(w.path), err)
+		}
 	}
 	w.closed = true
 	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("external: close spill %s: %w", filepath.Base(w.path), err)
+		return fmt.Errorf("external: close %s %s: %w", w.tag, filepath.Base(w.path), err)
 	}
 	return nil
 }
 
+// Abort is the error-path cleanup: close the handle if still open, without
+// writing a footer. Safe to call in any state and more than once; removal
+// of the (invalid) file is the caller's business.
+func (w *BlockWriter) Abort() {
+	if !w.closed {
+		w.closed = true
+		w.f.Close() // error irrelevant: the file is dead
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Spill-path wiring: the same codec charged against the spill budget and
+// counted in the operator's statistics.
+
+// spillWriter writes one partition file in the checksummed block format.
+// A writer is owned by one goroutine at a time (the spilling phase or a
+// single merge task); the shared accounting it touches lives in extExec
+// behind extExec.mu, reached through the BlockWriter hooks.
+type spillWriter struct {
+	bw      *BlockWriter
+	path    string
+	id      int
+	removed bool
+}
+
+func (e *extExec) newWriter() (*spillWriter, error) {
+	width := e.plan.Width()
+	e.mu.Lock()
+	if err := e.chargeLocked(spillHeaderSize + spillFooterSize); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.nextID++
+	id := e.nextID
+	e.mu.Unlock()
+	path := filepath.Join(e.dir, fmt.Sprintf("part-%06d.spill", id))
+	bw, err := NewBlockWriter(e.cfg.FS, path, "spill", width)
+	if err != nil {
+		return nil, err
+	}
+	w := &spillWriter{bw: bw, path: path, id: id}
+	var t0 time.Time
+	bw.OnBlock = func(encBytes, rows int) error {
+		t0 = e.stamp()
+		e.mu.Lock()
+		if err := e.chargeLocked(encBytes); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		e.stats.SpilledRows += int64(rows)
+		e.stats.SpilledBytes += int64(rows) * int64(e.recSize())
+		e.mu.Unlock()
+		return nil
+	}
+	bw.OnFlush = func(rows int) {
+		if e.tr != nil {
+			e.tr.Emit(trace.KindSpillWrite, 0, 0, int64(id), float64(rows))
+		}
+		e.lap(t0, trace.PhaseSpill)
+	}
+	e.mu.Lock()
+	e.track = append(e.track, w)
+	e.mu.Unlock()
+	return w, nil
+}
+
+// appendState stages one (key, partial-state row) record, flushing full
+// blocks through the budget/stats/trace hooks.
+func (e *extExec) appendState(w *spillWriter, key uint64, cols [][]uint64, row int) error {
+	return w.bw.AppendState(key, cols, row)
+}
+
+// appendAggs is appendState for the int64 finalized-partial columns of a
+// core.Result.
+func (e *extExec) appendAggs(w *spillWriter, key uint64, cols [][]int64, row int) error {
+	return w.bw.AppendAggs(key, cols, row)
+}
+
+// flushBlock flushes the staged rows as one block.
+func (e *extExec) flushBlock(w *spillWriter) error { return w.bw.flush() }
+
+// finishSpill flushes any partial block and seals the file. After it the
+// file is a self-validating unit on disk. Spill files never fsync: they
+// are scratch space that dies with the query.
+func (e *extExec) finishSpill(w *spillWriter) error { return w.bw.Finish(false) }
+
 // discard is the error-path cleanup: close the handle if still open and
 // remove the file. Safe to call in any state and more than once.
 func (w *spillWriter) discard(e *extExec) {
-	if !w.closed {
-		w.closed = true
-		w.f.Close() // error irrelevant: the file is removed next
-	}
+	w.bw.Abort()
 	e.removeSpill(w)
 }
+
+// ---------------------------------------------------------------------------
+// Decode path.
 
 func corrupt(path, detail string) error {
 	return fmt.Errorf("external: %w %s: %s", ErrCorruptSpill, filepath.Base(path), detail)
 }
 
-// openSpill opens a partition file and returns its size (needed to locate
+// OpenBlockFile opens a block file and returns its size (needed to locate
 // the footer and to reserve the decode buffers before they exist).
-func (e *extExec) openSpill(path string) (faultfs.File, int64, error) {
-	f, err := e.cfg.FS.Open(path)
+func OpenBlockFile(fsys faultfs.FS, path, tag string) (faultfs.File, int64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("external: open spill %s: %w", filepath.Base(path), err)
+		return nil, 0, fmt.Errorf("external: open %s %s: %w", tag, filepath.Base(path), err)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, 0, fmt.Errorf("external: stat spill %s: %w", filepath.Base(path), err)
+		return nil, 0, fmt.Errorf("external: stat %s %s: %w", tag, filepath.Base(path), err)
 	}
 	return f, st.Size(), nil
 }
 
-// readSpill loads a partition file into columnar form, validating the
-// header and every checksum before trusting a single record. The merge
-// path goes through loadPartition instead, which reserves the decode
-// footprint with the governor before this work happens.
+// ReadBlockFile loads a block file of width partial columns into columnar
+// form, validating the header and every checksum before trusting a single
+// record.
+func ReadBlockFile(fsys faultfs.FS, path, tag string, width int) (_ []uint64, _ [][]uint64, err error) {
+	f, size, err := OpenBlockFile(fsys, path, tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys, cols, err := DecodeBlockFile(f, path, tag, size, width)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		// A failing close on the read side is still a failing I/O call on
+		// a file we depend on; don't swallow it behind a good result.
+		err = fmt.Errorf("external: close %s %s: %w", tag, filepath.Base(path), cerr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return keys, cols, nil
+}
+
+// openSpill opens a partition file and returns its size. The merge path
+// goes through loadPartition, which reserves the decode footprint with the
+// governor before the decode happens.
+func (e *extExec) openSpill(path string) (faultfs.File, int64, error) {
+	return OpenBlockFile(e.cfg.FS, path, "spill")
+}
+
+// readSpill loads a partition file into columnar form.
 func (e *extExec) readSpill(path string) (_ []uint64, _ [][]uint64, err error) {
 	f, size, err := e.openSpill(path)
 	if err != nil {
@@ -272,8 +401,6 @@ func (e *extExec) readSpill(path string) (_ []uint64, _ [][]uint64, err error) {
 	}
 	keys, cols, err := e.decodeSpill(f, path, size)
 	if cerr := f.Close(); cerr != nil && err == nil {
-		// A failing close on the read side is still a failing I/O call on
-		// a file we depend on; don't swallow it behind a good result.
 		err = fmt.Errorf("external: close spill %s: %w", filepath.Base(path), cerr)
 	}
 	if err != nil {
@@ -282,36 +409,10 @@ func (e *extExec) readSpill(path string) (_ []uint64, _ [][]uint64, err error) {
 	return keys, cols, nil
 }
 
-// decodeSpill decodes an open spill file of known size, dispatching on the
-// header's format version (v2 written by this build, v1 read-compatible).
+// decodeSpill decodes an open spill file of known size, recording the read
+// in the trace.
 func (e *extExec) decodeSpill(f faultfs.File, path string, size int64) ([]uint64, [][]uint64, error) {
-	if size < spillHeaderSize+spillFooterSize {
-		return nil, nil, corrupt(path, fmt.Sprintf("%d bytes, smaller than header+footer", size))
-	}
-	r := bufio.NewReaderSize(f, spillBufSize)
-	crc := crc32.NewIEEE()
-	var hdr [spillHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
-	}
-	crc.Write(hdr[:])
-	if m := binary.LittleEndian.Uint32(hdr[0:]); m != spillMagic {
-		return nil, nil, corrupt(path, fmt.Sprintf("bad magic %#08x", m))
-	}
-	if rb := binary.LittleEndian.Uint16(hdr[6:]); int(rb) != e.recSize() {
-		return nil, nil, corrupt(path, fmt.Sprintf("record width %d, plan needs %d", rb, e.recSize()))
-	}
-	var keys []uint64
-	var cols [][]uint64
-	var err error
-	switch v := binary.LittleEndian.Uint16(hdr[4:]); v {
-	case spillVersion:
-		keys, cols, err = e.decodeV2(r, crc, path, size)
-	case spillVersion1:
-		keys, cols, err = e.decodeV1(r, crc, path, size)
-	default:
-		return nil, nil, corrupt(path, fmt.Sprintf("unsupported version %d", v))
-	}
+	keys, cols, err := DecodeBlockFile(f, path, "spill", size, e.plan.Width())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -321,11 +422,49 @@ func (e *extExec) decodeSpill(f faultfs.File, path string, size int64) ([]uint64
 	return keys, cols, nil
 }
 
+// DecodeBlockFile decodes an open block file of known size and width,
+// dispatching on the header's format version (v2 written by this build,
+// v1 read-compatible). All structural failures wrap ErrCorruptSpill; I/O
+// failures wrap the underlying error.
+func DecodeBlockFile(f faultfs.File, path, tag string, size int64, width int) ([]uint64, [][]uint64, error) {
+	if size < spillHeaderSize+spillFooterSize {
+		return nil, nil, corrupt(path, fmt.Sprintf("%d bytes, smaller than header+footer", size))
+	}
+	recSize := 8 + 8*width
+	r := bufio.NewReaderSize(f, spillBufSize)
+	crc := crc32.NewIEEE()
+	var hdr [spillHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("external: read %s %s: %w", tag, filepath.Base(path), err)
+	}
+	crc.Write(hdr[:])
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != spillMagic {
+		return nil, nil, corrupt(path, fmt.Sprintf("bad magic %#08x", m))
+	}
+	if rb := binary.LittleEndian.Uint16(hdr[6:]); int(rb) != recSize {
+		return nil, nil, corrupt(path, fmt.Sprintf("record width %d, plan needs %d", rb, recSize))
+	}
+	var keys []uint64
+	var cols [][]uint64
+	var err error
+	switch v := binary.LittleEndian.Uint16(hdr[4:]); v {
+	case spillVersion:
+		keys, cols, err = decodeV2(r, crc, path, tag, size, width)
+	case spillVersion1:
+		keys, cols, err = decodeV1(r, crc, path, tag, size, width)
+	default:
+		return nil, nil, corrupt(path, fmt.Sprintf("unsupported version %d", v))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return keys, cols, nil
+}
+
 // decodeV2 decodes the block-codec body: per-block payload CRCs first,
 // then bulk column-major uint64 loops, then the footer's global checks.
-func (e *extExec) decodeV2(r *bufio.Reader, crc hash.Hash32, path string, size int64) ([]uint64, [][]uint64, error) {
-	recSize := int64(e.recSize())
-	width := e.plan.width()
+func decodeV2(r *bufio.Reader, crc hash.Hash32, path, tag string, size int64, width int) ([]uint64, [][]uint64, error) {
+	recSize := int64(8 + 8*width)
 	remaining := size - spillHeaderSize - spillFooterSize
 	est := int(remaining / recSize) // upper bound on rows (block headers eat into it)
 	keys := make([]uint64, 0, est)
@@ -340,7 +479,7 @@ func (e *extExec) decodeV2(r *bufio.Reader, crc hash.Hash32, path string, size i
 		}
 		bh := block[:spillBlockHeader]
 		if _, err := io.ReadFull(r, bh); err != nil {
-			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+			return nil, nil, fmt.Errorf("external: read %s %s: %w", tag, filepath.Base(path), err)
 		}
 		crc.Write(bh)
 		rows := int(binary.LittleEndian.Uint32(bh[0:]))
@@ -355,7 +494,7 @@ func (e *extExec) decodeV2(r *bufio.Reader, crc hash.Hash32, path string, size i
 		}
 		pb := block[spillBlockHeader : spillBlockHeader+int(payload)]
 		if _, err := io.ReadFull(r, pb); err != nil {
-			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+			return nil, nil, fmt.Errorf("external: read %s %s: %w", tag, filepath.Base(path), err)
 		}
 		crc.Write(pb)
 		if got := crc32.ChecksumIEEE(pb); got != wantCRC {
@@ -378,15 +517,15 @@ func (e *extExec) decodeV2(r *bufio.Reader, crc hash.Hash32, path string, size i
 		}
 		remaining -= payload
 	}
-	if err := e.checkFooter(r, crc, path, uint64(len(keys))); err != nil {
+	if err := checkFooter(r, crc, path, tag, uint64(len(keys))); err != nil {
 		return nil, nil, err
 	}
 	return keys, cols, nil
 }
 
 // decodeV1 decodes the legacy one-record-per-row body.
-func (e *extExec) decodeV1(r *bufio.Reader, crc hash.Hash32, path string, size int64) ([]uint64, [][]uint64, error) {
-	recSize := e.recSize()
+func decodeV1(r *bufio.Reader, crc hash.Hash32, path, tag string, size int64, width int) ([]uint64, [][]uint64, error) {
+	recSize := 8 + 8*width
 	payload := size - spillHeaderSize - spillFooterSize
 	if payload%int64(recSize) != 0 {
 		return nil, nil, corrupt(path, fmt.Sprintf("truncated: %d payload bytes not a multiple of the %d-byte record", payload, recSize))
@@ -394,13 +533,13 @@ func (e *extExec) decodeV1(r *bufio.Reader, crc hash.Hash32, path string, size i
 	nrec := payload / int64(recSize)
 	rec := make([]byte, recSize)
 	keys := make([]uint64, 0, nrec)
-	cols := make([][]uint64, e.plan.width())
+	cols := make([][]uint64, width)
 	for c := range cols {
 		cols[c] = make([]uint64, 0, nrec)
 	}
 	for i := int64(0); i < nrec; i++ {
 		if _, err := io.ReadFull(r, rec); err != nil {
-			return nil, nil, fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+			return nil, nil, fmt.Errorf("external: read %s %s: %w", tag, filepath.Base(path), err)
 		}
 		crc.Write(rec)
 		keys = append(keys, binary.LittleEndian.Uint64(rec))
@@ -408,7 +547,7 @@ func (e *extExec) decodeV1(r *bufio.Reader, crc hash.Hash32, path string, size i
 			cols[c] = append(cols[c], binary.LittleEndian.Uint64(rec[8+8*c:]))
 		}
 	}
-	if err := e.checkFooter(r, crc, path, uint64(nrec)); err != nil {
+	if err := checkFooter(r, crc, path, tag, uint64(nrec)); err != nil {
 		return nil, nil, err
 	}
 	return keys, cols, nil
@@ -416,10 +555,10 @@ func (e *extExec) decodeV1(r *bufio.Reader, crc hash.Hash32, path string, size i
 
 // checkFooter reads and validates the 16-byte trailer against the decoded
 // row count and the running whole-file CRC.
-func (e *extExec) checkFooter(r *bufio.Reader, crc hash.Hash32, path string, nrec uint64) error {
+func checkFooter(r *bufio.Reader, crc hash.Hash32, path, tag string, nrec uint64) error {
 	var ftr [spillFooterSize]byte
 	if _, err := io.ReadFull(r, ftr[:]); err != nil {
-		return fmt.Errorf("external: read spill %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("external: read %s %s: %w", tag, filepath.Base(path), err)
 	}
 	if m := binary.LittleEndian.Uint32(ftr[12:]); m != spillEndMagic {
 		return corrupt(path, fmt.Sprintf("bad end marker %#08x", m))

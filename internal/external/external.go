@@ -230,39 +230,40 @@ type Result struct {
 // Groups returns the number of groups.
 func (r *Result) Groups() int { return len(r.Keys) }
 
-// plan decomposes the original specs into width-1 partials that can be
+// Plan decomposes the original specs into width-1 partials that can be
 // finalized, spilled and merged independently: AVG becomes (SUM, COUNT),
-// everything else is itself. mergeKind holds the super-aggregate of each
-// decomposed column.
-type plan struct {
-	orig      []agg.Spec
-	dec       []agg.Spec
-	mergeKind []agg.Kind
-	off       []int // first decomposed column of each original spec
+// everything else is itself. MergeKind holds the super-aggregate of each
+// decomposed column. It is exported so the streaming checkpoint path can
+// share the decomposition (and the block codec keyed on its width).
+type Plan struct {
+	Orig      []agg.Spec
+	Dec       []agg.Spec
+	MergeKind []agg.Kind
+	Off       []int // first decomposed column of each original spec
 }
 
-func buildPlan(specs []agg.Spec) *plan {
-	p := &plan{orig: specs}
+func BuildPlan(specs []agg.Spec) *Plan {
+	p := &Plan{Orig: specs}
 	for _, s := range specs {
-		p.off = append(p.off, len(p.dec))
+		p.Off = append(p.Off, len(p.Dec))
 		switch s.Kind {
 		case agg.Count:
-			p.dec = append(p.dec, agg.Spec{Kind: agg.Count})
-			p.mergeKind = append(p.mergeKind, agg.Sum)
+			p.Dec = append(p.Dec, agg.Spec{Kind: agg.Count})
+			p.MergeKind = append(p.MergeKind, agg.Sum)
 		case agg.Sum:
-			p.dec = append(p.dec, agg.Spec{Kind: agg.Sum, Col: s.Col})
-			p.mergeKind = append(p.mergeKind, agg.Sum)
+			p.Dec = append(p.Dec, agg.Spec{Kind: agg.Sum, Col: s.Col})
+			p.MergeKind = append(p.MergeKind, agg.Sum)
 		case agg.Min:
-			p.dec = append(p.dec, agg.Spec{Kind: agg.Min, Col: s.Col})
-			p.mergeKind = append(p.mergeKind, agg.Min)
+			p.Dec = append(p.Dec, agg.Spec{Kind: agg.Min, Col: s.Col})
+			p.MergeKind = append(p.MergeKind, agg.Min)
 		case agg.Max:
-			p.dec = append(p.dec, agg.Spec{Kind: agg.Max, Col: s.Col})
-			p.mergeKind = append(p.mergeKind, agg.Max)
+			p.Dec = append(p.Dec, agg.Spec{Kind: agg.Max, Col: s.Col})
+			p.MergeKind = append(p.MergeKind, agg.Max)
 		case agg.Avg:
-			p.dec = append(p.dec,
+			p.Dec = append(p.Dec,
 				agg.Spec{Kind: agg.Sum, Col: s.Col},
 				agg.Spec{Kind: agg.Count})
-			p.mergeKind = append(p.mergeKind, agg.Sum, agg.Sum)
+			p.MergeKind = append(p.MergeKind, agg.Sum, agg.Sum)
 		default:
 			panic("external: invalid aggregate kind")
 		}
@@ -270,8 +271,8 @@ func buildPlan(specs []agg.Spec) *plan {
 	return p
 }
 
-// width returns the number of decomposed partial columns.
-func (p *plan) width() int { return len(p.dec) }
+// Width returns the number of decomposed partial columns.
+func (p *Plan) Width() int { return len(p.Dec) }
 
 // Aggregate executes the out-of-core GROUP BY.
 func Aggregate(cfg Config, in *core.Input) (*Result, error) {
@@ -296,13 +297,13 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	}
 	userRows := cfg.MemoryBudgetRows
 	cfg = cfg.withDefaults()
-	p := buildPlan(in.Specs)
-	cfg.sizeFromBudget(p.width())
+	p := BuildPlan(in.Specs)
+	cfg.sizeFromBudget(p.Width())
 	if userRows <= 0 && cfg.MemoryBudgetBytes > 0 {
 		// Derive the row budget from the byte budget: a merged row costs
 		// its record (read buffer) plus table slot and output copies —
 		// roughly 4× the record size covers all of them.
-		rows := cfg.MemoryBudgetBytes / int64(4*(8+8*p.width()))
+		rows := cfg.MemoryBudgetBytes / int64(4*(8+8*p.Width()))
 		cfg.MemoryBudgetRows = int(min(max(rows, 1024), 1<<20))
 	}
 
@@ -350,7 +351,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 	if err != nil {
 		return nil, fmt.Errorf("external: %w", err)
 	}
-	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov, tr: tr, kern: agg.NewLayout(p.dec).Kernels()}
+	e := &extExec{cfg: cfg, plan: p, dir: dir, gov: gov, tr: tr, kern: agg.NewLayout(p.Dec).Kernels()}
 	defer func() {
 		if err != nil {
 			e.cleanupAll()
@@ -408,7 +409,7 @@ func AggregateContext(ctx context.Context, cfg Config, in *core.Input) (res *Res
 
 type extExec struct {
 	cfg  Config
-	plan *plan
+	plan *Plan
 	dir  string
 	gov  *memgov.Governor
 	tr   trace.Tracer // optional execution tracer (nil when not observing)
@@ -450,7 +451,7 @@ type resident struct {
 func (r *resident) n() int { return len(r.keys) }
 
 // recSize is the byte size of one spilled record: key + decomposed partials.
-func (e *extExec) recSize() int { return 8 + 8*e.plan.width() }
+func (e *extExec) recSize() int { return 8 + 8*e.plan.Width() }
 
 // stamp starts a phase lap, returning the zero time when no tracer is
 // installed — the nil fast path is this single branch.
@@ -526,7 +527,7 @@ func (e *extExec) spillInput(ctx context.Context, in *core.Input) ([]*spillWrite
 	lo := 0
 	for lo < n {
 		hi := min(lo+budget, n)
-		chunk := &core.Input{Keys: in.Keys[lo:hi], Specs: e.plan.dec}
+		chunk := &core.Input{Keys: in.Keys[lo:hi], Specs: e.plan.Dec}
 		chunk.AggCols = make([][]int64, len(in.AggCols))
 		for c := range in.AggCols {
 			chunk.AggCols[c] = in.AggCols[c][lo:hi]
@@ -613,10 +614,10 @@ func (e *extExec) keepResident(d int, part *core.Result, r int, writers []*spill
 	}
 	res := &e.resident[d]
 	if res.partials == nil {
-		res.partials = make([][]uint64, e.plan.width())
+		res.partials = make([][]uint64, e.plan.Width())
 	}
 	res.keys = append(res.keys, part.Keys[r])
-	for c := 0; c < e.plan.width(); c++ {
+	for c := 0; c < e.plan.Width(); c++ {
 		res.partials[c] = append(res.partials[c], uint64(part.Aggs[c][r]))
 	}
 	res.bytes += rowBytes

@@ -213,24 +213,24 @@ func TestExternalQuick(t *testing.T) {
 }
 
 func TestBuildPlanShapes(t *testing.T) {
-	p := buildPlan([]agg.Spec{
+	p := BuildPlan([]agg.Spec{
 		{Kind: agg.Count},
 		{Kind: agg.Avg, Col: 2},
 		{Kind: agg.Min, Col: 1},
 	})
-	if p.width() != 4 {
-		t.Fatalf("width = %d, want 4 (count + avg(sum,count) + min)", p.width())
+	if p.Width() != 4 {
+		t.Fatalf("width = %d, want 4 (count + avg(sum,count) + min)", p.Width())
 	}
 	wantOff := []int{0, 1, 3}
 	for i, w := range wantOff {
-		if p.off[i] != w {
-			t.Fatalf("off = %v", p.off)
+		if p.Off[i] != w {
+			t.Fatalf("off = %v", p.Off)
 		}
 	}
 	wantMerge := []agg.Kind{agg.Sum, agg.Sum, agg.Sum, agg.Min}
 	for i, w := range wantMerge {
-		if p.mergeKind[i] != w {
-			t.Fatalf("mergeKind = %v", p.mergeKind)
+		if p.MergeKind[i] != w {
+			t.Fatalf("mergeKind = %v", p.MergeKind)
 		}
 	}
 }
@@ -239,7 +239,7 @@ func TestReadSpillCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	e := &extExec{
 		cfg:  testCfg(100).withDefaults(),
-		plan: buildPlan([]agg.Spec{{Kind: agg.Count}}),
+		plan: BuildPlan([]agg.Spec{{Kind: agg.Count}}),
 		dir:  dir,
 	}
 	path := dir + "/bad.spill"

@@ -104,7 +104,7 @@ func FuzzSpillDecoder(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e := &extExec{
 			cfg:  Config{}.withDefaults(),
-			plan: buildPlan([]agg.Spec{{Kind: agg.Count}}),
+			plan: BuildPlan([]agg.Spec{{Kind: agg.Count}}),
 		}
 		path := filepath.Join(t.TempDir(), "fuzz.spill")
 		if err := os.WriteFile(path, data, 0o644); err != nil {

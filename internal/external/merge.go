@@ -349,7 +349,7 @@ func (e *extExec) mergeBatched(keys []uint64, cols [][]uint64, level int) *frag 
 		f.keys, f.cols = mergeRowsMap(e.plan, keys, cols)
 		return f
 	}
-	width := e.plan.width()
+	width := e.plan.Width()
 	hashes := make([]uint64, n)
 	hashfn.HashBatch(keys, hashes)
 	for capRows := 2 * n; ; capRows *= 2 {
@@ -726,10 +726,10 @@ func (e *extExec) mergeSeqFile(ctx context.Context, w *spillWriter, level, d int
 
 // mergeRowsMap is the reference merge: a Go map from key to output row in
 // first-appearance order, merging per cell with the scalar super-aggregate.
-func mergeRowsMap(p *plan, keys []uint64, partials [][]uint64) ([]uint64, [][]uint64) {
+func mergeRowsMap(p *Plan, keys []uint64, partials [][]uint64) ([]uint64, [][]uint64) {
 	index := make(map[uint64]int, 1024)
 	var outKeys []uint64
-	width := p.width()
+	width := p.Width()
 	out := make([][]uint64, width)
 	for i := range keys {
 		k := keys[i]
@@ -746,7 +746,7 @@ func mergeRowsMap(p *plan, keys []uint64, partials [][]uint64) ([]uint64, [][]ui
 		for c := 0; c < width; c++ {
 			st := [1]uint64{out[c][s]}
 			src := [1]uint64{partials[c][i]}
-			p.mergeKind[c].Merge(st[:], src[:])
+			p.MergeKind[c].Merge(st[:], src[:])
 			out[c][s] = st[0]
 		}
 	}
@@ -758,8 +758,8 @@ func mergeRowsMap(p *plan, keys []uint64, partials [][]uint64) ([]uint64, [][]ui
 // in the float column — everything else widened in place.
 func (e *extExec) appendFinalized(keys []uint64, out [][]uint64, res *Result) {
 	res.Keys = append(res.Keys, keys...)
-	for si, s := range e.plan.orig {
-		off := e.plan.off[si]
+	for si, s := range e.plan.Orig {
+		off := e.plan.Off[si]
 		col := res.Aggs[si]
 		fcol := res.AggsFloat[si]
 		for g := range keys {

@@ -293,7 +293,7 @@ func TestPrefetchHappens(t *testing.T) {
 // small enough to take the map shortcut — and checks it is bit-identical to
 // the map oracle after a key sort.
 func TestMergeBatchedTablePath(t *testing.T) {
-	p := buildPlan([]agg.Spec{
+	p := BuildPlan([]agg.Spec{
 		{Kind: agg.Count},
 		{Kind: agg.Sum, Col: 0},
 		{Kind: agg.Min, Col: 0},
@@ -303,12 +303,12 @@ func TestMergeBatchedTablePath(t *testing.T) {
 		cfg:  testCfg(100).withDefaults(),
 		plan: p,
 		gov:  memgov.New(0),
-		kern: agg.NewLayout(p.dec).Kernels(),
+		kern: agg.NewLayout(p.Dec).Kernels(),
 	}
 	n := 3 * smallMergeRows
 	rng := xrand.NewXoshiro256(99)
 	keys := make([]uint64, n)
-	cols := make([][]uint64, p.width())
+	cols := make([][]uint64, p.Width())
 	for c := range cols {
 		cols[c] = make([]uint64, n)
 	}

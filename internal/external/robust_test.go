@@ -54,7 +54,7 @@ func testExec(t *testing.T) *extExec {
 	t.Helper()
 	return &extExec{
 		cfg:  testCfg(100).withDefaults(),
-		plan: buildPlan([]agg.Spec{{Kind: agg.Count}}),
+		plan: BuildPlan([]agg.Spec{{Kind: agg.Count}}),
 		dir:  t.TempDir(),
 	}
 }
@@ -121,7 +121,7 @@ func TestSpillWrongPlanRejected(t *testing.T) {
 	// A reader whose plan has a different record width must refuse the file.
 	e2 := &extExec{
 		cfg:  e.cfg,
-		plan: buildPlan([]agg.Spec{{Kind: agg.Count}, {Kind: agg.Sum, Col: 0}}),
+		plan: BuildPlan([]agg.Spec{{Kind: agg.Count}, {Kind: agg.Sum, Col: 0}}),
 		dir:  e.dir,
 	}
 	if _, _, err := e2.readSpill(w.path); !errors.Is(err, ErrCorruptSpill) {

@@ -1,11 +1,12 @@
-// Package faultfs defines the narrow filesystem interface the spill path of
-// internal/external goes through, the passthrough implementation backed by
+// Package faultfs defines the narrow filesystem interface the spill and
+// checkpoint paths go through, the passthrough implementation backed by
 // the real OS, and a deterministic fault-injecting wrapper.
 //
-// The injector fails the N-th operation of a chosen kind (create, write,
-// sync, close, read, remove) with a typed error, so tests can enumerate
-// every distinct spill I/O site in turn and prove that each fault surfaces
-// as a clean, wrapped error with no file handles or temp files left behind.
+// The injector fails the N-th operation of a chosen kind (create, open,
+// write, sync, close, read, remove, rename) with a typed error, so tests
+// can enumerate every distinct I/O site in turn and prove that each fault
+// surfaces as a clean, wrapped error with no file handles or temp files
+// left behind.
 // Determinism matters: an injection plan is (Op, N), nothing is random, and
 // the same plan always fails the same site.
 //
@@ -55,24 +56,30 @@ import (
 	"cacheagg/internal/xrand"
 )
 
-// File is the subset of *os.File the spill path uses. There is
-// deliberately no Sync: spill files are scratch space that dies with the
-// query, so durability buys nothing — buffered-flush failures surface
-// through the underlying Write, and close failures through Close.
+// File is the subset of *os.File the spill and checkpoint paths use.
+// Spill files are scratch space that dies with the query and never call
+// Sync; the streaming checkpoint path, whose whole point is surviving a
+// crash, calls Sync on every sealed epoch file and manifest (and on the
+// containing directory, opened through Open, to persist renames).
 type File interface {
 	io.Reader
 	io.Writer
 	io.Closer
+	// Sync flushes the file's contents to stable storage (fsync).
+	Sync() error
 	// Stat reports the file's metadata; the spill reader uses the size to
 	// locate the checksum footer.
 	Stat() (os.FileInfo, error)
 }
 
-// FS is the filesystem interface of the spill path.
+// FS is the filesystem interface of the spill and checkpoint paths.
 type FS interface {
 	Create(name string) (File, error)
 	Open(name string) (File, error)
 	Remove(name string) error
+	// Rename atomically replaces newname with oldname, the
+	// commit point of the checkpoint manifest protocol.
+	Rename(oldname, newname string) error
 }
 
 // OS returns the passthrough FS backed by package os.
@@ -98,6 +105,8 @@ func (osFS) Open(name string) (File, error) {
 
 func (osFS) Remove(name string) error { return os.Remove(name) }
 
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
 // Op identifies a kind of filesystem operation for counting and injection.
 type Op int
 
@@ -108,6 +117,8 @@ const (
 	OpClose
 	OpRead
 	OpRemove
+	OpSync
+	OpRename
 	numOps
 )
 
@@ -126,6 +137,10 @@ func (o Op) String() string {
 		return "read"
 	case OpRemove:
 		return "remove"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -249,6 +264,13 @@ func (i *Injector) Remove(name string) error {
 	return i.inner.Remove(name)
 }
 
+func (i *Injector) Rename(oldname, newname string) error {
+	if err := i.step(OpRename); err != nil {
+		return err
+	}
+	return i.inner.Rename(oldname, newname)
+}
+
 // injFile counts and injects at the per-file operations. A failing Close
 // still closes the underlying file, so the injector never leaks a real
 // file descriptor into the test process.
@@ -269,6 +291,13 @@ func (f *injFile) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if err := f.inj.step(OpSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
 }
 
 func (f *injFile) Close() error {
@@ -398,6 +427,10 @@ func (r *Retry) Remove(name string) error {
 	return r.do(OpRemove, func() error { return r.inner.Remove(name) })
 }
 
+func (r *Retry) Rename(oldname, newname string) error {
+	return r.do(OpRename, func() error { return r.inner.Rename(oldname, newname) })
+}
+
 // retryFile applies the retry policy to per-file operations.
 type retryFile struct {
 	f File
@@ -438,6 +471,12 @@ func (f *retryFile) Write(p []byte) (int, error) {
 		return n, pe.err
 	}
 	return n, err
+}
+
+// Sync is retried on transient failure: fsync consumes no input, so a
+// repeat after EINTR is safe and simply flushes again.
+func (f *retryFile) Sync() error {
+	return f.r.do(OpSync, func() error { return f.f.Sync() })
 }
 
 // Close is passed through without retry (see the Retry doc comment).
@@ -520,6 +559,13 @@ func (c *Chaos) Remove(name string) error {
 	return c.inner.Remove(name)
 }
 
+func (c *Chaos) Rename(oldname, newname string) error {
+	if err := c.step(OpRename); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldname, newname)
+}
+
 // chaosFile injects transient faults at the per-file operations. Like
 // injFile, a faulted Close still closes the underlying file so no real
 // descriptor leaks into the test process.
@@ -540,6 +586,13 @@ func (f *chaosFile) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	return f.f.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	if err := f.c.step(OpSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
 }
 
 func (f *chaosFile) Close() error {

@@ -336,3 +336,57 @@ func TestHighWaterHookConcurrent(t *testing.T) {
 			calls, g.HighWater(), max)
 	}
 }
+
+// TestCancelRacesGrant pins the nastiest waiter window: the context is
+// cancelled at the same instant the head waiter's grant lands (Release
+// kicks it while ctx.Done is already readable). Whichever way the select
+// goes, exactly one of two worlds must result — the waiter owns the
+// reservation (err == nil) or it does not (ctx error) — and in both the
+// ledger reconciles to zero with no waiter left behind. A miscount here
+// is a permanent budget leak, so the test hammers the window and then
+// audits the ledger.
+func TestCancelRacesGrant(t *testing.T) {
+	const budget = 100
+	g := New(budget)
+	for i := 0; i < 5000; i++ {
+		g.Reserve(budget) // the waiter must actually wait
+		ctx, cancel := context.WithCancel(context.Background())
+		got := make(chan error, 1)
+		entered := make(chan struct{})
+		go func() {
+			close(entered)
+			got <- g.TryReserveOrWait(ctx, budget)
+		}()
+		<-entered
+		for g.Waiting() == 0 { // the goroutine is on the waiter list
+			if err := ctx.Err(); err != nil {
+				t.Fatalf("context died before the waiter parked: %v", err)
+			}
+		}
+		// Fire the grant and the cancellation together.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); g.Release(budget) }()
+		go func() { defer wg.Done(); cancel() }()
+		wg.Wait()
+		err := <-got
+		switch {
+		case err == nil:
+			// The grant won: the waiter owns budget bytes.
+			if r := g.Reserved(); r != budget {
+				t.Fatalf("iter %d: granted waiter owns %d, want %d", i, r, budget)
+			}
+			g.Release(budget)
+		case errors.Is(err, context.Canceled):
+			// The cancel won: the reservation must be back in the ledger.
+		default:
+			t.Fatalf("iter %d: unexpected error %v", i, err)
+		}
+		if r := g.Reserved(); r != 0 {
+			t.Fatalf("iter %d: ledger holds %d after reconciliation", i, r)
+		}
+		if w := g.Waiting(); w != 0 {
+			t.Fatalf("iter %d: %d waiters leaked", i, w)
+		}
+	}
+}

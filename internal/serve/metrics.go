@@ -47,6 +47,15 @@ type Metrics struct {
 	Running   atomic.Int64 // sessions holding a budget grant
 	Succeeded atomic.Int64
 
+	// Streaming ingest (/v1/ingest).
+	IngestSessions     atomic.Int64 // live sessions (gauge)
+	IngestResumed      atomic.Int64 // sessions resumed from disk at boot
+	IngestBlocks       atomic.Int64 // blocks accepted by push
+	IngestRows         atomic.Int64 // rows accepted by push
+	IngestSeals        atomic.Int64 // explicit seal ops
+	IngestQueries      atomic.Int64 // snapshot queries served
+	IngestBackpressure atomic.Int64 // pushes refused with 429 backpressure
+
 	lat [latBuckets]atomic.Int64
 }
 
@@ -117,6 +126,14 @@ type MetricsSnapshot struct {
 	Running   int64 `json:"running"`
 	Succeeded int64 `json:"succeeded"`
 
+	IngestSessions     int64 `json:"ingest_sessions"`
+	IngestResumed      int64 `json:"ingest_resumed"`
+	IngestBlocks       int64 `json:"ingest_blocks"`
+	IngestRows         int64 `json:"ingest_rows"`
+	IngestSeals        int64 `json:"ingest_seals"`
+	IngestQueries      int64 `json:"ingest_queries"`
+	IngestBackpressure int64 `json:"ingest_backpressure"`
+
 	QueueLength    int   `json:"queue_length"`
 	LedgerReserved int64 `json:"ledger_reserved"`
 	LedgerWaiting  int   `json:"ledger_waiting"`
@@ -153,6 +170,14 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		Inflight:  m.Inflight.Load(),
 		Running:   m.Running.Load(),
 		Succeeded: m.Succeeded.Load(),
+
+		IngestSessions:     m.IngestSessions.Load(),
+		IngestResumed:      m.IngestResumed.Load(),
+		IngestBlocks:       m.IngestBlocks.Load(),
+		IngestRows:         m.IngestRows.Load(),
+		IngestSeals:        m.IngestSeals.Load(),
+		IngestQueries:      m.IngestQueries.Load(),
+		IngestBackpressure: m.IngestBackpressure.Load(),
 
 		P50Millis: float64(m.Quantile(0.50)) / float64(time.Millisecond),
 		P99Millis: float64(m.Quantile(0.99)) / float64(time.Millisecond),

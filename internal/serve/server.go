@@ -52,6 +52,24 @@ type Config struct {
 	// Tracer, when non-nil, observes every query's execution and is
 	// exported through /metrics.
 	Tracer *cacheagg.Tracer
+
+	// IngestDir, when set, enables the /v1/ingest streaming API: each
+	// session's durable checkpoints live in IngestDir/<session>. NewServer
+	// resumes every unfinished session found there, and Drain seals each
+	// open session's final epoch before returning.
+	IngestDir string
+	// IngestQueueDepth bounds each session's ingest queue in blocks
+	// (0 = stream default).
+	IngestQueueDepth int
+	// IngestEpochMaxRows seals an epoch checkpoint after this many rows
+	// per session (0 = stream default).
+	IngestEpochMaxRows int64
+	// IngestBudgetBytes caps each session's buffered-blocks + partial-state
+	// memory (0 = unlimited). A starved budget turns into 429 backpressure
+	// on push, never into unbounded growth.
+	IngestBudgetBytes int64
+	// IngestNoSync skips checkpoint fsyncs (tests and benchmarks only).
+	IngestNoSync bool
 }
 
 // Server is the aggregation service. Build with NewServer, mount
@@ -66,6 +84,9 @@ type Server struct {
 	drainMu  sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+
+	sessMu   sync.Mutex
+	sessions map[string]*ingestSession
 }
 
 // NewServer validates cfg and assembles the service.
@@ -87,6 +108,14 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.sessions = make(map[string]*ingestSession)
+	if cfg.IngestDir != "" {
+		if err := s.resumeSessions(); err != nil {
+			return nil, err
+		}
+		s.metrics.IngestSessions.Store(int64(len(s.sessions)))
+	}
 	return s, nil
 }
 
@@ -115,7 +144,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Query sessions have all completed; now seal every open ingest
+		// session's buffered rows into a final epoch. Buffered blocks are
+		// made durable, never dropped — a drained server's streams resume
+		// exactly where producers left them.
+		return s.drainSessions(ctx)
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted with %d sessions in flight: %w",
 			s.metrics.Inflight.Load(), ctx.Err())

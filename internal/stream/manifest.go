@@ -1,0 +1,212 @@
+package stream
+
+// Checkpoint manifest codec. The manifest is the stream's commit record:
+// it names every sealed epoch (sequence, record count, file size), records
+// the aggregate plan, and carries the durable row/block counters producers
+// ack against. It is written to MANIFEST.tmp, fsynced, and renamed over
+// MANIFEST — the rename is the commit point — so on disk there is always
+// exactly one complete manifest.
+//
+// Layout (little-endian):
+//
+//	magic      u32   "CAGM" (0x4347414d)
+//	version    u16   1
+//	flags      u16   bit 0: finished
+//	nspecs     u16   number of aggregate specs
+//	  per spec:
+//	    kind   u8
+//	    col    u16
+//	nepochs    u32   number of sealed epochs
+//	  per epoch:
+//	    seq      u64
+//	    records  u64
+//	    bytes    u64
+//	rowsDurable   u64
+//	blocksDurable u64
+//	crc        u32   CRC32-IEEE over everything above
+//	end magic  u32   "MEND" (0x4d454e44)
+//
+// decodeManifest is the fuzzed trust boundary: it must return a typed
+// error wrapping ErrCorruptCheckpoint for every malformed input — never
+// panic, never over-allocate from attacker-controlled counts, and never
+// accept a torn (truncated or bit-flipped) write, which the trailing CRC
+// plus end magic guarantee.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"cacheagg/internal/agg"
+)
+
+const (
+	manifestName     = "MANIFEST"
+	snapshotTmpDir   = ".tmp"
+	manifestMagic    = 0x4347414d // "CAGM"
+	manifestEndMagic = 0x4d454e44 // "MEND"
+	manifestVersion  = 1
+
+	manifestFlagFinished = 1 << 0
+
+	// manifestFixedSize is the byte size of a manifest with zero specs
+	// and zero epochs: the absolute floor any valid manifest must meet.
+	manifestFixedSize = 4 + 2 + 2 + 2 + 4 + 8 + 8 + 4 + 4
+)
+
+// epochFileName returns the checkpoint file name of epoch seq.
+func epochFileName(seq uint64) string { return fmt.Sprintf("epoch-%08d.ckpt", seq) }
+
+// epochEntry is one sealed epoch as the manifest records it.
+type epochEntry struct {
+	Seq     uint64
+	Records uint64
+	Bytes   int64
+}
+
+// manifest is the decoded commit record.
+type manifest struct {
+	Finished      bool
+	Specs         []agg.Spec
+	Epochs        []epochEntry
+	RowsDurable   uint64
+	BlocksDurable uint64
+}
+
+// clone returns a deep copy so a seal can build the successor manifest
+// without mutating the committed one (which remains the truth if the
+// commit fails).
+func (m manifest) clone() manifest {
+	c := m
+	c.Specs = append([]agg.Spec(nil), m.Specs...)
+	c.Epochs = append([]epochEntry(nil), m.Epochs...)
+	return c
+}
+
+// encode renders the manifest to its on-disk form.
+func (m manifest) encode() []byte {
+	n := manifestFixedSize + 3*len(m.Specs) + 24*len(m.Epochs)
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint32(b, manifestMagic)
+	b = binary.LittleEndian.AppendUint16(b, manifestVersion)
+	var flags uint16
+	if m.Finished {
+		flags |= manifestFlagFinished
+	}
+	b = binary.LittleEndian.AppendUint16(b, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Specs)))
+	for _, s := range m.Specs {
+		b = append(b, byte(s.Kind))
+		b = binary.LittleEndian.AppendUint16(b, uint16(s.Col))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Epochs)))
+	for _, e := range m.Epochs {
+		b = binary.LittleEndian.AppendUint64(b, e.Seq)
+		b = binary.LittleEndian.AppendUint64(b, e.Records)
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.Bytes))
+	}
+	b = binary.LittleEndian.AppendUint64(b, m.RowsDurable)
+	b = binary.LittleEndian.AppendUint64(b, m.BlocksDurable)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	b = binary.LittleEndian.AppendUint32(b, manifestEndMagic)
+	return b
+}
+
+// corruptManifest builds the typed decode failure.
+func corruptManifest(format string, args ...any) error {
+	return fmt.Errorf("%w: manifest: %s", ErrCorruptCheckpoint, fmt.Sprintf(format, args...))
+}
+
+// decodeManifest parses b, rejecting every structural defect with an
+// error wrapping ErrCorruptCheckpoint. It validates the trailing CRC and
+// end magic before trusting any counted field, so a torn tail or interior
+// bit flip can never yield a manifest.
+func decodeManifest(b []byte) (manifest, error) {
+	var m manifest
+	if len(b) < manifestFixedSize {
+		return m, corruptManifest("%d bytes, need at least %d", len(b), manifestFixedSize)
+	}
+	if got := binary.LittleEndian.Uint32(b[len(b)-4:]); got != manifestEndMagic {
+		return m, corruptManifest("bad end magic %#x (torn write?)", got)
+	}
+	body, crcBytes := b[:len(b)-8], b[len(b)-8:len(b)-4]
+	if want, got := binary.LittleEndian.Uint32(crcBytes), crc32.ChecksumIEEE(body); got != want {
+		return m, corruptManifest("checksum mismatch (stored %#x, computed %#x)", want, got)
+	}
+	// The CRC covers `body` end-to-end; from here every read is
+	// bounds-checked against len(body) because the *claimed counts*
+	// themselves are what a hostile input controls.
+	off := 0
+	need := func(n int, what string) error {
+		if len(body)-off < n {
+			return corruptManifest("truncated %s at offset %d", what, off)
+		}
+		return nil
+	}
+	if binary.LittleEndian.Uint32(body[off:]) != manifestMagic {
+		return m, corruptManifest("bad magic %#x", binary.LittleEndian.Uint32(body[off:]))
+	}
+	off += 4
+	if v := binary.LittleEndian.Uint16(body[off:]); v != manifestVersion {
+		return m, corruptManifest("unsupported version %d", v)
+	}
+	off += 2
+	flags := binary.LittleEndian.Uint16(body[off:])
+	off += 2
+	if flags&^uint16(manifestFlagFinished) != 0 {
+		return m, corruptManifest("unknown flags %#x", flags)
+	}
+	m.Finished = flags&manifestFlagFinished != 0
+	nspecs := int(binary.LittleEndian.Uint16(body[off:]))
+	off += 2
+	if nspecs == 0 {
+		return m, corruptManifest("zero aggregate specs")
+	}
+	if err := need(3*nspecs, "spec table"); err != nil {
+		return m, err
+	}
+	m.Specs = make([]agg.Spec, nspecs)
+	for i := 0; i < nspecs; i++ {
+		k := agg.Kind(body[off])
+		if !k.Valid() {
+			return m, corruptManifest("spec %d has invalid kind %d", i, body[off])
+		}
+		m.Specs[i] = agg.Spec{Kind: k, Col: int(binary.LittleEndian.Uint16(body[off+1:]))}
+		off += 3
+	}
+	if err := need(4, "epoch count"); err != nil {
+		return m, err
+	}
+	nepochs := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	// 24 bytes per epoch must fit in what remains — checked before the
+	// allocation so a hostile count cannot balloon memory.
+	if err := need(24*nepochs+16, "epoch table"); err != nil {
+		return m, err
+	}
+	m.Epochs = make([]epochEntry, nepochs)
+	var prevSeq uint64
+	for i := 0; i < nepochs; i++ {
+		e := epochEntry{
+			Seq:     binary.LittleEndian.Uint64(body[off:]),
+			Records: binary.LittleEndian.Uint64(body[off+8:]),
+			Bytes:   int64(binary.LittleEndian.Uint64(body[off+16:])),
+		}
+		off += 24
+		if e.Seq <= prevSeq {
+			return m, corruptManifest("epoch table not strictly increasing at entry %d (seq %d after %d)", i, e.Seq, prevSeq)
+		}
+		if e.Bytes < 0 {
+			return m, corruptManifest("epoch %d has negative size", e.Seq)
+		}
+		prevSeq = e.Seq
+		m.Epochs[i] = e
+	}
+	m.RowsDurable = binary.LittleEndian.Uint64(body[off:])
+	m.BlocksDurable = binary.LittleEndian.Uint64(body[off+8:])
+	off += 16
+	if off != len(body) {
+		return m, corruptManifest("%d trailing bytes", len(body)-off)
+	}
+	return m, nil
+}

@@ -1,0 +1,1150 @@
+// Package stream implements durable push-based streaming aggregation on
+// top of the batch operator: a StreamAggregator accepts blocks of
+// (key, columns) rows through a bounded, memory-governed ingest queue,
+// folds them into an in-memory epoch accumulator with sorted/clustered-run
+// early aggregation, and periodically seals the accumulator into an epoch
+// checkpoint — partial aggregation state written through the external
+// package's CRC-checked block codec, committed by an atomically-renamed,
+// checksummed manifest. Resume reconstructs the stream from its checkpoint
+// directory after a crash: epochs the manifest never committed are rolled
+// back, corrupt state surfaces as a typed error, and ingest continues from
+// the last sealed epoch.
+//
+// # Epoch state machine
+//
+//	       Push (fold into accumulator)
+//	          │
+//	┌────────▼────────┐  seal (size/budget/Checkpoint/Finish)
+//	│  OPEN epoch e+1 │ ──────────────────────────────┐
+//	└─────────────────┘                               │
+//	         ▲             write epoch-(e+1).ckpt     │
+//	         │             fsync                      │
+//	         │             write MANIFEST.tmp, fsync  │
+//	         │             rename → MANIFEST          │
+//	         │             fsync directory            │
+//	         └───── accumulator reset ◄───────────────┘
+//
+// The rename is the commit point. A crash before it leaves a torn epoch
+// file that Resume deletes (state rolls back to the previous manifest); a
+// crash after it recovers the epoch. Producers replay un-acknowledged
+// input from Progress().RowsDurable.
+//
+// # Backpressure contract
+//
+// Push blocks while the bounded queue is full or the memory governor has
+// no room for the block, honoring its context; TryPush never blocks and
+// returns a *BackpressureError (wrapping ErrBackpressure) carrying a retry
+// hint instead. When the governor refuses a block while the accumulator
+// holds reserved memory, the aggregator requests an early seal — releasing
+// the accumulator's reservation is what un-wedges the budget — so a
+// starved stream degrades to smaller epochs instead of deadlocking.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/core"
+	"cacheagg/internal/external"
+	"cacheagg/internal/faultfs"
+	"cacheagg/internal/hashfn"
+	"cacheagg/internal/memgov"
+	"cacheagg/internal/trace"
+)
+
+// Typed sentinels. Every failure mode of the streaming path wraps one of
+// these (or context/memgov/external sentinels), so callers can dispatch
+// without string matching.
+var (
+	// ErrBackpressure is wrapped by *BackpressureError when TryPush finds
+	// the ingest queue or the memory budget full.
+	ErrBackpressure = errors.New("stream: backpressure")
+	// ErrClosed reports an operation on a closed aggregator.
+	ErrClosed = errors.New("stream: aggregator closed")
+	// ErrFinished reports a Push/Resume on a finished stream.
+	ErrFinished = errors.New("stream: already finished")
+	// ErrCorruptCheckpoint is wrapped by every structural failure of the
+	// checkpoint state: a damaged manifest, a manifest-listed epoch file
+	// that is missing, truncated or fails its checksums, or a record
+	// count that disagrees with the manifest.
+	ErrCorruptCheckpoint = errors.New("stream: corrupt checkpoint")
+	// ErrNoCheckpoint reports a Resume on a directory with no manifest.
+	ErrNoCheckpoint = errors.New("stream: no checkpoint")
+	// ErrSpecMismatch reports a Resume whose Options.Specs disagree with
+	// the manifest's recorded aggregate plan.
+	ErrSpecMismatch = errors.New("stream: aggregate specs do not match checkpoint")
+)
+
+// BackpressureError is the typed refusal of TryPush (and of Push when its
+// context expires first): the stream is healthy but full. RetryAfter is
+// the producer's hint — retry no sooner than this.
+type BackpressureError struct {
+	// Reason is "queue" (the bounded block queue is full) or "budget"
+	// (the memory governor cannot admit the block).
+	Reason string
+	// RetryAfter is the suggested backoff before the next attempt.
+	RetryAfter time.Duration
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("stream: backpressure (%s full), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBackpressure) true for every BackpressureError.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
+// Block is one pushed batch of rows: a key column plus the value columns
+// the aggregate specs refer to. All slices must have equal length.
+type Block struct {
+	Keys []uint64
+	Cols [][]int64
+}
+
+// Rows returns the number of rows in the block.
+func (b Block) Rows() int { return len(b.Keys) }
+
+// Options configures Begin and Resume.
+type Options struct {
+	// Dir is the checkpoint directory — the stream's durable identity.
+	// Begin requires it to hold no manifest; Resume requires one.
+	Dir string
+	// Specs are the aggregates computed over every pushed block. Resume
+	// may leave them nil to adopt the manifest's recorded specs.
+	Specs []agg.Spec
+	// QueueDepth bounds the ingest queue in blocks; <= 0 selects 16.
+	QueueDepth int
+	// EpochMaxRows seals the open epoch after this many ingested rows;
+	// <= 0 selects 1 << 18.
+	EpochMaxRows int64
+	// MemoryBudgetBytes bounds the bytes held by queued blocks plus the
+	// epoch accumulator, enforced through Governor (created here when
+	// nil). 0 means unlimited.
+	MemoryBudgetBytes int64
+	// Governor, when non-nil, is used instead of a fresh governor built
+	// from MemoryBudgetBytes, so one ledger can span several streams.
+	Governor *memgov.Governor
+	// FS is the checkpoint I/O backend; nil selects the real filesystem.
+	// It is wrapped in a faultfs.Retry so transient faults are absorbed.
+	FS faultfs.FS
+	// Retry configures the transient-fault retry policy; zero fields
+	// select faultfs.DefaultRetryPolicy.
+	Retry faultfs.RetryPolicy
+	// Tracer, when non-nil, receives epoch-seal, checkpoint-write,
+	// recover and backpressure events plus the events of snapshot merges.
+	Tracer trace.Tracer
+	// RetryHint is the backoff suggested by BackpressureError; <= 0
+	// selects 10ms.
+	RetryHint time.Duration
+	// Core configures the in-memory operator used to merge epoch partials
+	// for Snapshot/Finish (workers, cache size).
+	Core core.Config
+	// NoSync skips every fsync (epoch files, manifests, directory).
+	// Tests and benchmarks only: a NoSync stream survives process
+	// crashes in practice but not power loss.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.EpochMaxRows <= 0 {
+		o.EpochMaxRows = 1 << 18
+	}
+	if o.RetryHint <= 0 {
+		o.RetryHint = 10 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS()
+	}
+	return o
+}
+
+// Stats is a point-in-time census of the stream's work.
+type Stats struct {
+	RowsIngested         int64 // raw rows folded into accumulators
+	BlocksIngested       int64
+	RunsDetected         int64 // sorted/clustered runs of >= 2 equal keys
+	RunRows              int64 // rows folded through the run fast path
+	EpochsSealed         int64
+	CheckpointBytes      int64 // bytes written to epoch files and manifests
+	Backpressure         int64 // refused TryPushes + Pushes that had to wait
+	EarlySeals           int64 // epochs sealed by memory pressure, not row count
+	Snapshots            int64
+	SnapshotSpills       int64 // snapshot merges degraded to the external engine
+	RecoveredEpochs      int64 // sealed epochs restored by Resume
+	RecoveredRows        int64 // durable raw rows restored by Resume
+	TornEpochsRolledBack int64 // un-manifested epoch files deleted by Resume
+}
+
+// Progress is the durable high-water mark producers ack against.
+type Progress struct {
+	// Epoch is the last sealed epoch's sequence number (0 = none).
+	Epoch uint64
+	// RowsDurable is the count of raw rows folded into sealed epochs: a
+	// producer that crashes replays everything after this offset.
+	RowsDurable uint64
+	// BlocksDurable is the count of pushed blocks fully covered by
+	// sealed epochs.
+	BlocksDurable uint64
+	// RowsBuffered is the count of raw rows folded into the open (not
+	// yet durable) accumulator. Queued, un-folded blocks are not
+	// included.
+	RowsBuffered int64
+}
+
+// Result is a finalized aggregate snapshot, deterministically ordered by
+// (hash, key) so equal streams produce bit-identical results regardless
+// of arrival order, epoch boundaries, or crash/resume history.
+type Result struct {
+	Keys   []uint64
+	Hashes []uint64
+	// Aggs has one column per spec: integer result (truncated for AVG).
+	Aggs [][]int64
+	// AggsFloat has one column per spec: exact float result for AVG,
+	// widened integer otherwise.
+	AggsFloat [][]float64
+	// Epochs is how many sealed epochs the snapshot covers (the open
+	// accumulator is always included on top).
+	Epochs int
+}
+
+// Groups returns the number of groups.
+func (r *Result) Groups() int { return len(r.Keys) }
+
+// bytesPerGroup estimates the resident cost of one accumulator group:
+// key + partial words + map entry overhead.
+func bytesPerGroup(width int) int64 { return int64(8 + 8*width + 48) }
+
+// Aggregator is the durable streaming aggregation session. All methods
+// are safe for concurrent use; blocks and control operations are applied
+// in one total order by a single consumer goroutine.
+type Aggregator struct {
+	opts   Options
+	plan   *external.Plan
+	specs  []agg.Spec
+	fs     faultfs.FS // retry-wrapped
+	baseFS faultfs.FS
+	gov    *memgov.Governor
+	ownGov bool // governor created here: drain-to-zero is ours to assert
+	tr     trace.Tracer
+	dir    string
+
+	ch   chan msg
+	done chan struct{}
+
+	// sendMu serializes senders (RLock) against lifecycle flips (Lock):
+	// once closed is set under the write lock, nothing new can enter ch,
+	// so everything queued behind the final control message is control.
+	sendMu sync.RWMutex
+	closed bool
+
+	failMu  sync.Mutex
+	failErr error
+
+	// Consumer-goroutine state (unsynchronized: single owner).
+	acc     accum
+	epoch   uint64
+	man     manifest
+	pending int64 // pushed blocks not yet covered by a sealed epoch
+
+	statMu sync.Mutex
+	stats  Stats
+	prog   Progress
+}
+
+// accum is the open epoch's accumulator: group index in first-appearance
+// order with one uint64 partial-state word per decomposed column.
+type accum struct {
+	idx      map[uint64]int
+	keys     []uint64
+	parts    [][]uint64
+	rows     int64 // raw rows folded this epoch
+	resBytes int64 // bytes reserved with the governor
+}
+
+func (a *accum) reset(width int) {
+	a.idx = make(map[uint64]int, 1024)
+	a.keys = a.keys[:0]
+	if a.parts == nil {
+		a.parts = make([][]uint64, width)
+	}
+	for c := range a.parts {
+		a.parts[c] = a.parts[c][:0]
+	}
+	a.rows = 0
+	a.resBytes = 0
+}
+
+type ctlOp int
+
+const (
+	ctlSeal ctlOp = iota
+	ctlSnapshot
+	ctlFinish
+	ctlClose
+)
+
+type ctlReply struct {
+	epoch uint64
+	res   *Result
+	err   error
+}
+
+type msg struct {
+	// Exactly one of push/ctl is set.
+	push      *Block
+	pushBytes int64
+	ctl       ctlOp
+	window    int
+	reply     chan ctlReply // nil for fire-and-forget control (pressure seals)
+}
+
+// Begin creates a new durable stream in opts.Dir, which must not already
+// hold a checkpoint manifest.
+func Begin(opts Options) (*Aggregator, error) {
+	opts = opts.withDefaults()
+	if err := validateSpecs(opts.Specs); err != nil {
+		return nil, err
+	}
+	a, err := newAggregator(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(a.dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("stream: Begin(%s): checkpoint manifest already present (use Resume)", a.dir)
+	}
+	a.man = manifest{Specs: opts.Specs}
+	a.start()
+	return a, nil
+}
+
+// newAggregator builds the shared skeleton of Begin and Resume: directory,
+// filesystem stack, governor, plan. It does not start the consumer.
+func newAggregator(opts Options) (*Aggregator, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("stream: Options.Dir is required (the stream's durable identity)")
+	}
+	if opts.MemoryBudgetBytes < 0 {
+		return nil, fmt.Errorf("stream: MemoryBudgetBytes is negative (%d); use 0 for unlimited", opts.MemoryBudgetBytes)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: create checkpoint dir: %w", err)
+	}
+	gov := opts.Governor
+	own := false
+	if gov == nil {
+		gov = memgov.New(opts.MemoryBudgetBytes)
+		own = true
+	}
+	a := &Aggregator{
+		opts:   opts,
+		specs:  opts.Specs,
+		baseFS: opts.FS,
+		fs:     faultfs.NewRetry(opts.FS, opts.Retry),
+		gov:    gov,
+		ownGov: own,
+		tr:     opts.Tracer,
+		dir:    opts.Dir,
+		ch:     make(chan msg, opts.QueueDepth),
+		done:   make(chan struct{}),
+	}
+	if opts.Specs != nil {
+		a.plan = external.BuildPlan(opts.Specs)
+	}
+	return a, nil
+}
+
+// start finalizes the plan-dependent state and launches the consumer.
+func (a *Aggregator) start() {
+	a.acc.reset(a.plan.Width())
+	a.statMu.Lock()
+	a.prog.Epoch = a.epoch
+	a.prog.RowsDurable = a.man.RowsDurable
+	a.prog.BlocksDurable = a.man.BlocksDurable
+	a.statMu.Unlock()
+	go a.run()
+}
+
+func validateSpecs(specs []agg.Spec) error {
+	if len(specs) == 0 {
+		return errors.New("stream: at least one aggregate spec is required")
+	}
+	for _, s := range specs {
+		if !s.Kind.Valid() {
+			return fmt.Errorf("stream: invalid aggregate kind %d", int(s.Kind))
+		}
+		if s.Col < 0 {
+			return fmt.Errorf("stream: negative aggregate column %d", s.Col)
+		}
+	}
+	return nil
+}
+
+// validateBlock rejects structurally broken blocks before they enter the
+// queue, so the consumer never sees one.
+func (a *Aggregator) validateBlock(b Block) error {
+	for c, col := range b.Cols {
+		if len(col) != len(b.Keys) {
+			return fmt.Errorf("stream: block column %d has %d rows, keys have %d", c, len(col), len(b.Keys))
+		}
+	}
+	for _, s := range a.specs {
+		if s.Kind != agg.Count && s.Col >= len(b.Cols) {
+			return fmt.Errorf("stream: %s needs column %d, block has %d", s, s.Col, len(b.Cols))
+		}
+	}
+	return nil
+}
+
+func blockBytes(b Block) int64 {
+	return int64(8*len(b.Keys)) + int64(8*len(b.Keys)*len(b.Cols))
+}
+
+// loadErr returns the stream's sticky failure, if any.
+func (a *Aggregator) loadErr() error {
+	a.failMu.Lock()
+	defer a.failMu.Unlock()
+	return a.failErr
+}
+
+func (a *Aggregator) fail(err error) {
+	a.failMu.Lock()
+	if a.failErr == nil {
+		a.failErr = err
+	}
+	a.failMu.Unlock()
+	// The open accumulator is dead: its rows were never acknowledged as
+	// durable, so producers replay them after Resume. Return its memory.
+	a.releaseAcc()
+}
+
+func (a *Aggregator) releaseAcc() {
+	if a.acc.resBytes > 0 {
+		a.gov.Release(a.acc.resBytes)
+	}
+	a.acc.reset(a.plan.Width())
+}
+
+// backpressure builds the typed refusal and records the event.
+func (a *Aggregator) backpressure(reason string) error {
+	a.statMu.Lock()
+	a.stats.Backpressure++
+	a.statMu.Unlock()
+	if a.tr != nil {
+		a.tr.Emit(trace.KindBackpressure, 0, 0, int64(len(a.ch)), 1)
+	}
+	return &BackpressureError{Reason: reason, RetryAfter: a.opts.RetryHint}
+}
+
+// requestSeal asks the consumer for an early seal without blocking: when
+// the queue is full the consumer is already busy and will release memory
+// soon anyway.
+func (a *Aggregator) requestSeal() {
+	select {
+	case a.ch <- msg{ctl: ctlSeal}:
+	default:
+	}
+}
+
+// Push enqueues one block, blocking until the queue and the memory budget
+// admit it or ctx is done. The block's slices must not be mutated by the
+// caller afterwards. A nil error means the block WILL be folded (barring
+// a crash — it is durable only once Progress().RowsDurable covers it).
+func (a *Aggregator) Push(ctx context.Context, b Block) error {
+	return a.push(ctx, b, true)
+}
+
+// TryPush is Push without blocking: when the queue or the budget is full
+// it returns a *BackpressureError immediately.
+func (a *Aggregator) TryPush(b Block) error {
+	return a.push(context.Background(), b, false)
+}
+
+func (a *Aggregator) push(ctx context.Context, b Block, wait bool) error {
+	if err := a.validateBlock(b); err != nil {
+		return err
+	}
+	if b.Rows() == 0 {
+		return nil
+	}
+	a.sendMu.RLock()
+	defer a.sendMu.RUnlock()
+	if a.closed {
+		return ErrClosed
+	}
+	if err := a.loadErr(); err != nil {
+		return err
+	}
+	bytes := blockBytes(b)
+	if budget := a.gov.Budget(); budget > 0 && bytes > budget {
+		return a.gov.BudgetError("stream: ingest block", bytes)
+	}
+	if !a.gov.TryReserve(bytes) {
+		// The accumulator's reservation is what crowds the budget;
+		// sealing it is the release valve.
+		a.requestSeal()
+		if !wait {
+			return a.backpressure("budget")
+		}
+		a.statMu.Lock()
+		a.stats.Backpressure++
+		a.statMu.Unlock()
+		if a.tr != nil {
+			a.tr.Emit(trace.KindBackpressure, 0, 0, int64(len(a.ch)), 1)
+		}
+		if err := a.gov.TryReserveOrWait(ctx, bytes); err != nil {
+			return err
+		}
+	}
+	m := msg{push: &b, pushBytes: bytes}
+	select {
+	case a.ch <- m:
+		return nil
+	default:
+	}
+	// Queue full: a refusal for TryPush, a counted stall for Push.
+	if !wait {
+		a.gov.Release(bytes)
+		return a.backpressure("queue")
+	}
+	a.statMu.Lock()
+	a.stats.Backpressure++
+	a.statMu.Unlock()
+	if a.tr != nil {
+		a.tr.Emit(trace.KindBackpressure, 0, 0, int64(len(a.ch)), 1)
+	}
+	select {
+	case a.ch <- m:
+		return nil
+	case <-ctx.Done():
+		a.gov.Release(bytes)
+		return ctx.Err()
+	}
+}
+
+// control round-trips one control operation through the consumer, keeping
+// its position in the ingest order.
+func (a *Aggregator) control(ctx context.Context, op ctlOp, window int, flip bool) (ctlReply, error) {
+	if flip {
+		a.sendMu.Lock()
+		if a.closed {
+			a.sendMu.Unlock()
+			return ctlReply{}, ErrClosed
+		}
+		a.closed = true
+		defer a.sendMu.Unlock()
+	} else {
+		a.sendMu.RLock()
+		if a.closed {
+			a.sendMu.RUnlock()
+			return ctlReply{}, ErrClosed
+		}
+		defer a.sendMu.RUnlock()
+	}
+	reply := make(chan ctlReply, 1)
+	select {
+	case a.ch <- msg{ctl: op, window: window, reply: reply}:
+	case <-ctx.Done():
+		return ctlReply{}, ctx.Err()
+	}
+	select {
+	case r := <-reply:
+		return r, r.err
+	case <-ctx.Done():
+		// The operation is queued and will execute; only the caller
+		// stops waiting.
+		return ctlReply{}, ctx.Err()
+	}
+}
+
+// Checkpoint seals the open epoch (after folding everything queued ahead
+// of it) and returns the sealed epoch's sequence number. Sealing an empty
+// accumulator is a no-op that returns the current epoch.
+func (a *Aggregator) Checkpoint(ctx context.Context) (uint64, error) {
+	r, err := a.control(ctx, ctlSeal, 0, false)
+	return r.epoch, err
+}
+
+// Snapshot merges the last `window` sealed epochs plus the open
+// accumulator into a finalized result (window <= 0 means all epochs): the
+// stream's rolling-window query. Ingest ordered before the call is
+// included; ingest ordered after is not.
+func (a *Aggregator) Snapshot(ctx context.Context, window int) (*Result, error) {
+	r, err := a.control(ctx, ctlSnapshot, window, false)
+	return r.res, err
+}
+
+// Finish seals the open epoch, marks the manifest finished, returns the
+// final result over all epochs and shuts the stream down. After Finish
+// every method returns ErrClosed (and Resume on the directory returns
+// ErrFinished).
+func (a *Aggregator) Finish(ctx context.Context) (*Result, error) {
+	r, err := a.control(ctx, ctlFinish, 0, true)
+	return r.res, err
+}
+
+// Close shuts the stream down without sealing: buffered rows are folded
+// then dropped with the open accumulator (durable state keeps the last
+// sealed epoch; producers replay from Progress().RowsDurable after
+// Resume). Safe to call more than once and after Finish.
+func (a *Aggregator) Close() error {
+	a.sendMu.Lock()
+	if a.closed {
+		a.sendMu.Unlock()
+		<-a.done
+		return nil
+	}
+	a.closed = true
+	a.ch <- msg{ctl: ctlClose}
+	a.sendMu.Unlock()
+	<-a.done
+	return nil
+}
+
+// Stats returns a copy of the stream's counters.
+func (a *Aggregator) Stats() Stats {
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	return a.stats
+}
+
+// Progress returns the durable high-water mark.
+func (a *Aggregator) Progress() Progress {
+	a.statMu.Lock()
+	defer a.statMu.Unlock()
+	return a.prog
+}
+
+// Specs returns the stream's aggregate specs (Resume may have adopted
+// them from the manifest).
+func (a *Aggregator) Specs() []agg.Spec { return a.specs }
+
+// Dir returns the checkpoint directory.
+func (a *Aggregator) Dir() string { return a.dir }
+
+// ---------------------------------------------------------------------------
+// Consumer.
+
+// run is the single consumer goroutine: it owns the accumulator and the
+// manifest, applying blocks and control operations in arrival order.
+func (a *Aggregator) run() {
+	defer close(a.done)
+	for m := range a.ch {
+		switch {
+		case m.push != nil:
+			if a.loadErr() != nil {
+				a.gov.Release(m.pushBytes)
+				continue
+			}
+			a.fold(*m.push)
+			a.gov.Release(m.pushBytes)
+			if err := a.maybeSeal(); err != nil {
+				a.fail(err)
+			}
+		case m.ctl == ctlSeal:
+			ep, err := a.sealChecked()
+			if m.reply != nil {
+				m.reply <- ctlReply{epoch: ep, err: err}
+			}
+		case m.ctl == ctlSnapshot:
+			res, err := a.snapshot(m.window)
+			m.reply <- ctlReply{res: res, err: err}
+		case m.ctl == ctlFinish:
+			res, err := a.finish()
+			m.reply <- ctlReply{res: res, err: err}
+			a.releaseAcc()
+			return
+		case m.ctl == ctlClose:
+			a.releaseAcc()
+			return
+		}
+	}
+}
+
+// fold merges one block into the accumulator, one map operation per run
+// of equal consecutive keys: on sorted or clustered input whole groups
+// collapse before touching the index (in-stream early aggregation).
+func (a *Aggregator) fold(b Block) {
+	acc := &a.acc
+	dec := a.plan.Dec
+	width := len(dec)
+	groupsBefore := len(acc.keys)
+	n := len(b.Keys)
+	var runs, runRows int64
+	for i := 0; i < n; {
+		k := b.Keys[i]
+		j := i + 1
+		for j < n && b.Keys[j] == k {
+			j++
+		}
+		s, ok := acc.idx[k]
+		if !ok {
+			s = len(acc.keys)
+			acc.idx[k] = s
+			acc.keys = append(acc.keys, k)
+			for c := 0; c < width; c++ {
+				acc.parts[c] = append(acc.parts[c], 0)
+			}
+			var st [1]uint64
+			for c := 0; c < width; c++ {
+				sp := dec[c]
+				st[0] = acc.parts[c][s]
+				first := true
+				for r := i; r < j; r++ {
+					v := int64(0)
+					if sp.Kind != agg.Count {
+						v = b.Cols[sp.Col][r]
+					}
+					if first {
+						sp.Kind.Init(st[:], v)
+						first = false
+					} else {
+						sp.Kind.Fold(st[:], v)
+					}
+				}
+				acc.parts[c][s] = st[0]
+			}
+		} else {
+			var st [1]uint64
+			for c := 0; c < width; c++ {
+				sp := dec[c]
+				st[0] = acc.parts[c][s]
+				for r := i; r < j; r++ {
+					v := int64(0)
+					if sp.Kind != agg.Count {
+						v = b.Cols[sp.Col][r]
+					}
+					sp.Kind.Fold(st[:], v)
+				}
+				acc.parts[c][s] = st[0]
+			}
+		}
+		if j-i >= 2 {
+			runs++
+			runRows += int64(j - i)
+		}
+		i = j
+	}
+	acc.rows += int64(n)
+	a.pending++
+	if grown := len(acc.keys) - groupsBefore; grown > 0 {
+		delta := int64(grown) * bytesPerGroup(width)
+		// Reserve unconditionally: the groups are already materialized.
+		// The budget check happens at the block boundary (maybeSeal).
+		a.gov.Reserve(delta)
+		acc.resBytes += delta
+	}
+	a.statMu.Lock()
+	a.stats.RowsIngested += int64(n)
+	a.stats.BlocksIngested++
+	a.stats.RunsDetected += runs
+	a.stats.RunRows += runRows
+	a.prog.RowsBuffered = acc.rows
+	a.statMu.Unlock()
+}
+
+// maybeSeal seals when the open epoch crossed the row threshold or the
+// accumulator pushed the governor over budget (pressure seal).
+func (a *Aggregator) maybeSeal() error {
+	if a.acc.rows >= a.opts.EpochMaxRows {
+		return a.seal()
+	}
+	if a.acc.rows > 0 && a.gov.OverBudget() {
+		a.statMu.Lock()
+		a.stats.EarlySeals++
+		a.statMu.Unlock()
+		return a.seal()
+	}
+	return nil
+}
+
+// sealChecked is seal behind the sticky-failure gate, for explicit
+// Checkpoint calls.
+func (a *Aggregator) sealChecked() (uint64, error) {
+	if err := a.loadErr(); err != nil {
+		return a.epoch, err
+	}
+	if err := a.seal(); err != nil {
+		a.fail(err)
+		return a.epoch, err
+	}
+	return a.epoch, nil
+}
+
+// seal makes the open accumulator durable: epoch file through the block
+// codec, fsync, manifest commit. On any error the orphan epoch file is
+// removed and the previous manifest remains the truth.
+func (a *Aggregator) seal() error {
+	if a.acc.rows == 0 {
+		return nil
+	}
+	seq := a.epoch + 1
+	path := filepath.Join(a.dir, epochFileName(seq))
+	w, err := external.NewBlockWriter(a.fs, path, "checkpoint", a.plan.Width())
+	if err != nil {
+		return fmt.Errorf("stream: seal epoch %d: %w", seq, err)
+	}
+	for i := range a.acc.keys {
+		if err := w.AppendState(a.acc.keys[i], a.acc.parts, i); err != nil {
+			w.Abort()
+			a.fs.Remove(path)
+			return fmt.Errorf("stream: seal epoch %d: %w", seq, err)
+		}
+	}
+	if err := w.Finish(!a.opts.NoSync); err != nil {
+		w.Abort()
+		a.fs.Remove(path)
+		return fmt.Errorf("stream: seal epoch %d: %w", seq, err)
+	}
+	if a.tr != nil {
+		a.tr.Emit(trace.KindCheckpointWrite, 0, 0, int64(seq), float64(w.Bytes()))
+	}
+	m := a.man.clone()
+	m.Epochs = append(m.Epochs, epochEntry{
+		Seq:     seq,
+		Records: uint64(len(a.acc.keys)),
+		Bytes:   w.Bytes(),
+	})
+	m.RowsDurable += uint64(a.acc.rows)
+	m.BlocksDurable += uint64(a.pending)
+	manBytes, err := a.commitManifest(m)
+	if err != nil {
+		a.fs.Remove(path) // roll the orphan epoch back ourselves
+		return fmt.Errorf("stream: seal epoch %d: %w", seq, err)
+	}
+	a.man = m
+	a.epoch = seq
+	a.pending = 0
+	if a.tr != nil {
+		a.tr.Emit(trace.KindEpochSeal, 0, 0, int64(seq), float64(len(a.acc.keys)))
+	}
+	a.statMu.Lock()
+	a.stats.EpochsSealed++
+	a.stats.CheckpointBytes += w.Bytes() + manBytes
+	a.prog.Epoch = seq
+	a.prog.RowsDurable = m.RowsDurable
+	a.prog.BlocksDurable = m.BlocksDurable
+	a.prog.RowsBuffered = 0
+	a.statMu.Unlock()
+	a.releaseAcc()
+	return nil
+}
+
+// commitManifest writes m to MANIFEST.tmp, fsyncs, atomically renames it
+// over MANIFEST and fsyncs the directory — the commit point of the seal.
+func (a *Aggregator) commitManifest(m manifest) (int64, error) {
+	b := m.encode()
+	tmp := filepath.Join(a.dir, manifestName+".tmp")
+	f, err := a.fs.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("create manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		a.fs.Remove(tmp)
+		return 0, fmt.Errorf("write manifest: %w", err)
+	}
+	if !a.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			a.fs.Remove(tmp)
+			return 0, fmt.Errorf("sync manifest: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		a.fs.Remove(tmp)
+		return 0, fmt.Errorf("close manifest: %w", err)
+	}
+	if err := a.fs.Rename(tmp, filepath.Join(a.dir, manifestName)); err != nil {
+		a.fs.Remove(tmp)
+		return 0, fmt.Errorf("commit manifest: %w", err)
+	}
+	if !a.opts.NoSync {
+		if err := a.syncDir(); err != nil {
+			return 0, fmt.Errorf("sync checkpoint dir: %w", err)
+		}
+	}
+	if a.tr != nil {
+		a.tr.Emit(trace.KindCheckpointWrite, 0, 0, -1, float64(len(b)))
+	}
+	return int64(len(b)), nil
+}
+
+// syncDir fsyncs the checkpoint directory so the manifest rename itself
+// is durable.
+func (a *Aggregator) syncDir() error {
+	d, err := a.fs.Open(a.dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// finish seals, marks the manifest finished, and computes the final
+// result.
+func (a *Aggregator) finish() (*Result, error) {
+	if err := a.loadErr(); err != nil {
+		return nil, err
+	}
+	if err := a.seal(); err != nil {
+		a.fail(err)
+		return nil, err
+	}
+	res, err := a.snapshot(0)
+	if err != nil {
+		return nil, err
+	}
+	m := a.man.clone()
+	m.Finished = true
+	if _, err := a.commitManifest(m); err != nil {
+		return nil, fmt.Errorf("stream: finish: %w", err)
+	}
+	a.man = m
+	return res, nil
+}
+
+// snapshot merges the last `window` sealed epochs plus the open
+// accumulator through the batch machinery and finalizes per the original
+// specs.
+func (a *Aggregator) snapshot(window int) (*Result, error) {
+	if err := a.loadErr(); err != nil {
+		return nil, err
+	}
+	epochs := a.man.Epochs
+	if window > 0 && window < len(epochs) {
+		epochs = epochs[len(epochs)-window:]
+	}
+	width := a.plan.Width()
+	total := len(a.acc.keys)
+	for _, e := range epochs {
+		total += int(e.Records)
+	}
+	res := &Result{Epochs: len(epochs)}
+	a.statMu.Lock()
+	a.stats.Snapshots++
+	a.statMu.Unlock()
+	if total == 0 {
+		res.Aggs = make([][]int64, len(a.specs))
+		res.AggsFloat = make([][]float64, len(a.specs))
+		return res, nil
+	}
+
+	// Gather: sealed epoch partials from disk plus the live accumulator.
+	// The gather buffer is reserved with the governor for its lifetime.
+	gatherBytes := int64(total) * int64(8+8*width)
+	a.gov.Reserve(gatherBytes)
+	defer a.gov.Release(gatherBytes)
+	keys := make([]uint64, 0, total)
+	cols := make([][]int64, width)
+	for c := range cols {
+		cols[c] = make([]int64, 0, total)
+	}
+	for _, e := range epochs {
+		path := filepath.Join(a.dir, epochFileName(e.Seq))
+		ekeys, ecols, err := external.ReadBlockFile(a.fs, path, "checkpoint", width)
+		if err != nil {
+			return nil, fmt.Errorf("%w: epoch %d: %w", ErrCorruptCheckpoint, e.Seq, err)
+		}
+		if uint64(len(ekeys)) != e.Records {
+			return nil, fmt.Errorf("%w: epoch %d holds %d records, manifest says %d",
+				ErrCorruptCheckpoint, e.Seq, len(ekeys), e.Records)
+		}
+		keys = append(keys, ekeys...)
+		for c := 0; c < width; c++ {
+			for _, v := range ecols[c] {
+				cols[c] = append(cols[c], int64(v))
+			}
+		}
+	}
+	keys = append(keys, a.acc.keys...)
+	for c := 0; c < width; c++ {
+		for _, v := range a.acc.parts[c] {
+			cols[c] = append(cols[c], int64(v))
+		}
+	}
+
+	// Merge: the decomposed partials under their super-aggregate kinds,
+	// through the in-memory operator — degrading to the external engine
+	// when the budget refuses the table.
+	mergeSpecs := make([]agg.Spec, width)
+	for c := 0; c < width; c++ {
+		mergeSpecs[c] = agg.Spec{Kind: a.plan.MergeKind[c], Col: c}
+	}
+	in := &core.Input{Keys: keys, AggCols: cols, Specs: mergeSpecs}
+	ccfg := a.opts.Core
+	ccfg.Governor = a.gov
+	ccfg.Tracer = a.tr
+	merged, err := core.AggregateContext(context.Background(), ccfg, in)
+	var mkeys []uint64
+	var mparts [][]uint64
+	switch {
+	case err == nil:
+		mkeys = merged.Keys
+		mparts = make([][]uint64, width)
+		for c := 0; c < width; c++ {
+			col := make([]uint64, len(merged.Aggs[c]))
+			for i, v := range merged.Aggs[c] {
+				col[i] = uint64(v)
+			}
+			mparts[c] = col
+		}
+	case errors.Is(err, core.ErrMemoryBudget) || errors.Is(err, memgov.ErrBudget):
+		a.statMu.Lock()
+		a.stats.SnapshotSpills++
+		a.statMu.Unlock()
+		ecfg := external.Config{
+			Governor: a.gov,
+			TempDir:  filepath.Join(a.dir, snapshotTmpDir),
+			FS:       a.baseFS,
+			Retry:    a.opts.Retry,
+			Tracer:   a.tr,
+			Core:     a.opts.Core,
+		}
+		if err := os.MkdirAll(ecfg.TempDir, 0o755); err != nil {
+			return nil, fmt.Errorf("stream: snapshot spill dir: %w", err)
+		}
+		eres, eerr := external.AggregateContext(context.Background(), ecfg, in)
+		switch {
+		case eerr == nil:
+			mkeys = eres.Keys
+			mparts = make([][]uint64, width)
+			for c := 0; c < width; c++ {
+				col := make([]uint64, len(eres.Aggs[c]))
+				for i, v := range eres.Aggs[c] {
+					col[i] = uint64(v)
+				}
+				mparts[c] = col
+			}
+		case errors.Is(eerr, core.ErrMemoryBudget) || errors.Is(eerr, memgov.ErrBudget):
+			// The budget is smaller than the operators' own machinery
+			// floor. The snapshot must still materialize — its working
+			// set is already charged to the ledger by the gather
+			// reservation — so fall to the minimal-footprint merge.
+			mkeys, mparts = a.mergeByMap(keys, cols)
+		default:
+			return nil, fmt.Errorf("stream: snapshot merge: %w", eerr)
+		}
+	default:
+		return nil, fmt.Errorf("stream: snapshot merge: %w", err)
+	}
+
+	finalize(a.plan, mkeys, mparts, res)
+	sortResult(res)
+	return res, nil
+}
+
+// mergeByMap is the snapshot merge of last resort: one hash map, one
+// pass, no operator machinery. It exists so a Snapshot always succeeds
+// under budgets too small for the core or external engines — the result
+// has to materialize regardless, and this path's footprint is the gather
+// reservation the caller already holds.
+func (a *Aggregator) mergeByMap(keys []uint64, cols [][]int64) ([]uint64, [][]uint64) {
+	width := a.plan.Width()
+	idx := make(map[uint64]int, 1024)
+	var mk []uint64
+	mp := make([][]uint64, width)
+	var dst, src [1]uint64
+	for r, k := range keys {
+		g, ok := idx[k]
+		if !ok {
+			idx[k] = len(mk)
+			mk = append(mk, k)
+			for c := 0; c < width; c++ {
+				mp[c] = append(mp[c], uint64(cols[c][r]))
+			}
+			continue
+		}
+		for c := 0; c < width; c++ {
+			dst[0], src[0] = mp[c][g], uint64(cols[c][r])
+			a.plan.MergeKind[c].Merge(dst[:], src[:])
+			mp[c][g] = dst[0]
+		}
+	}
+	return mk, mp
+}
+
+// finalize turns merged decomposed partials into the original specs'
+// results: AVG from its (SUM, COUNT) pair — exact in the float column —
+// everything else widened in place.
+func finalize(p *external.Plan, keys []uint64, parts [][]uint64, res *Result) {
+	res.Keys = keys
+	res.Hashes = make([]uint64, len(keys))
+	for i, k := range keys {
+		res.Hashes[i] = hashfn.Murmur2(k)
+	}
+	res.Aggs = make([][]int64, len(p.Orig))
+	res.AggsFloat = make([][]float64, len(p.Orig))
+	for si, s := range p.Orig {
+		off := p.Off[si]
+		col := make([]int64, len(keys))
+		fcol := make([]float64, len(keys))
+		for g := range keys {
+			if s.Kind == agg.Avg {
+				sum := int64(parts[off][g])
+				cnt := int64(parts[off+1][g])
+				if cnt == 0 {
+					col[g], fcol[g] = 0, 0
+				} else {
+					col[g], fcol[g] = sum/cnt, float64(sum)/float64(cnt)
+				}
+			} else {
+				v := int64(parts[off][g])
+				col[g], fcol[g] = v, float64(v)
+			}
+		}
+		res.Aggs[si] = col
+		res.AggsFloat[si] = fcol
+	}
+}
+
+// sortResult orders the result by (hash, key): the canonical order that
+// makes snapshots bit-identical across arrival orders, epoch splits and
+// crash/resume histories.
+func sortResult(res *Result) {
+	n := len(res.Keys)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		if res.Hashes[i] != res.Hashes[j] {
+			return res.Hashes[i] < res.Hashes[j]
+		}
+		return res.Keys[i] < res.Keys[j]
+	})
+	keys := make([]uint64, n)
+	hashes := make([]uint64, n)
+	for i, s := range perm {
+		keys[i] = res.Keys[s]
+		hashes[i] = res.Hashes[s]
+	}
+	res.Keys, res.Hashes = keys, hashes
+	for c := range res.Aggs {
+		col := make([]int64, n)
+		for i, s := range perm {
+			col[i] = res.Aggs[c][s]
+		}
+		res.Aggs[c] = col
+	}
+	for c := range res.AggsFloat {
+		col := make([]float64, n)
+		for i, s := range perm {
+			col[i] = res.AggsFloat[c][s]
+		}
+		res.AggsFloat[c] = col
+	}
+}

@@ -121,9 +121,25 @@ const (
 	// KindGovHighWater: the governor's reservation high-water mark rose
 	// past another sampling grain. Part = -1, Value = high water in bytes.
 	KindGovHighWater
+	// KindEpochSeal: a streaming epoch was sealed — its accumulator is
+	// durable on disk and the manifest committed. Part = epoch sequence
+	// number, Value = groups (records) in the epoch file.
+	KindEpochSeal
+	// KindCheckpointWrite: one checkpoint artifact (epoch file or
+	// manifest) finished writing, before the manifest commit makes it
+	// live. Part = epoch sequence number (-1 for the manifest),
+	// Value = file size in bytes.
+	KindCheckpointWrite
+	// KindRecover: a stream resumed from its checkpoint directory.
+	// Part = sealed epochs restored, Value = durable rows recovered.
+	KindRecover
+	// KindBackpressure: a push was refused (ErrBackpressure) or blocked
+	// because the ingest queue or memory budget was full. Part = queue
+	// length at refusal, Value = 1.
+	KindBackpressure
 
 	// NumKinds is the number of kinds; valid Kind values are < NumKinds.
-	NumKinds = 13
+	NumKinds = 17
 )
 
 var kindNames = [NumKinds]string{
@@ -132,6 +148,7 @@ var kindNames = [NumKinds]string{
 	"merge-start", "merge-steal", "merge-finish",
 	"prefetch-load", "prefetch-hit", "prefetch-drop",
 	"gov-high-water",
+	"epoch-seal", "checkpoint-write", "recover", "backpressure",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,176 @@
+package cacheagg
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamAgreesWithBatch pushes an input through the streaming path in
+// blocks — with epoch checkpoints forced along the way — and demands the
+// final result match the batch Aggregate over the same rows, group for
+// group and bit for bit (including exact Avg floats).
+func TestStreamAgreesWithBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const rows = 5000
+	keys := make([]uint64, rows)
+	col := make([]int64, rows)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(300))
+		col[i] = int64(rng.Intn(2001) - 1000)
+	}
+	aggs := []AggSpec{{Func: Count}, {Func: Sum, Col: 0}, {Func: Avg, Col: 0}}
+
+	batch, err := Aggregate(Input{GroupBy: keys, Columns: [][]int64{col}, Aggregates: aggs}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := BeginStream(StreamOptions{
+		Dir:          t.TempDir(),
+		Aggregates:   aggs,
+		EpochMaxRows: 700,
+		NoSync:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for off := 0; off < rows; off += 250 {
+		end := off + 250
+		if err := s.Push(ctx, Block{Keys: keys[off:end], Columns: [][]int64{col[off:end]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Len() != batch.Len() {
+		t.Fatalf("stream found %d groups, batch %d", res.Len(), batch.Len())
+	}
+	bidx := batch.Index()
+	for i, g := range res.Groups {
+		bi, ok := bidx[g]
+		if !ok {
+			t.Fatalf("group %d missing from batch result", g)
+		}
+		for a := range aggs {
+			if res.Aggs[a][i] != batch.Aggs[a][bi] {
+				t.Fatalf("group %d agg %d: stream %d, batch %d", g, a, res.Aggs[a][i], batch.Aggs[a][bi])
+			}
+			if res.Float(a, i) != batch.Float(a, bi) {
+				t.Fatalf("group %d agg %d: stream float %v, batch %v", g, a, res.Float(a, i), batch.Float(a, bi))
+			}
+		}
+	}
+	// Both paths advertise hash order; the streaming result's must be
+	// internally consistent and ascending.
+	h := res.Hashes()
+	for i := 1; i < len(h); i++ {
+		if h[i] < h[i-1] {
+			t.Fatalf("stream hashes not ascending at %d", i)
+		}
+	}
+}
+
+// TestStreamResumePublic exercises the crash-replay contract through the
+// public API alone: drain, resume with adopted aggregates, replay, and a
+// rolling-window snapshot along the way.
+func TestStreamResumePublic(t *testing.T) {
+	dir := t.TempDir()
+	aggs := []AggSpec{{Func: Sum, Col: 0}, {Func: Max, Col: 0}}
+	s, err := BeginStream(StreamOptions{Dir: dir, Aggregates: aggs, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Push(ctx, Block{Keys: []uint64{1, 2, 1}, Columns: [][]int64{{10, 20, 30}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := ResumeStream(StreamOptions{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Aggregates()
+	if len(got) != 2 || got[0] != aggs[0] || got[1] != aggs[1] {
+		t.Fatalf("adopted aggregates = %v, want %v", got, aggs)
+	}
+	if p := r.Progress(); p.RowsDurable != 3 || p.Epoch != 1 {
+		t.Fatalf("progress after resume = %+v", p)
+	}
+	if err := r.Push(ctx, Block{Keys: []uint64{2}, Columns: [][]int64{{5}}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Snapshot(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][2]int64{1: {40, 30}, 2: {25, 20}}
+	if snap.Len() != 2 {
+		t.Fatalf("snapshot groups = %d, want 2", snap.Len())
+	}
+	idx := snap.Index()
+	for k, w := range want {
+		i, ok := idx[k]
+		if !ok {
+			t.Fatalf("group %d missing", k)
+		}
+		if snap.Aggs[0][i] != w[0] || snap.Aggs[1][i] != w[1] {
+			t.Fatalf("group %d = (%d, %d), want %v", k, snap.Aggs[0][i], snap.Aggs[1][i], w)
+		}
+	}
+	if _, err := r.Finish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Finished is a terminal state with a typed refusal.
+	if _, err := ResumeStream(StreamOptions{Dir: dir, NoSync: true}); !errors.Is(err, ErrStreamFinished) {
+		t.Fatalf("resume of finished stream = %v, want ErrStreamFinished", err)
+	}
+}
+
+// TestStreamBackpressureTyped confirms the public TryPush surfaces the
+// typed backpressure error with its retry hint.
+func TestStreamBackpressureTyped(t *testing.T) {
+	s, err := BeginStream(StreamOptions{
+		Dir:               t.TempDir(),
+		Aggregates:        []AggSpec{{Func: Count}},
+		MemoryBudgetBytes: 1 << 10,
+		NoSync:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A block larger than the whole budget can never be admitted.
+	big := make([]uint64, 1024)
+	if err := s.Push(context.Background(), Block{Keys: big}); err == nil {
+		t.Fatal("oversized push succeeded")
+	}
+	// Saturate with small blocks until TryPush refuses, then check the
+	// refusal's type and hint.
+	small := Block{Keys: []uint64{1, 2, 3, 4}}
+	for i := 0; ; i++ {
+		err := s.TryPush(small)
+		if err == nil {
+			if i > 1<<20 {
+				t.Fatal("budget never pushed back")
+			}
+			continue
+		}
+		var bp *BackpressureError
+		if !errors.As(err, &bp) || !errors.Is(err, ErrBackpressure) {
+			t.Fatalf("TryPush refusal = %v, want *BackpressureError", err)
+		}
+		if bp.RetryAfter <= 0 {
+			t.Fatalf("retry hint %v, want > 0", bp.RetryAfter)
+		}
+		break
+	}
+}

@@ -45,7 +45,8 @@ type TraceEvent struct {
 	// Kind names the event: "strategy-switch", "table-split", "table-emit",
 	// "spill-write", "spill-read", "spill-retry", "merge-start",
 	// "merge-steal", "merge-finish", "prefetch-load", "prefetch-hit",
-	// "prefetch-drop" or "gov-high-water".
+	// "prefetch-drop", "gov-high-water", "epoch-seal", "checkpoint-write",
+	// "recover" or "backpressure".
 	Kind string `json:"kind"`
 	// Worker is the emitting worker's index (0 when not worker-scoped).
 	Worker int `json:"worker"`
