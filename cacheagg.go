@@ -163,6 +163,14 @@ type Options struct {
 	// table, scratch, write-combining buffers — roughly a few MiB) fail
 	// with an error that wraps ErrMemoryBudget.
 	MemoryBudgetBytes int64
+	// EnablePlan runs a sketch-guided planning pass before execution: a
+	// bounded prefix of the input feeds HyperLogLog and Count-Min sketches
+	// whose estimates pick the initial routine, pre-size the worker hash
+	// tables, and nominate heavy-hitter keys for a scalar bypass that
+	// skips the hash path entirely. Results are bit-identical with
+	// planning on or off; the plan only changes how fast they are
+	// produced. See docs/PERFORMANCE.md.
+	EnablePlan bool
 	// CollectStats enables execution statistics on the result.
 	CollectStats bool
 	// Tracer, when non-nil, records execution events (strategy switches,
@@ -202,6 +210,29 @@ type Stats struct {
 	Switches int64
 	// DirectEmits counts buckets finalized by one fused hashing pass.
 	DirectEmits int64
+
+	// Planned reports that Options.EnablePlan built a sketch plan for this
+	// run; the Plan* fields below echo its inputs and decisions.
+	Planned bool
+	// PlanSampleRows is the number of input rows the sketch pass sampled.
+	PlanSampleRows int64
+	// PlanEstimatedK is the HyperLogLog distinct-group estimate.
+	PlanEstimatedK float64
+	// PlanHotKeys is the size of the heavy-hitter bypass set.
+	PlanHotKeys int64
+	// PlanHotMass is the sampled row fraction attributed to the bypass set.
+	PlanHotMass float64
+	// PlanStartPartition reports that intake started in partitioning mode
+	// instead of probing hashing first.
+	PlanStartPartition bool
+	// PlanTableRows is the pre-sized worker-table row capacity (0 when the
+	// cache-sized default was kept).
+	PlanTableRows int64
+	// PlanNanos is the wall time the planning pass took.
+	PlanNanos int64
+	// HotRowsBypassed counts input rows folded into hot-key scalar
+	// accumulators instead of entering the hash/partition machinery.
+	HotRowsBypassed int64
 
 	// The memory-governor fields below are populated whenever
 	// Options.MemoryBudgetBytes was set, independent of CollectStats.
@@ -297,6 +328,7 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 		Workers:      opt.Workers,
 		CacheBytes:   opt.CacheBytes,
 		CollectStats: opt.CollectStats,
+		EnablePlan:   opt.EnablePlan,
 		Governor:     gov,
 	}
 	var pre trace.Snapshot
@@ -344,6 +376,16 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 			TablesEmitted:   st.TablesEmitted,
 			Switches:        st.Switches,
 			DirectEmits:     st.DirectEmits,
+
+			Planned:            st.Planned,
+			PlanSampleRows:     st.PlanSampleRows,
+			PlanEstimatedK:     st.PlanEstimatedK,
+			PlanHotKeys:        st.PlanHotKeys,
+			PlanHotMass:        st.PlanHotMass,
+			PlanStartPartition: st.PlanStartPartition,
+			PlanTableRows:      st.PlanTableRows,
+			PlanNanos:          st.PlanNanos,
+			HotRowsBypassed:    st.HotRowsBypassed,
 		}
 		if st.TablesEmitted > 0 {
 			res.Stats.MeanAlpha = st.AlphaSum / float64(st.TablesEmitted)

@@ -26,6 +26,9 @@
 //	interference  Section 6.2's co-runner experiment
 //	sweep       standard hot-path sweep (uniform-K strategies + multi-column
 //	            SUM); -json writes one machine-readable record per point
+//	skew        skewed-distribution sweep with sketch planning off vs on
+//	            (heavy-hitter, zipf, moving-cluster + uniform control);
+//	            same -json / -trace-dir record schema as sweep
 //	external    out-of-core sweep (budget × K grid, sequential vs parallel
 //	            merge, spill forced); -json emits the same record schema
 //	all         run everything at the default scale
@@ -154,6 +157,7 @@ func main() {
 		"interference": fig6Interference,
 		"ablation":     tblAblation,
 		"sweep":        sweep,
+		"skew":         skewSweep,
 		"external":     externalSweep,
 	}
 
@@ -195,7 +199,7 @@ func usage() {
 
 usage: aggbench <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
                  tbl-insert|tbl-sortdual|tbl-columnar|interference|sweep|
-                 external|compare|all> [flags]
+                 skew|external|compare|all> [flags]
 
 flags: -logn N  -workers P  -cache BYTES  -reps R  -tsv  -sim
        -json FILE  (sweep/external: machine-readable records)

@@ -1,0 +1,75 @@
+package main
+
+// The skew sweep: the planning/skew-armor benchmark grid behind
+// BENCH_phase8.json. Each skewed distribution is measured with planning off
+// and on over the same generated input, so the delta isolates what the
+// sketch pass buys (table pre-sizing, heavy-hitter bypass, largest-first
+// scheduling) on exactly the inputs ADAPTIVE starts blind on. A uniform
+// pair rides along as the no-regression control.
+
+import (
+	"fmt"
+
+	"cacheagg/internal/bench"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/trace"
+)
+
+// skewGrid is the sweep's point list. HitFraction/Theta/Window zero values
+// select the generator defaults (0.5 / 0.5 / 1024); the explicit points
+// pick the skews the planner was designed around.
+var skewGrid = []struct {
+	label string
+	spec  datagen.Spec
+}{
+	{"uniform/K=2^16", datagen.Spec{Dist: datagen.Uniform, K: 1 << 16}},
+	{"uniform-smallK/K=2^9", datagen.Spec{Dist: datagen.Uniform, K: 1 << 9}},
+	{"heavy-hitter/hf=0.5/K=2^16", datagen.Spec{Dist: datagen.HeavyHitter, K: 1 << 16, HitFraction: 0.5}},
+	{"heavy-hitter/hf=0.9/K=2^16", datagen.Spec{Dist: datagen.HeavyHitter, K: 1 << 16, HitFraction: 0.9}},
+	{"zipf/theta=1.05/K=2^16", datagen.Spec{Dist: datagen.Zipf, K: 1 << 16, Theta: 1.05}},
+	{"zipf/theta=0.99/K=2^16", datagen.Spec{Dist: datagen.Zipf, K: 1 << 16, Theta: 0.99}},
+	{"moving-cluster/w=1024/K=2^16", datagen.Spec{Dist: datagen.MovingCluster, K: 1 << 16, Window: 1024}},
+}
+
+// skewSweep measures the grid. Plan-off and plan-on share each input slice;
+// every point also writes a trace (with -trace-dir) so the CI delta job can
+// diff strategy-switch and table-split counts between the pair.
+func skewSweep(sc scale) []*bench.Table {
+	sweepRecords = sweepRecords[:0]
+	t := bench.NewTable(
+		fmt.Sprintf("Skew sweep — planning on/off (N=2^%d, P=%d)", sc.logN, sc.workers),
+		"point", "ns/op", "rows/s", "allocs/op")
+
+	for _, g := range skewGrid {
+		spec := g.spec
+		spec.N = sc.n
+		spec.Seed = 11
+		keys := datagen.Generate(spec)
+		for _, planned := range []bool{false, true} {
+			cfg := core.Config{
+				Strategy:   core.DefaultAdaptive(),
+				Workers:    sc.workers,
+				CacheBytes: sc.cache,
+				EnablePlan: planned,
+			}
+			name := fmt.Sprintf("skew/%s/plan=%v", g.label, planned)
+			r := sweepPoint(name, sc.n, func() {
+				if _, err := core.Distinct(cfg, keys); err != nil {
+					panic(err)
+				}
+			})
+			sweepRecords = append(sweepRecords, r)
+			t.AddRow(r.Name, fmt.Sprintf("%.0f", r.NsPerOp),
+				fmt.Sprintf("%.3e", r.RowsPerSec), r.AllocsPerOp)
+			tracePoint(name, func(rec *trace.Recorder) {
+				tcfg := cfg
+				tcfg.Tracer = rec
+				if _, err := core.Distinct(tcfg, keys); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	return []*bench.Table{t}
+}

@@ -104,6 +104,10 @@ func run() error {
 		n        = flag.Int("n", 1<<20, "rows of generated input")
 		k        = flag.Uint64("k", 1<<16, "key domain of generated input")
 		seed     = flag.Uint64("seed", 1, "seed for generated input")
+		theta    = flag.Float64("theta", 0, "zipf skew parameter (0 = generator default)")
+		hitFrac  = flag.Float64("hitfrac", 0, "heavy-hitter hot-key row fraction (0 = generator default)")
+		window   = flag.Uint64("window", 0, "moving-cluster window size (0 = generator default)")
+		plan     = flag.Bool("plan", false, "run the sketch-guided planning pass before execution")
 		in       = flag.String("in", "", "read keys from file instead of generating")
 		format   = flag.String("format", "text", "input file format: text | binary")
 		strat    = flag.String("strategy", "adaptive", "adaptive | hashing-only | partition-always | partition-only")
@@ -138,7 +142,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		keys = datagen.Generate(datagen.Spec{Dist: dist, N: *n, K: *k, Seed: *seed})
+		keys = datagen.Generate(datagen.Spec{
+			Dist: dist, N: *n, K: *k, Seed: *seed,
+			Theta: *theta, HitFraction: *hitFrac, Window: *window,
+		})
 	}
 
 	strategy, err := parseStrategy(*strat, *passes)
@@ -150,6 +157,7 @@ func run() error {
 		Workers:      *workers,
 		CacheBytes:   *cache,
 		CollectStats: true,
+		EnablePlan:   *plan,
 	}
 	var gov *memgov.Governor
 	if *budget > 0 {
@@ -203,6 +211,22 @@ func run() error {
 	fmt.Println()
 	fmt.Printf("switches   %d\n", st.Switches)
 	fmt.Printf("directemit %d buckets\n", st.DirectEmits)
+	if st.Planned {
+		mode := "hash"
+		if st.PlanStartPartition {
+			mode = "partition"
+		}
+		fmt.Printf("plan       sampled %d rows in %v: K̂=%.0f, start=%s\n",
+			st.PlanSampleRows, time.Duration(st.PlanNanos).Round(time.Microsecond),
+			st.PlanEstimatedK, mode)
+		if st.PlanTableRows > 0 {
+			fmt.Printf("plan       table pre-sized to %d rows\n", st.PlanTableRows)
+		}
+		if st.PlanHotKeys > 0 {
+			fmt.Printf("plan       %d hot keys (%.1f%% of sample), %d rows bypassed\n",
+				st.PlanHotKeys, 100*st.PlanHotMass, st.HotRowsBypassed)
+		}
+	}
 
 	if rec != nil {
 		snap := rec.Snapshot()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"cacheagg/internal/agg"
@@ -31,6 +32,15 @@ type exec struct {
 
 	cacheRows int // capacity of a cache-sized table
 	finalRows int // its fill limit: the leaf threshold of the recursion
+	tableRows int // worker-table capacity: cacheRows, or the plan's pre-size
+
+	// Sketch plan (nil when planning is off). hot is the executor's
+	// exact-match view of the plan's heavy-hitter keys; refCols lists the
+	// input columns the aggregate layout actually reads (the only ones the
+	// bypass compaction must copy).
+	plan    *Plan
+	hot     *hotSet
+	refCols []int
 
 	// Memory governance: interRow is the byte cost of one materialized
 	// intermediate-run row, chunkRow of one output-chunk row. gov is nil
@@ -85,6 +95,15 @@ type workerState struct {
 	// (nil-safe no-op when no governor is configured).
 	mem *memgov.Cache
 
+	// Hot-key bypass state (allocated only when the plan selected hot
+	// keys, never pooled — it is a few KiB). hotAcc holds the scalar
+	// accumulators; coldKeys/coldCols/coldIdx are the compaction scratch
+	// the cold remainder of each block is gathered into before dispatch.
+	hotAcc   *hotAccums
+	coldKeys []uint64
+	coldCols [][]int64
+	coldIdx  []int32
+
 	stats workerStats
 }
 
@@ -106,9 +125,11 @@ type workerKit struct {
 }
 
 // kitKey pins every size- or layout-relevant parameter of a kit; kits are
-// only reused by executions with the identical key.
+// only reused by executions with the identical key. tableRows joins the
+// key because the plan may pre-size the worker table below cacheRows.
 type kitKey struct {
 	cacheRows int
+	tableRows int
 	words     int
 	maxFill   float64
 	carry     bool
@@ -143,6 +164,26 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 	if e.cacheRows < hashfn.Fanout*hashtable.MinBlockRows {
 		e.cacheRows = hashfn.Fanout * hashtable.MinBlockRows
 	}
+	// Sketch plan: table pre-size and hot-key bypass. The plan is advisory
+	// throughout — a corrupt injected plan can at worst waste a few
+	// accumulators or split tables more often, never change results.
+	e.plan = cfg.Plan
+	e.tableRows = e.cacheRows
+	if rows := e.plan.sanitizedTableRows(e.cacheRows); rows != 0 {
+		e.tableRows = rows
+	}
+	if e.plan != nil {
+		e.hot = newHotSet(e.plan.HotKeys)
+	}
+	if e.hot != nil {
+		seen := make(map[int]bool)
+		for _, c := range e.kern.Cols {
+			if c >= 0 && !seen[c] {
+				seen[c] = true
+				e.refCols = append(e.refCols, c)
+			}
+		}
+	}
 	// The leaf threshold: the fused final pass may fill its table up to
 	// half (vs the routine tables' 25 %) — the paper's "factor B more
 	// partitions" optimization, bounded at 50 % to keep probing cheap.
@@ -162,6 +203,7 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 	e.workers = make([]workerState, e.pool.Workers())
 	e.kits = kitKey{
 		cacheRows: e.cacheRows,
+		tableRows: e.tableRows,
 		words:     e.words,
 		maxFill:   cfg.MaxFill,
 		carry:     cfg.CarryHashes,
@@ -190,7 +232,7 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 			}
 		} else {
 			ws.table = hashtable.New(hashtable.Config{
-				CapacityRows:     e.cacheRows,
+				CapacityRows:     e.tableRows,
 				Blocks:           hashfn.Fanout,
 				MaxFill:          cfg.MaxFill,
 				Words:            e.words,
@@ -212,6 +254,15 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 			ws.stateViews = make([][]uint64, e.words)
 			ws.rowScratch = make([]uint64, e.words)
 		}
+		if e.hot != nil {
+			ws.hotAcc = newHotAccums(len(e.hot.keys), e.words)
+			ws.coldKeys = make([]uint64, scratchRows)
+			ws.coldIdx = make([]int32, 0, scratchRows)
+			ws.coldCols = make([][]int64, len(in.AggCols))
+			for _, c := range e.refCols {
+				ws.coldCols[c] = make([]int64, scratchRows)
+			}
+		}
 		ws.mem = e.gov.NewCache(0)
 	}
 	if e.gov != nil {
@@ -227,6 +278,11 @@ func newExec(cfg Config, in *Input) (*exec, error) {
 			fixed += int64(e.words * scratchRows * 8) // stateScratch
 			fixed += int64(e.words * 8)               // rowScratch
 			fixed += int64(hashfn.Fanout * partition.DefaultBufRows * 8 * (2 + e.words))
+			if e.hot != nil {
+				fixed += int64(scratchRows * (8 + 4))                 // coldKeys + coldIdx
+				fixed += int64(len(e.refCols) * scratchRows * 8)      // coldCols
+				fixed += int64(len(e.hot.keys) * (e.words*8 + 8 + 1)) // accumulators
+			}
 		}
 		if !e.gov.TryReserve(fixed) {
 			return nil, e.gov.BudgetError("core: per-worker machinery", fixed)
@@ -299,6 +355,11 @@ func (e *exec) checkBudget(ctx *sched.Ctx, ws *workerState) bool {
 // A cancelled context or a panicking task aborts the run and is returned
 // as the error; the partially built state is simply discarded.
 func (e *exec) run(ctx context.Context) error {
+	if e.tr != nil && e.plan != nil {
+		// Part = bypass-set size, Value = K̂; the companion decisions are
+		// in Stats (and the per-key bypass volumes in KindHotKeyBypass).
+		e.tr.Emit(trace.KindPlan, 0, 0, int64(len(e.plan.HotKeys)), e.plan.EstimatedK)
+	}
 	// Phase A — intake: split the input into runs (Algorithm 2, line 5).
 	e.morsels = sched.NewMorsels(len(e.in.Keys), e.cfg.MorselRows)
 	nWorkers := e.pool.Workers()
@@ -314,14 +375,31 @@ func (e *exec) run(ctx context.Context) error {
 	}
 	e.lap(t0, trace.PhaseIntake)
 
-	// Phase B — recursion into the buckets (Algorithm 2, line 8).
+	// Phase B — recursion into the buckets (Algorithm 2, line 8), spawned
+	// largest-first. Task spawn order is the partition assignment of the
+	// work-stealing pool: under skew, digit order could queue the hottest
+	// bucket behind hundreds of small ones and leave its (deep, serial
+	// at the root) recursion to finish alone after everything else —
+	// largest-first bounds the makespan by starting the big buckets while
+	// the small ones backfill the idle workers. Output order is
+	// unaffected: assemble sorts chunks by hash prefix.
 	return e.pool.RunContext(ctx, func(ctx *sched.Ctx) {
+		type rootTask struct{ d, rows int }
+		order := make([]rootTask, 0, hashfn.Fanout)
 		for d := range e.root {
-			if e.root[d].Rows() == 0 {
-				continue
+			if n := e.root[d].Rows(); n > 0 {
+				order = append(order, rootTask{d, n})
 			}
-			b := &e.root[d]
-			prefix := uint64(d)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].rows != order[j].rows {
+				return order[i].rows > order[j].rows
+			}
+			return order[i].d < order[j].d
+		})
+		for _, rt := range order {
+			b := &e.root[rt.d]
+			prefix := uint64(rt.d)
 			ctx.Spawn(func(c *sched.Ctx) { e.processBucket(c, b, 1, prefix) })
 		}
 	})
@@ -337,10 +415,24 @@ func (ws *workerState) sliceStates(states [][]uint64, lo, hi int) [][]uint64 {
 
 // intake is one worker's main loop over the input: grab morsels, run the
 // strategy's decision loop on raw rows, produce level-0 runs.
+//
+// With a plan installed, two things change. The strategy may start in
+// partitioning mode (ADAPTIVE's low-α switch, taken up front from the
+// predicted reduction factor instead of after filling a table for
+// nothing). And when the plan selected hot keys, each block is first
+// compacted: hot rows fold into per-worker scalar accumulators (flushed
+// below as one-row pre-aggregated runs), only the cold remainder reaches
+// the table/scatter dispatch.
 func (e *exec) intake(ctx *sched.Ctx) {
 	ws := &e.workers[ctx.Worker]
 	ws.stats.tasks++
 	st := e.cfg.Strategy.NewState(0, e.cacheRows)
+	if p := e.plan; p != nil && p.StartPartition {
+		if as, ok := st.(*adaptiveState); ok {
+			as.partitioning = true
+			as.left = as.budget
+		}
+	}
 	table := ws.table
 	table.Reset()
 	table.SetLevel(0)
@@ -365,19 +457,13 @@ func (e *exec) intake(ctx *sched.Ctx) {
 			break
 		}
 		e.timed(ws, 0, func() {
-			i := lo
-			for i < hi {
-				switch st.NextMode() {
-				case ModePartition:
-					blk := min(hi-i, scratchRows)
-					t0 := e.stamp()
-					e.scatterRaw(ws, scat, keys, cols, i, i+blk)
-					e.lap(t0, trace.PhaseScatter)
-					st.OnPartitioned(blk)
-					ws.stats.partitionedRows += int64(blk)
-					i += blk
-				default: // ModeHash (ModeFinal cannot occur at intake)
-					i = e.hashRaw(ws, st, table, keys, cols, i, hi, &local)
+			if e.hot == nil {
+				e.dispatchRaw(ws, st, table, scat, keys, cols, lo, hi, &local)
+			} else {
+				for blkLo := lo; blkLo < hi; blkLo += scratchRows {
+					blkHi := min(blkLo+scratchRows, hi)
+					m := e.compactCold(ws, keys, cols, blkLo, blkHi)
+					e.dispatchRaw(ws, st, table, scat, ws.coldKeys, ws.coldCols, 0, m, &local)
 				}
 			}
 			ws.stats.levelRows[0] += int64(hi - lo)
@@ -400,6 +486,7 @@ func (e *exec) intake(ctx *sched.Ctx) {
 			views[d] = &local[d]
 		}
 		scat.SealInto(views)
+		e.flushHotAccums(ws, &local)
 		e.lap(t0, trace.PhaseSplit)
 	})
 
@@ -410,6 +497,127 @@ func (e *exec) intake(ctx *sched.Ctx) {
 		e.root[d].AddAll(&local[d])
 	}
 	e.rootMu.Unlock()
+}
+
+// dispatchRaw runs the strategy's decision loop over raw rows [lo, hi) of
+// the given key/column slices — the shared inner loop of the direct and the
+// bypass-compacted intake paths.
+func (e *exec) dispatchRaw(ws *workerState, st StrategyState, table *hashtable.Table,
+	scat *partition.Scatterer, keys []uint64, cols [][]int64, lo, hi int,
+	local *[hashfn.Fanout]runs.Bucket) {
+	i := lo
+	for i < hi {
+		switch st.NextMode() {
+		case ModePartition:
+			blk := min(hi-i, scratchRows)
+			t0 := e.stamp()
+			e.scatterRaw(ws, scat, keys, cols, i, i+blk)
+			e.lap(t0, trace.PhaseScatter)
+			st.OnPartitioned(blk)
+			ws.stats.partitionedRows += int64(blk)
+			i += blk
+		default: // ModeHash (ModeFinal cannot occur at intake)
+			i = e.hashRaw(ws, st, table, keys, cols, i, hi, local)
+		}
+	}
+}
+
+// compactCold splits block [lo, hi) of the input into hot and cold rows:
+// hot rows (exact key match against the plan's bypass set) fold into the
+// worker's scalar accumulators, cold rows are gathered — keys and the
+// referenced aggregate columns — into the worker's compaction scratch.
+// Returns the number of cold rows.
+func (e *exec) compactCold(ws *workerState, keys []uint64, cols [][]int64, lo, hi int) int {
+	hot := e.hot
+	acc := ws.hotAcc
+	lut := &hot.lut
+	hk := hot.keys
+	idx := ws.coldIdx[:0]
+	ck := ws.coldKeys
+	m := 0
+	// Distinct queries carry no state words: hot rows only need a counter,
+	// and cold rows need no index for the (empty) column gather. The split
+	// keeps both loops free of per-row calls — the classifier's home-slot
+	// probe is inlined; only probe-chain collisions take the call.
+	if len(e.wordOps) == 0 {
+		for r := lo; r < hi; r++ {
+			k := keys[r]
+			j := int(lut[hotSlot(k)])
+			if j >= 0 && hk[j] != k {
+				j = hot.lookup(k)
+			}
+			if j >= 0 {
+				acc.touched[j] = true
+				acc.rows[j]++
+				continue
+			}
+			ck[m] = k
+			m++
+		}
+		return m
+	}
+	for r := lo; r < hi; r++ {
+		k := keys[r]
+		j := int(lut[hotSlot(k)])
+		if j >= 0 && hk[j] != k {
+			j = hot.lookup(k)
+		}
+		if j >= 0 {
+			acc.fold(e.wordOps, j, cols, r)
+			continue
+		}
+		ck[m] = k
+		idx = append(idx, int32(r))
+		m++
+	}
+	// Column-major gather of the cold rows' referenced aggregate inputs.
+	for _, c := range e.refCols {
+		dst := ws.coldCols[c]
+		src := cols[c]
+		for x, r := range idx {
+			dst[x] = src[r]
+		}
+	}
+	ws.coldIdx = idx
+	return m
+}
+
+// flushHotAccums publishes the worker's touched hot-key accumulators as
+// one-row pre-aggregated runs into the local level-0 buckets, routed by the
+// hash digit exactly like table splits — downstream merging needs no
+// special case, and output order is identical to the unplanned path. The
+// state words are copied (the runs outlive the accumulators, which are
+// reset so a worker running several intake tasks cannot double-publish).
+func (e *exec) flushHotAccums(ws *workerState, local *[hashfn.Fanout]runs.Bucket) {
+	acc := ws.hotAcc
+	if acc == nil {
+		return
+	}
+	for j := range acc.touched {
+		if !acc.touched[j] {
+			continue
+		}
+		key, hash := e.hot.keys[j], e.hot.hashes[j]
+		r := &runs.Run{
+			Keys:       []uint64{key},
+			States:     make([][]uint64, e.words),
+			Aggregated: true,
+		}
+		for w := 0; w < e.words; w++ {
+			r.States[w] = []uint64{acc.states[j][w]}
+		}
+		if e.cfg.CarryHashes {
+			r.Hashes = []uint64{hash}
+		}
+		local[hashfn.Digit(hash, 0)].Add(r)
+		ws.mem.Reserve(e.interRow)
+		ws.stats.hotRows += acc.rows[j]
+		if e.tr != nil {
+			e.tr.Emit(trace.KindHotKeyBypass, ws.id, 0, int64(key), float64(acc.rows[j]))
+		}
+		acc.touched[j] = false
+		acc.rows[j] = 0
+	}
 }
 
 // hashRaw inserts raw input rows [i, hi) into the table until the table
@@ -530,14 +738,29 @@ func (e *exec) processBucket(ctx *sched.Ctx, b *runs.Bucket, level int, prefix u
 	// sub-buckets (reserved as they were re-materialized) or in the output
 	// chunk (reserved by emitTable).
 	ws.mem.Reserve(-int64(n) * e.interRow)
+	// Spawn the oversized children largest-first so a skew-bloated child
+	// enters the scheduler before its siblings: idle workers pick up the
+	// long pole early instead of finding it last behind a queue of small
+	// tasks. Results are unaffected — assemble orders chunks by sort key.
+	big := children[:0]
 	for _, c := range children {
 		if c.b.Rows() <= e.finalRows {
 			e.processBucket(ctx, c.b, level+1, c.prefix)
 		} else {
-			c := c
-			nextLevel := level + 1
-			ctx.Spawn(func(cc *sched.Ctx) { e.processBucket(cc, c.b, nextLevel, c.prefix) })
+			big = append(big, c)
 		}
+	}
+	sort.Slice(big, func(i, j int) bool {
+		ri, rj := big[i].b.Rows(), big[j].b.Rows()
+		if ri != rj {
+			return ri > rj
+		}
+		return big[i].prefix < big[j].prefix
+	})
+	for _, c := range big {
+		c := c
+		nextLevel := level + 1
+		ctx.Spawn(func(cc *sched.Ctx) { e.processBucket(cc, c.b, nextLevel, c.prefix) })
 	}
 }
 

@@ -56,6 +56,21 @@ func FuzzAggregateMatchesReference(f *testing.F) {
 			MorselRows:  64,
 			ChunkRows:   32,
 			CarryHashes: mode&1 == 1,
+			EnablePlan:  mode&2 == 2,
+		}
+		if cfg.EnablePlan && len(keys) >= 64 {
+			// Fuzz inputs are below the planner's minimum, so synthesize the
+			// plan directly from fuzz bytes: the executor must stay correct
+			// under arbitrary hot keys, table sizes, and routing decisions.
+			cfg.Plan = &Plan{
+				SampleRows:     len(keys),
+				EstimatedK:     float64(data[0]) * 17,
+				HotKeys:        []uint64{uint64(data[1]), uint64(data[2]), uint64(data[3])},
+				HotHashes:      []uint64{0, 0, 0},
+				HotMass:        float64(data[4]) / 255,
+				StartPartition: data[5]&1 == 1,
+				TableRows:      int(data[6]) << 6,
+			}
 		}
 		res, err := Aggregate(cfg, in)
 		if err != nil {

@@ -1,0 +1,149 @@
+package sketch
+
+// CMS is a Count-Min sketch over 64-bit hashes: depth rows of 2^logW uint32
+// counters. Row indices are derived from the one input hash by independent
+// odd-constant multiplications (Fibonacci-style remixes of the already
+// avalanched Murmur2 hash), so adding a row costs depth multiplies and
+// depth counter touches — no re-hashing.
+//
+// Updates are conservative ("count-min with conservative update"): only the
+// counters currently at the row minimum are incremented, which tightens the
+// overestimate for cold keys sharing a counter with a hot one at no extra
+// memory. Estimates still never under-count.
+type CMS struct {
+	logW  uint8
+	depth uint8
+	rows  []uint32 // depth contiguous segments of 2^logW counters each
+}
+
+// cmsSeeds are the per-row remix constants: arbitrary odd 64-bit constants
+// with good bit dispersion (golden-ratio multiples and friends). Capacity
+// bounds the maximum depth.
+var cmsSeeds = [8]uint64{
+	0x9e3779b97f4a7c15,
+	0xc2b2ae3d27d4eb4f,
+	0x165667b19e3779f9,
+	0x27d4eb2f165667c5,
+	0x85ebca6bc2b2ae35,
+	0xff51afd7ed558ccd,
+	0xc4ceb9fe1a85ec53,
+	0x2545f4914f6cdd1d,
+}
+
+// NewCMS returns a sketch of depth rows with 2^logW counters each.
+// logW must be in [1, 24] and depth in [1, 8].
+func NewCMS(logW, depth int) *CMS {
+	if logW < 1 || logW > 24 {
+		panic("sketch: CMS logW out of range [1,24]")
+	}
+	if depth < 1 || depth > len(cmsSeeds) {
+		panic("sketch: CMS depth out of range [1,8]")
+	}
+	return &CMS{
+		logW:  uint8(logW),
+		depth: uint8(depth),
+		rows:  make([]uint32, depth<<logW),
+	}
+}
+
+// AddHash counts one occurrence of the key behind hash h and returns the
+// key's updated frequency estimate (the row minimum). Zero allocations.
+func (c *CMS) AddHash(h uint64) uint64 {
+	if c.depth == 4 {
+		// Unrolled fast path for the default shape: all four indices are
+		// computed up front so the loads overlap, and min/update run
+		// branch-light on registers.
+		shift := 64 - c.logW
+		w := uint64(1) << c.logW
+		rows := c.rows
+		i0 := (h * cmsSeeds[0]) >> shift
+		i1 := w + (h*cmsSeeds[1])>>shift
+		i2 := 2*w + (h*cmsSeeds[2])>>shift
+		i3 := 3*w + (h*cmsSeeds[3])>>shift
+		v0, v1, v2, v3 := rows[i0], rows[i1], rows[i2], rows[i3]
+		m := v0
+		if v1 < m {
+			m = v1
+		}
+		if v2 < m {
+			m = v2
+		}
+		if v3 < m {
+			m = v3
+		}
+		if v0 == m {
+			rows[i0] = m + 1
+		}
+		if v1 == m {
+			rows[i1] = m + 1
+		}
+		if v2 == m {
+			rows[i2] = m + 1
+		}
+		if v3 == m {
+			rows[i3] = m + 1
+		}
+		return uint64(m) + 1
+	}
+	shift := 64 - c.logW
+	width := uint64(1) << c.logW
+	// First pass: row minimum (the estimate before this occurrence).
+	min := ^uint32(0)
+	base := uint64(0)
+	for d := uint8(0); d < c.depth; d++ {
+		idx := base + (h*cmsSeeds[d])>>shift
+		if v := c.rows[idx]; v < min {
+			min = v
+		}
+		base += width
+	}
+	// Conservative update: bump only the counters sitting at the minimum.
+	base = 0
+	for d := uint8(0); d < c.depth; d++ {
+		idx := base + (h*cmsSeeds[d])>>shift
+		if c.rows[idx] == min {
+			c.rows[idx] = min + 1
+		}
+		base += width
+	}
+	return uint64(min) + 1
+}
+
+// EstimateHash returns the frequency estimate (row minimum) for the key
+// behind hash h without counting an occurrence.
+func (c *CMS) EstimateHash(h uint64) uint64 {
+	shift := 64 - c.logW
+	width := uint64(1) << c.logW
+	min := ^uint32(0)
+	base := uint64(0)
+	for d := uint8(0); d < c.depth; d++ {
+		idx := base + (h*cmsSeeds[d])>>shift
+		if v := c.rows[idx]; v < min {
+			min = v
+		}
+		base += width
+	}
+	return uint64(min)
+}
+
+// Merge adds another sketch with identical shape counter-wise into c,
+// saturating at the uint32 ceiling. It panics on a shape mismatch.
+// Note that merged conservative-update sketches only guarantee the
+// never-undercount property, not the tighter conservative bound.
+func (c *CMS) Merge(o *CMS) {
+	if c.logW != o.logW || c.depth != o.depth {
+		panic("sketch: CMS shape mismatch in Merge")
+	}
+	for i, v := range o.rows {
+		s := uint64(c.rows[i]) + uint64(v)
+		if s > uint64(^uint32(0)) {
+			s = uint64(^uint32(0))
+		}
+		c.rows[i] = uint32(s)
+	}
+}
+
+// Reset clears all counters for reuse without reallocating.
+func (c *CMS) Reset() {
+	clear(c.rows)
+}

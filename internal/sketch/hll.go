@@ -1,0 +1,121 @@
+// Package sketch implements the zero-allocation cardinality and frequency
+// sketches behind the planning pass: a HyperLogLog for estimating the number
+// of distinct groups K, a Count-Min sketch for estimating per-key
+// frequencies, and a small top-k tracker that turns Count-Min estimates into
+// heavy-hitter candidates.
+//
+// All sketches consume 64-bit hashes that the hot path has already computed
+// (hashfn.HashBatch output) — adding a row never re-hashes and never
+// allocates. The planner feeds them from a bounded prefix sample of the
+// input, so their accuracy contract is "good enough to pick a starting
+// point", never a correctness dependency: every decision derived from a
+// sketch must degrade to the unplanned behaviour when the estimate is wrong.
+package sketch
+
+import (
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog cardinality estimator over 64-bit hashes with 2^p
+// registers. The register index comes from the top p bits of the hash and
+// the rank from the leading zeros of the remainder, so the low 8*level bits
+// that the radix partitioner consumes stay uncorrelated with the estimate.
+type HLL struct {
+	p    uint8
+	regs []uint8
+}
+
+// NewHLL returns an estimator with 2^p registers (standard error about
+// 1.04/sqrt(2^p); p=12 gives ~1.6% at 4 KiB). p must be in [4, 18].
+func NewHLL(p int) *HLL {
+	if p < 4 || p > 18 {
+		panic("sketch: HLL precision out of range [4,18]")
+	}
+	return &HLL{p: uint8(p), regs: make([]uint8, 1<<p)}
+}
+
+// AddHash folds one 64-bit hash into the estimator. Zero allocations.
+func (h *HLL) AddHash(x uint64) {
+	p := h.p
+	idx := x >> (64 - p)
+	// Shifting the index out and planting a sentinel bit caps the rank at
+	// 64-p+1, the maximum meaningful value for the remaining bits.
+	w := x<<p | 1<<(p-1)
+	r := uint8(bits.LeadingZeros64(w)) + 1
+	if r > h.regs[idx] {
+		h.regs[idx] = r
+	}
+}
+
+// AddHashes folds a whole block of hashes (a HashBatch output slice).
+func (h *HLL) AddHashes(xs []uint64) {
+	p := h.p
+	regs := h.regs
+	for _, x := range xs {
+		idx := x >> (64 - p)
+		w := x<<p | 1<<(p-1)
+		r := uint8(bits.LeadingZeros64(w)) + 1
+		if r > regs[idx] {
+			regs[idx] = r
+		}
+	}
+}
+
+// Estimate returns the current cardinality estimate, with the standard
+// linear-counting correction for the small-cardinality regime.
+func (h *HLL) Estimate() float64 {
+	m := float64(uint64(1) << h.p)
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += pow2neg(r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alphaM(len(h.regs)) * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Linear counting is more accurate while most registers are empty.
+		return m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Merge folds another estimator with identical precision into h
+// (register-wise max). It panics on a precision mismatch.
+func (h *HLL) Merge(o *HLL) {
+	if h.p != o.p {
+		panic("sketch: HLL precision mismatch in Merge")
+	}
+	for i, r := range o.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+}
+
+// Reset clears the estimator for reuse without reallocating.
+func (h *HLL) Reset() {
+	clear(h.regs)
+}
+
+// pow2neg returns 2^-r without calling math.Pow.
+func pow2neg(r uint8) float64 {
+	return 1 / float64(uint64(1)<<r)
+}
+
+// alphaM is the standard HyperLogLog bias-correction constant for m
+// registers.
+func alphaM(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}

@@ -1,0 +1,101 @@
+package sketch
+
+import (
+	"math/bits"
+
+	"cacheagg/internal/hashfn"
+)
+
+// Sketch bundles the three planning sketches and the per-digit histogram
+// behind one block-at-a-time feed. AddBlock is the only call on the sample
+// path: it folds every row of an already-hashed block into the HLL, the
+// CMS, the level-0 digit histogram, and — for rows whose frequency estimate
+// clears a dynamic threshold — the heavy-hitter candidate list. No
+// allocations after construction.
+type Sketch struct {
+	HLL *HLL
+	CMS *CMS
+	Top *TopK
+
+	// DigitHist counts sampled rows per level-0 radix digit (the top 8
+	// hash bits) — the partition-skew signal for the scatter planner.
+	DigitHist [hashfn.Fanout]int64
+
+	// Rows is the number of rows folded in so far.
+	Rows int64
+
+	// offerThresh gates TopK offers: a key is only proposed once its CMS
+	// estimate reaches this many occurrences. Recomputed per block.
+	offerThresh uint64
+}
+
+// Default sketch shape: 4 KiB HLL (~1.6% error), 64 KiB CMS (4x4096
+// uint32), 16 heavy-hitter candidates. Small enough to live in L2 while the
+// sample streams through.
+const (
+	defaultHLLP    = 12
+	defaultCMSLogW = 12
+	defaultCMSRows = 4
+	defaultTopCap  = 16
+)
+
+// NewSketch returns a sketch set with the default shape.
+func NewSketch() *Sketch {
+	return NewSketchParams(defaultHLLP, defaultCMSLogW, defaultCMSRows, defaultTopCap)
+}
+
+// NewSketchParams returns a sketch set with an explicit shape. Tests use
+// deliberately tiny CMS widths to force every key into collision.
+func NewSketchParams(hllP, cmsLogW, cmsDepth, topCap int) *Sketch {
+	return &Sketch{
+		HLL: NewHLL(hllP),
+		CMS: NewCMS(cmsLogW, cmsDepth),
+		Top: NewTopK(topCap),
+	}
+}
+
+// AddBlock folds one block of rows. hashes[i] must be the Murmur2 hash of
+// keys[i] (a hashfn.HashBatch output); the slices must have equal length.
+func (s *Sketch) AddBlock(keys, hashes []uint64) {
+	_ = hashes[:len(keys)]
+	// A key is a heavy-hitter candidate once it holds ~1/256 of the sample
+	// (or whatever it takes to beat the current candidate floor). Computing
+	// the gate once per block keeps the per-row cost at one compare.
+	thresh := uint64(s.Rows) >> 8
+	if m := s.Top.MinEst(); m >= thresh {
+		thresh = m + 1
+	}
+	if thresh < 8 {
+		thresh = 8
+	}
+	s.offerThresh = thresh
+
+	p := s.HLL.p
+	regs := s.HLL.regs
+	for i, h := range hashes {
+		s.DigitHist[h>>(64-hashfn.DigitBits)]++
+
+		// HLL add, inlined from AddHash (see hll.go for the derivation).
+		idx := h >> (64 - p)
+		w := h<<p | 1<<(p-1)
+		r := uint8(bits.LeadingZeros64(w)) + 1
+		if r > regs[idx] {
+			regs[idx] = r
+		}
+
+		if est := s.CMS.AddHash(h); est >= s.offerThresh {
+			s.Top.Offer(keys[i], h, est)
+		}
+	}
+	s.Rows += int64(len(keys))
+}
+
+// Reset clears every component for reuse without reallocating.
+func (s *Sketch) Reset() {
+	s.HLL.Reset()
+	s.CMS.Reset()
+	s.Top.Reset()
+	s.DigitHist = [hashfn.Fanout]int64{}
+	s.Rows = 0
+	s.offerThresh = 0
+}

@@ -1,0 +1,122 @@
+package sketch
+
+// TopK tracks the highest-frequency-estimate keys seen so far. It is a
+// fixed-capacity candidate list (capacities are single digits to low tens),
+// so membership and replacement are linear scans — branch-predictable and
+// allocation-free, far cheaper than a heap at these sizes.
+//
+// Estimates come from a Count-Min sketch, so they may be inflated by
+// collisions; the list therefore yields heavy-hitter *candidates*. Callers
+// must treat selection as advisory (a wrongly promoted cold key costs a
+// little performance, never correctness).
+type TopK struct {
+	cap    int
+	keys   []uint64
+	hashes []uint64
+	ests   []uint64
+	minIdx int // index of the smallest estimate once full
+	minEst uint64
+}
+
+// TopEntry is one heavy-hitter candidate.
+type TopEntry struct {
+	Key  uint64
+	Hash uint64
+	Est  uint64
+}
+
+// NewTopK returns a tracker for the cap highest-estimate keys. cap must be
+// in [1, 64].
+func NewTopK(cap int) *TopK {
+	if cap < 1 || cap > 64 {
+		panic("sketch: TopK capacity out of range [1,64]")
+	}
+	return &TopK{
+		cap:    cap,
+		keys:   make([]uint64, 0, cap),
+		hashes: make([]uint64, 0, cap),
+		ests:   make([]uint64, 0, cap),
+	}
+}
+
+// Offer proposes key (with its hash) at frequency estimate est. Known keys
+// have their estimate raised; new keys evict the current minimum once the
+// list is full. Zero allocations after construction.
+func (t *TopK) Offer(key, hash, est uint64) {
+	for i, k := range t.keys {
+		if k == key {
+			if est > t.ests[i] {
+				t.ests[i] = est
+				if i == t.minIdx {
+					t.refreshMin()
+				}
+			}
+			return
+		}
+	}
+	if len(t.keys) < t.cap {
+		t.keys = append(t.keys, key)
+		t.hashes = append(t.hashes, hash)
+		t.ests = append(t.ests, est)
+		if len(t.keys) == t.cap {
+			t.refreshMin()
+		}
+		return
+	}
+	if est <= t.minEst {
+		return
+	}
+	t.keys[t.minIdx] = key
+	t.hashes[t.minIdx] = hash
+	t.ests[t.minIdx] = est
+	t.refreshMin()
+}
+
+// MinEst returns the smallest estimate currently retained, or 0 while the
+// list is not yet full (everything is still accepted).
+func (t *TopK) MinEst() uint64 {
+	if len(t.keys) < t.cap {
+		return 0
+	}
+	return t.minEst
+}
+
+func (t *TopK) refreshMin() {
+	t.minIdx = 0
+	t.minEst = t.ests[0]
+	for i := 1; i < len(t.ests); i++ {
+		if t.ests[i] < t.minEst {
+			t.minEst = t.ests[i]
+			t.minIdx = i
+		}
+	}
+}
+
+// Items returns the retained candidates sorted by descending estimate.
+// It allocates (call it once, after feeding).
+func (t *TopK) Items() []TopEntry {
+	out := make([]TopEntry, len(t.keys))
+	for i := range t.keys {
+		out[i] = TopEntry{Key: t.keys[i], Hash: t.hashes[i], Est: t.ests[i]}
+	}
+	// Insertion sort: n <= 64.
+	for i := 1; i < len(out); i++ {
+		e := out[i]
+		j := i - 1
+		for j >= 0 && out[j].Est < e.Est {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = e
+	}
+	return out
+}
+
+// Reset clears the tracker for reuse without reallocating.
+func (t *TopK) Reset() {
+	t.keys = t.keys[:0]
+	t.hashes = t.hashes[:0]
+	t.ests = t.ests[:0]
+	t.minIdx = 0
+	t.minEst = 0
+}

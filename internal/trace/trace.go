@@ -137,9 +137,17 @@ const (
 	// because the ingest queue or memory budget was full. Part = queue
 	// length at refusal, Value = 1.
 	KindBackpressure
+	// KindPlan: a sketch-guided plan was attached to the run. Emitted once
+	// at run start. Part = number of hot keys nominated for bypass,
+	// Value = estimated distinct-key count (HLL).
+	KindPlan
+	// KindHotKeyBypass: a worker flushed one hot key's scalar accumulator
+	// into the merge stream. Part = the hot key (as int64),
+	// Value = rows folded into the accumulator since the last flush.
+	KindHotKeyBypass
 
 	// NumKinds is the number of kinds; valid Kind values are < NumKinds.
-	NumKinds = 17
+	NumKinds = 19
 )
 
 var kindNames = [NumKinds]string{
@@ -149,6 +157,7 @@ var kindNames = [NumKinds]string{
 	"prefetch-load", "prefetch-hit", "prefetch-drop",
 	"gov-high-water",
 	"epoch-seal", "checkpoint-write", "recover", "backpressure",
+	"plan", "hot-key-bypass",
 }
 
 func (k Kind) String() string {
