@@ -140,6 +140,32 @@ func PartitionAlwaysStrategy(passes int) Strategy { return Strategy{core.Partiti
 // framework's in-cache hashing pass (Appendix A.1).
 func PartitionOnlyStrategy() Strategy { return Strategy{core.PartitionOnly()} }
 
+// Routine selects which of the three execution routines runs the query.
+// The default, RoutineAuto, decides from the sketch plan's estimates (and
+// is the only mode that can demote mid-run); the explicit values force a
+// routine for benchmarking and testing.
+type Routine int
+
+const (
+	// RoutineAuto picks the routine from the plan's K̂/α̂ estimates; the
+	// partitioned routine when no trustworthy plan exists. Auto-selected
+	// global runs demote to partitioned mid-run when the observed
+	// reduction factor undershoots.
+	RoutineAuto Routine = iota
+	// RoutinePartitioned forces the paper's per-worker tables with
+	// radix-256 recursion.
+	RoutinePartitioned
+	// RoutineGlobal forces the lock-free shared global hash table for
+	// intake (arXiv:2505.04153's regime: many cores, high reduction).
+	RoutineGlobal
+	// RoutineSortSpill forces the sort-based out-of-core path, the same
+	// executor a memory-budget degradation uses.
+	RoutineSortSpill
+)
+
+// String returns the routine's display name.
+func (r Routine) String() string { return core.Routine(r).String() }
+
 // Options tunes an execution. The zero value is a sensible default:
 // adaptive strategy, GOMAXPROCS workers, 4 MiB cache budget.
 type Options struct {
@@ -178,6 +204,9 @@ type Options struct {
 	// and populates Result.Phases. The nil default costs one branch per
 	// block of rows on the hot path — see docs/OBSERVABILITY.md.
 	Tracer *Tracer
+	// Routine overrides the three-way execution-routine selection; the
+	// zero value selects automatically. See Routine.
+	Routine Routine
 }
 
 // ErrMemoryBudget is wrapped by errors reporting that MemoryBudgetBytes is
@@ -233,6 +262,24 @@ type Stats struct {
 	// HotRowsBypassed counts input rows folded into hot-key scalar
 	// accumulators instead of entering the hash/partition machinery.
 	HotRowsBypassed int64
+
+	// Routine is the execution routine the run committed to ("partitioned",
+	// "global", or "sort-spill"; a demoted global run reports
+	// "partitioned" with GlobalDemotions = 1).
+	Routine string
+	// GlobalRows counts rows folded into the shared global table.
+	GlobalRows int64
+	// GlobalEscapedRows counts rows the shared table bounced back into
+	// private tables (contention bounds, full blocks, refused growth).
+	GlobalEscapedRows int64
+	// GlobalContention counts contention events observed on the shared
+	// table (claim-phase spins plus failed fold CASes).
+	GlobalContention int64
+	// GlobalDemotions is 1 when an auto-selected global run demoted to
+	// the partitioned routine mid-run.
+	GlobalDemotions int64
+	// GlobalGrows counts stop-the-world growth splits of the shared table.
+	GlobalGrows int64
 
 	// The memory-governor fields below are populated whenever
 	// Options.MemoryBudgetBytes was set, independent of CollectStats.
@@ -323,6 +370,33 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 	if opt.MemoryBudgetBytes > 0 {
 		gov = memgov.New(opt.MemoryBudgetBytes)
 	}
+	if opt.Routine < RoutineAuto || opt.Routine > RoutineSortSpill {
+		return nil, fmt.Errorf("cacheagg: invalid Routine %d", opt.Routine)
+	}
+	if opt.Routine == RoutineSortSpill {
+		// Forced sort-spill goes straight to the out-of-core executor —
+		// the same path a budget degradation takes, minus the wasted
+		// in-memory attempt.
+		cin := &core.Input{Keys: in.GroupBy, AggCols: in.Columns, Specs: specs}
+		if err := cin.Validate(); err != nil {
+			return nil, err
+		}
+		if gov == nil {
+			gov = memgov.New(0) // unlimited: pure accounting
+		}
+		var pre trace.Snapshot
+		if t := opt.Tracer; t != nil {
+			pre = t.rec.Snapshot()
+		}
+		res, err := degradeToExternal(ctx, in, opt, cin, gov)
+		if err == nil {
+			res.Stats.Routine = core.RoutineSortSpill.String()
+			if opt.Tracer != nil {
+				res.Phases = opt.Tracer.phasesSince(pre)
+			}
+		}
+		return res, err
+	}
 	cfg := core.Config{
 		Strategy:     opt.Strategy.inner,
 		Workers:      opt.Workers,
@@ -330,6 +404,7 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 		CollectStats: opt.CollectStats,
 		EnablePlan:   opt.EnablePlan,
 		Governor:     gov,
+		Routine:      core.Routine(opt.Routine),
 	}
 	var pre trace.Snapshot
 	if t := opt.Tracer; t != nil {
@@ -351,8 +426,11 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 	if err != nil {
 		if gov != nil && errors.Is(err, core.ErrMemoryBudget) {
 			res, err := degradeToExternal(ctx, in, opt, cin, gov)
-			if err == nil && opt.Tracer != nil {
-				res.Phases = opt.Tracer.phasesSince(pre)
+			if err == nil {
+				res.Stats.Routine = core.RoutineSortSpill.String()
+				if opt.Tracer != nil {
+					res.Phases = opt.Tracer.phasesSince(pre)
+				}
 			}
 			return res, err
 		}
@@ -386,6 +464,13 @@ func AggregateContext(ctx context.Context, in Input, opt Options) (*Result, erro
 			PlanTableRows:      st.PlanTableRows,
 			PlanNanos:          st.PlanNanos,
 			HotRowsBypassed:    st.HotRowsBypassed,
+
+			Routine:           st.Routine.String(),
+			GlobalRows:        st.GlobalRows,
+			GlobalEscapedRows: st.GlobalEscapedRows,
+			GlobalContention:  st.GlobalContention,
+			GlobalDemotions:   st.GlobalDemotions,
+			GlobalGrows:       st.GlobalGrows,
 		}
 		if st.TablesEmitted > 0 {
 			res.Stats.MeanAlpha = st.AlphaSum / float64(st.TablesEmitted)

@@ -96,8 +96,11 @@ func writeCompare(out io.Writer, title, basePath, curPath string, tol float64) {
 			b, ok = baseByNorm[workersRe.ReplaceAllString(name, "P=*")]
 		}
 		if !ok || b.NsPerOp <= 0 {
+			// Even the P=* fallback found nothing (or the baseline row is
+			// degenerate): say so explicitly rather than implying the point
+			// was compared.
 			unmatched++
-			fmt.Fprintf(out, "| %s | — | %.0f | — | new point |\n", name, c.NsPerOp)
+			fmt.Fprintf(out, "| %s | — | %.0f | — | no baseline point |\n", name, c.NsPerOp)
 			continue
 		}
 		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
@@ -125,9 +128,15 @@ func readRecords(path string) ([]sweepRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Two formats exist: the original bare record list (phase ≤ 8
+	// baselines) and the object form with a meta block (phase 9+).
 	var recs []sweepRecord
 	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		var f sweepFile
+		if err2 := json.Unmarshal(data, &f); err2 != nil {
+			return nil, fmt.Errorf("parse: %w", err)
+		}
+		recs = f.Records
 	}
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("no records")

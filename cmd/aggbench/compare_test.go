@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareNoBaselinePoint pins the unmatched-point behavior: a current
+// point with no baseline partner — even after the P=* worker-count
+// fallback — must appear in the table with an explicit "no baseline point"
+// note, never be silently skipped, and never fail the comparison.
+func TestCompareNoBaselinePoint(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+		{"name": "distinct/adaptive/K=2^8", "ns_per_op": 100, "rows_per_sec": 1, "allocs_per_op": 2}
+	]`)
+	cur := writeJSON(t, dir, "cur.json", `[
+		{"name": "distinct/adaptive/K=2^8", "ns_per_op": 110, "rows_per_sec": 1, "allocs_per_op": 2},
+		{"name": "global/uniform/K=2^8/P=4/routine=global", "ns_per_op": 50, "rows_per_sec": 1, "allocs_per_op": 2}
+	]`)
+
+	var sb strings.Builder
+	writeCompare(&sb, "t", base, cur, 10)
+	got := sb.String()
+
+	if !strings.Contains(got, "no baseline point") {
+		t.Fatalf("unmatched point not flagged:\n%s", got)
+	}
+	if !strings.Contains(got, "global/uniform/K=2^8/P=4/routine=global") {
+		t.Fatalf("unmatched point row missing entirely:\n%s", got)
+	}
+	if !strings.Contains(got, "1 points compared, 1 without a baseline partner") {
+		t.Fatalf("summary line wrong:\n%s", got)
+	}
+}
+
+// TestCompareWorkerFallback pins the P=* pairing: a baseline recorded at a
+// different worker count still partners with the fresh point.
+func TestCompareWorkerFallback(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[
+		{"name": "external/seq/P=8/K=2^10", "ns_per_op": 100, "rows_per_sec": 1, "allocs_per_op": 2}
+	]`)
+	cur := writeJSON(t, dir, "cur.json", `[
+		{"name": "external/seq/P=4/K=2^10", "ns_per_op": 105, "rows_per_sec": 1, "allocs_per_op": 2}
+	]`)
+
+	var sb strings.Builder
+	writeCompare(&sb, "t", base, cur, 10)
+	got := sb.String()
+
+	if strings.Contains(got, "no baseline point") {
+		t.Fatalf("P=* fallback did not pair the point:\n%s", got)
+	}
+	if !strings.Contains(got, "within noise") {
+		t.Fatalf("paired point not annotated:\n%s", got)
+	}
+	if !strings.Contains(got, "1 points compared, 0 without a baseline partner") {
+		t.Fatalf("summary line wrong:\n%s", got)
+	}
+}
+
+// TestReadRecordsBothFormats pins that readRecords accepts the legacy bare
+// record list (phase ≤ 8 baselines) and the phase-9 object form with a
+// meta block, and rejects garbage with an error instead of a panic.
+func TestReadRecordsBothFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	bare := writeJSON(t, dir, "bare.json", `[
+		{"name": "a", "ns_per_op": 1, "rows_per_sec": 1, "allocs_per_op": 0}
+	]`)
+	recs, err := readRecords(bare)
+	if err != nil || len(recs) != 1 || recs[0].Name != "a" {
+		t.Fatalf("bare list: recs=%v err=%v", recs, err)
+	}
+
+	obj := writeJSON(t, dir, "obj.json", `{
+		"meta": {"go_version": "go1.x", "goos": "linux", "goarch": "amd64",
+		         "gomaxprocs": 4, "host_profile": false},
+		"records": [
+			{"name": "b", "ns_per_op": 2, "rows_per_sec": 1, "allocs_per_op": 0}
+		]
+	}`)
+	recs, err = readRecords(obj)
+	if err != nil || len(recs) != 1 || recs[0].Name != "b" {
+		t.Fatalf("object form: recs=%v err=%v", recs, err)
+	}
+
+	for name, body := range map[string]string{
+		"garbage.json": `not json`,
+		"empty.json":   `[]`,
+		"norecs.json":  `{"meta": {}, "records": []}`,
+	} {
+		if _, err := readRecords(writeJSON(t, dir, name, body)); err == nil {
+			t.Fatalf("%s: want error, got nil", name)
+		}
+	}
+	if _, err := readRecords(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: want error, got nil")
+	}
+	if _, err := readRecords(""); err == nil {
+		t.Fatal("empty path: want error, got nil")
+	}
+}

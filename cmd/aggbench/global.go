@@ -1,0 +1,165 @@
+package main
+
+// The routine sweep behind BENCH_phase9.json: the partitioned (radix)
+// routine vs the lock-free shared global table, forced head-to-head across
+// the contention spectrum, with ADAPTIVE's three-way pick riding along so
+// the selector's overhead is visible next to the routines it chooses from.
+//
+// Measurement discipline differs from the other sweeps: each grid point's
+// routines are timed in interleaved rounds (partitioned, global, auto,
+// partitioned, ...) and the per-routine median is reported. Back-to-back
+// blocks of the same routine would let thermal drift or a noisy neighbour
+// bias one side of the comparison; interleaving spreads that noise evenly.
+//
+// `aggbench global -host -json BENCH.json` is the host preset: it widens
+// the sweep across worker counts (1, 2, 4, ... up to GOMAXPROCS) and tags
+// the output's meta block as a host profile. Container runs (the committed
+// BENCH_phase9.json) measure only the flag-selected worker count and keep
+// host_profile=false — shared-runner numbers and host numbers must never
+// be confused for one another.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"cacheagg/internal/agg"
+	"cacheagg/internal/bench"
+	"cacheagg/internal/core"
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/xrand"
+)
+
+// globalGrid spans the contention spectrum. α = N/K: the top rows are the
+// shared table's home turf (massive reduction, the whole table in cache),
+// the zipf row stresses hot-key contention on the atomic folds, and the
+// bottom row is partitioned territory where the global table must lose.
+var globalGrid = []struct {
+	label string
+	spec  datagen.Spec
+}{
+	{"uniform/K=2^8", datagen.Spec{Dist: datagen.Uniform, K: 1 << 8}},
+	{"uniform/K=2^12", datagen.Spec{Dist: datagen.Uniform, K: 1 << 12}},
+	{"zipf/theta=1.05/K=2^12", datagen.Spec{Dist: datagen.Zipf, K: 1 << 12, Theta: 1.05}},
+	{"heavy-hitter/hf=0.9/K=2^12", datagen.Spec{Dist: datagen.HeavyHitter, K: 1 << 12, HitFraction: 0.9}},
+	{"uniform/K=2^18", datagen.Spec{Dist: datagen.Uniform, K: 1 << 18}},
+}
+
+// globalRoutines are the three contenders at each grid point. Forced
+// routines run with planning off (nothing to select); the auto point runs
+// with the sketch plan on, so it measures the full decision pipeline the
+// serve path uses.
+var globalRoutines = []struct {
+	name    string
+	routine core.Routine
+	plan    bool
+}{
+	{"partitioned", core.RoutinePartitioned, false},
+	{"global", core.RoutineGlobal, false},
+	{"auto", core.RoutineAuto, true},
+}
+
+// globalWorkerList picks the worker counts to sweep: the flag value in a
+// container run, powers of two up to GOMAXPROCS under -host.
+func globalWorkerList(sc scale) []int {
+	if !sc.host {
+		return []int{sc.workers}
+	}
+	maxP := runtime.GOMAXPROCS(0)
+	var ws []int
+	for p := 1; p < maxP; p *= 2 {
+		ws = append(ws, p)
+	}
+	return append(ws, maxP)
+}
+
+// timedRun measures one execution: wall time plus the allocation count
+// observed over the run (all goroutines — the measured operator is the
+// only allocator in the process at that point).
+func timedRun(fn func()) (time.Duration, int64) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	d := bench.Time(fn)
+	runtime.ReadMemStats(&m1)
+	return d, int64(m1.Mallocs - m0.Mallocs)
+}
+
+func medianF(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+func medianI(xs []int64) int64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[len(xs)/2]
+}
+
+// globalSweep runs the routine comparison grid.
+func globalSweep(sc scale) []*bench.Table {
+	sweepRecords = sweepRecords[:0]
+	t := bench.NewTable(
+		fmt.Sprintf("Routine sweep — partitioned vs shared global table (N=2^%d, reps=%d, interleaved medians)",
+			sc.logN, sc.reps),
+		"point", "ns/op", "rows/s", "allocs/op")
+
+	rng := xrand.NewXoshiro256(17)
+	col := make([]int64, sc.n)
+	for i := range col {
+		col[i] = int64(rng.Next() % 1000)
+	}
+
+	for _, g := range globalGrid {
+		spec := g.spec
+		spec.N = sc.n
+		spec.Seed = 11
+		if spec.K >= uint64(sc.n) {
+			continue
+		}
+		keys := datagen.Generate(spec)
+		in := &core.Input{Keys: keys, AggCols: [][]int64{col},
+			Specs: []agg.Spec{{Kind: agg.Sum, Col: 0}}}
+
+		for _, workers := range globalWorkerList(sc) {
+			reps := sc.reps
+			if reps < 1 {
+				reps = 1
+			}
+			ns := make([][]float64, len(globalRoutines))
+			allocs := make([][]int64, len(globalRoutines))
+			// Interleaved rounds: one run of every routine per rep, so
+			// drift lands on all contenders equally.
+			for rep := 0; rep < reps; rep++ {
+				for ri, rt := range globalRoutines {
+					cfg := core.Config{
+						Strategy:   core.DefaultAdaptive(),
+						Workers:    workers,
+						CacheBytes: sc.cache,
+						Routine:    rt.routine,
+						EnablePlan: rt.plan,
+					}
+					d, a := timedRun(func() {
+						if _, err := core.Aggregate(cfg, in); err != nil {
+							panic(err)
+						}
+					})
+					ns[ri] = append(ns[ri], float64(d.Nanoseconds()))
+					allocs[ri] = append(allocs[ri], a)
+				}
+			}
+			for ri, rt := range globalRoutines {
+				n := medianF(ns[ri])
+				r := sweepRecord{
+					Name:        fmt.Sprintf("global/%s/P=%d/routine=%s", g.label, workers, rt.name),
+					NsPerOp:     n,
+					RowsPerSec:  float64(sc.n) / (n / 1e9),
+					AllocsPerOp: medianI(allocs[ri]),
+				}
+				sweepRecords = append(sweepRecords, r)
+				t.AddRow(r.Name, fmt.Sprintf("%.0f", r.NsPerOp),
+					fmt.Sprintf("%.3e", r.RowsPerSec), r.AllocsPerOp)
+			}
+		}
+	}
+	return []*bench.Table{t}
+}

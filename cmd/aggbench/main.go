@@ -31,6 +31,9 @@
 //	            same -json / -trace-dir record schema as sweep
 //	external    out-of-core sweep (budget × K grid, sequential vs parallel
 //	            merge, spill forced); -json emits the same record schema
+//	global      routine sweep: partitioned vs lock-free shared global table
+//	            vs ADAPTIVE's pick, interleaved medians; -host widens it
+//	            across worker counts and tags -json as a bare-metal profile
 //	all         run everything at the default scale
 //
 // Common flags (defaults target a quick laptop run; raise -logn toward the
@@ -62,6 +65,7 @@ type scale struct {
 	reps    int
 	tsv     bool
 	sim     bool
+	host    bool
 }
 
 func main() {
@@ -77,6 +81,7 @@ func main() {
 	reps := fs.Int("reps", 3, "repetitions per measurement (median reported)")
 	tsv := fs.Bool("tsv", false, "emit TSV instead of aligned tables")
 	sim := fs.Bool("sim", false, "fig1: also run the cache-simulator validation")
+	host := fs.Bool("host", false, "host profile: widen the global sweep across worker counts and tag -json metadata as a bare-metal run")
 	jsonPath := fs.String("json", "", "write machine-readable sweep records to this file (sweep command)")
 	traceFlag := fs.String("trace-dir", "", "write one JSONL execution trace per sweep point into this directory (sweep/external)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -138,7 +143,9 @@ func main() {
 		reps:    *reps,
 		tsv:     *tsv,
 		sim:     *sim,
+		host:    *host,
 	}
+	hostProfile = *host
 
 	figures := map[string]func(scale) []*bench.Table{
 		"fig1":         fig1,
@@ -159,6 +166,7 @@ func main() {
 		"sweep":        sweep,
 		"skew":         skewSweep,
 		"external":     externalSweep,
+		"global":       globalSweep,
 	}
 
 	emit := func(tables []*bench.Table) {
@@ -199,10 +207,11 @@ func usage() {
 
 usage: aggbench <fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|
                  tbl-insert|tbl-sortdual|tbl-columnar|interference|sweep|
-                 skew|external|compare|all> [flags]
+                 skew|external|global|compare|all> [flags]
 
 flags: -logn N  -workers P  -cache BYTES  -reps R  -tsv  -sim
-       -json FILE  (sweep/external: machine-readable records)
+       -host  (global: sweep worker counts, tag -json as bare-metal profile)
+       -json FILE  (sweep/external/global: machine-readable records)
        -trace-dir DIR  (sweep/external: one JSONL trace per point)
        -cpuprofile FILE  -memprofile FILE  (pprof output of the run)
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"testing"
 
 	"cacheagg/internal/agg"
@@ -25,6 +27,56 @@ type sweepRecord struct {
 
 // sweepRecords collects the records of the last `sweep` run for -json.
 var sweepRecords []sweepRecord
+
+// hostProfile marks the -json output as a host (bare-metal) profile; set
+// from the -host flag. Container and host numbers must stay attributable.
+var hostProfile bool
+
+// benchMeta identifies the machine behind a -json record file. Without it
+// a BENCH_phase*.json is a bag of numbers that silently invites
+// cross-machine comparisons; with it, `aggbench compare` readers can see
+// that a delta spans different hardware.
+type benchMeta struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	CPUModel    string `json:"cpu_model,omitempty"`
+	HostProfile bool   `json:"host_profile"`
+}
+
+// sweepFile is the object form of a -json record file: metadata plus the
+// records. Older baselines (BENCH_phase3/4/8.json) are bare record lists;
+// readRecords accepts both.
+type sweepFile struct {
+	Meta    benchMeta     `json:"meta"`
+	Records []sweepRecord `json:"records"`
+}
+
+func currentMeta() benchMeta {
+	return benchMeta{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUModel:    cpuModel(),
+		HostProfile: hostProfile,
+	}
+}
+
+// cpuModel best-effort reads the CPU model name; empty when unknown.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
 
 // sweepPoint measures one sweep point with the testing package's benchmark
 // driver (auto-scaled iteration counts, wall-clock + allocation accounting).
@@ -126,12 +178,13 @@ func sweep(sc scale) []*bench.Table {
 	return []*bench.Table{t}
 }
 
-// writeSweepJSON writes the records of the last sweep to path.
+// writeSweepJSON writes the records of the last sweep to path, wrapped in
+// the object form with the machine's metadata.
 func writeSweepJSON(path string) error {
 	if len(sweepRecords) == 0 {
 		return fmt.Errorf("no sweep records to write (use -json with the sweep command)")
 	}
-	data, err := json.MarshalIndent(sweepRecords, "", "  ")
+	data, err := json.MarshalIndent(sweepFile{Meta: currentMeta(), Records: sweepRecords}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -69,6 +69,21 @@ func exitCode(err error) int {
 	}
 }
 
+func parseRoutine(name string) (core.Routine, error) {
+	switch name {
+	case "auto", "":
+		return core.RoutineAuto, nil
+	case "partitioned":
+		return core.RoutinePartitioned, nil
+	case "global":
+		return core.RoutineGlobal, nil
+	case "sort-spill":
+		return core.RoutineSortSpill, nil
+	default:
+		return 0, fmt.Errorf("unknown routine %q (auto | partitioned | global | sort-spill)", name)
+	}
+}
+
 func parseStrategy(name string, passes int) (core.Strategy, error) {
 	switch name {
 	case "adaptive":
@@ -111,6 +126,7 @@ func run() error {
 		in       = flag.String("in", "", "read keys from file instead of generating")
 		format   = flag.String("format", "text", "input file format: text | binary")
 		strat    = flag.String("strategy", "adaptive", "adaptive | hashing-only | partition-always | partition-only")
+		routine  = flag.String("routine", "auto", "execution routine: auto | partitioned | global | sort-spill (sort-spill needs -spill and -budget)")
 		passes   = flag.Int("passes", 1, "partitioning passes for partition-always")
 		workers  = flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 		cache    = flag.Int("cache", 0, "cache budget bytes per worker (0 = 4 MiB)")
@@ -152,12 +168,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	rt, err := parseRoutine(*routine)
+	if err != nil {
+		return err
+	}
 	cfg := core.Config{
 		Strategy:     strategy,
 		Workers:      *workers,
 		CacheBytes:   *cache,
 		CollectStats: true,
 		EnablePlan:   *plan,
+		Routine:      rt,
 	}
 	var gov *memgov.Governor
 	if *budget > 0 {
@@ -211,6 +232,14 @@ func run() error {
 	fmt.Println()
 	fmt.Printf("switches   %d\n", st.Switches)
 	fmt.Printf("directemit %d buckets\n", st.DirectEmits)
+	fmt.Printf("routine    %s\n", st.Routine)
+	if st.GlobalRows > 0 || st.GlobalEscapedRows > 0 {
+		fmt.Printf("global     %d rows folded, %d escaped, %d contention events, %d grows\n",
+			st.GlobalRows, st.GlobalEscapedRows, st.GlobalContention, st.GlobalGrows)
+		if st.GlobalDemotions > 0 {
+			fmt.Printf("global     demoted to partitioned mid-run (observed α undershot)\n")
+		}
+	}
 	if st.Planned {
 		mode := "hash"
 		if st.PlanStartPartition {

@@ -7,6 +7,8 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
+	"math"
 	"testing"
 
 	"cacheagg/internal/agg"
@@ -89,6 +91,81 @@ func FuzzAggregateMatchesReference(f *testing.F) {
 				if res.Aggs[si][r] != wantRow[si] {
 					t.Fatalf("%s: key %d spec %v: %d != %d",
 						s.Name(), res.Keys[r], in.Specs[si], res.Aggs[si][r], wantRow[si])
+				}
+			}
+		}
+	})
+}
+
+// FuzzRoutineSelection drives the three-way routine selector with fuzz-
+// synthesized — frequently bogus — plans (huge/zero/NaN/Inf K̂ and α̂,
+// drift-guard violations) and every routine override. The selector must
+// sanitize: no panic, no livelock (the run completes inside the fuzz
+// timeout), a forced sort-spill fails fast with ErrMemoryBudget and
+// everything else returns exactly the reference answer.
+func FuzzRoutineSelection(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 1, 9, 9}, uint8(0), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(2), uint8(255))
+	f.Add([]byte{7, 7, 7, 7, 1, 2, 3, 4}, uint8(3), uint8(17))
+	f.Add([]byte{200, 100, 50, 25, 12, 6, 3, 1}, uint8(1), uint8(64))
+	f.Fuzz(func(t *testing.T, data []byte, routineByte, planByte uint8) {
+		if len(data) < 8 || len(data) > 1<<14 {
+			return
+		}
+		keys := decodeKeys(data)
+		vals := make([]int64, len(keys))
+		for i := range vals {
+			vals[i] = int64(int8(data[i]))
+		}
+		in := &Input{
+			Keys:    keys,
+			AggCols: [][]int64{vals},
+			Specs: []agg.Spec{
+				{Kind: agg.Count},
+				{Kind: agg.Sum, Col: 0},
+				{Kind: agg.Avg, Col: 0},
+			},
+		}
+		// A palette of plan-field poisons indexed by fuzz bytes.
+		kPalette := []float64{0, 1, float64(data[0]) * 17, 1e300, math.Inf(1), math.NaN(), -3, 2}
+		aPalette := []float64{0, 1e12, math.NaN(), math.Inf(1), -1, float64(data[1]), 200}
+		plan := &Plan{
+			SampleRows:     int(int8(data[2])) * 64, // negative half the time
+			TotalRows:      len(keys),
+			EstimatedK:     kPalette[int(planByte)%len(kPalette)],
+			HalfSampleK:    kPalette[int(planByte>>3)%len(kPalette)],
+			PredictedAlpha: aPalette[int(planByte>>5)%len(aPalette)],
+			TableRows:      int(int8(data[3])) << 5,
+		}
+		cfg := Config{
+			Strategy:   DefaultAdaptive(),
+			Workers:    1 + int(routineByte>>4)%4,
+			CacheBytes: 8 << 10,
+			MorselRows: 64,
+			ChunkRows:  32,
+			Plan:       plan,
+			Routine:    Routine(routineByte % 5), // includes one out-of-range value
+		}
+		res, err := Aggregate(cfg, in)
+		if err != nil {
+			if cfg.Routine == RoutineSortSpill && errors.Is(err, ErrMemoryBudget) {
+				return // fail-fast contract: typed, immediate, no result
+			}
+			t.Fatalf("routine %v plan %+v: %v", cfg.Routine, plan, err)
+		}
+		want := refAggregate(in)
+		if res.Groups() != len(want) {
+			t.Fatalf("routine %v: %d groups, want %d", cfg.Routine, res.Groups(), len(want))
+		}
+		for r := 0; r < res.Groups(); r++ {
+			wantRow, ok := want[res.Keys[r]]
+			if !ok {
+				t.Fatalf("phantom key %d", res.Keys[r])
+			}
+			for si := range in.Specs {
+				if res.Aggs[si][r] != wantRow[si] {
+					t.Fatalf("routine %v: key %d spec %v: %d != %d",
+						cfg.Routine, res.Keys[r], in.Specs[si], res.Aggs[si][r], wantRow[si])
 				}
 			}
 		}

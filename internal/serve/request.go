@@ -101,6 +101,24 @@ type Request struct {
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 	// NoCache bypasses the result cache (read and fill).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Routine overrides the execution-routine selection:
+	// auto | partitioned | global | sort-spill ("" = auto).
+	Routine string `json:"routine,omitempty"`
+}
+
+func parseRoutine(s string) (cacheagg.Routine, error) {
+	switch s {
+	case "", "auto":
+		return cacheagg.RoutineAuto, nil
+	case "partitioned":
+		return cacheagg.RoutinePartitioned, nil
+	case "global":
+		return cacheagg.RoutineGlobal, nil
+	case "sort-spill":
+		return cacheagg.RoutineSortSpill, nil
+	default:
+		return 0, fmt.Errorf("unknown routine %q (auto | partitioned | global | sort-spill)", s)
+	}
 }
 
 // Limits bounds what DecodeRequest accepts. The zero value selects the
@@ -194,6 +212,9 @@ func (r *Request) validate(lim Limits) error {
 	if _, err := parsePriority(r.Priority); err != nil {
 		return errf(ErrBadRequest, nil, "%v", err)
 	}
+	if _, err := parseRoutine(r.Routine); err != nil {
+		return errf(ErrBadRequest, nil, "%v", err)
+	}
 	if r.DeadlineMillis < 0 {
 		return errf(ErrBadRequest, nil, "negative deadline_ms %d", r.DeadlineMillis)
 	}
@@ -224,4 +245,10 @@ func (r *Request) aggSpecs() []cacheagg.AggSpec {
 func (r *Request) priority() Priority {
 	p, _ := parsePriority(r.Priority) // validated in DecodeRequest
 	return p
+}
+
+// routine returns the validated routine override.
+func (r *Request) routine() cacheagg.Routine {
+	rt, _ := parseRoutine(r.Routine) // validated in DecodeRequest
+	return rt
 }

@@ -192,6 +192,7 @@ func TestTypedRequestRejections(t *testing.T) {
 		{"both inputs", `{"dataset":"events","keys":[1]}`, 400, "bad_request"},
 		{"unknown dataset", `{"dataset":"nope"}`, 404, "unknown_dataset"},
 		{"bad priority", `{"dataset":"events","priority":"urgent"}`, 400, "bad_request"},
+		{"bad routine", `{"dataset":"events","routine":"hashed"}`, 400, "bad_request"},
 		{"bad func", `{"dataset":"events","aggregates":[{"func":"median"}]}`, 400, "bad_request"},
 		{"negative deadline", `{"dataset":"events","deadline_ms":-1}`, 400, "bad_request"},
 		{"col out of range", `{"dataset":"events","aggregates":[{"func":"sum","col":9}]}`, 400, "bad_request"},
@@ -210,6 +211,46 @@ func TestTypedRequestRejections(t *testing.T) {
 				t.Fatalf("code %q, want %q", code, tc.code)
 			}
 		})
+	}
+}
+
+// TestRoutineOverride: every routine override returns identical rows (the
+// routines are bit-identical by contract), and a forced routine gets its
+// own cache identity — pinning a routine to measure it must actually run
+// it, not be served another routine's cached result.
+func TestRoutineOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{ResultCacheBytes: 1 << 20})
+	base := `{"dataset":"events","aggregates":[{"func":"sum","col":0}]}`
+	h, autoRows := parseResponse(t, postQuery(t, ts.URL, base))
+	if h["cache"] != "miss" {
+		t.Fatalf("first auto query: cache = %v", h["cache"])
+	}
+	// Key-indexed identity: the routines promise the same group → aggregate
+	// mapping, not the same intra-bucket emission order.
+	want := map[uint64]int64{}
+	for _, r := range autoRows {
+		want[r.G] = r.A[0]
+	}
+	for _, rt := range []string{"partitioned", "global"} {
+		q := `{"dataset":"events","routine":"` + rt + `","aggregates":[{"func":"sum","col":0}]}`
+		h, rows := parseResponse(t, postQuery(t, ts.URL, q))
+		if h["cache"] != "miss" {
+			t.Fatalf("forced %s: cache = %v, want miss (own cache identity)", rt, h["cache"])
+		}
+		if len(rows) != len(want) {
+			t.Fatalf("forced %s: %d rows, auto had %d", rt, len(rows), len(want))
+		}
+		for _, r := range rows {
+			sum, ok := want[r.G]
+			if !ok || r.A[0] != sum {
+				t.Fatalf("forced %s: group %d = %d differs from auto result", rt, r.G, r.A[0])
+			}
+		}
+	}
+	// An explicit "auto" is the default identity: it must hit the cache.
+	q := `{"dataset":"events","routine":"auto","aggregates":[{"func":"sum","col":0}]}`
+	if h, _ := parseResponse(t, postQuery(t, ts.URL, q)); h["cache"] != "hit" {
+		t.Fatalf("explicit auto: cache = %v, want hit", h["cache"])
 	}
 }
 

@@ -345,6 +345,7 @@ func (s *Server) admitAndRun(ctx context.Context, req *Request, input cacheagg.I
 		Workers:    s.cfg.QueryWorkers,
 		CacheBytes: s.cfg.QueryCacheBytes,
 		Tracer:     s.cfg.Tracer,
+		Routine:    req.routine(),
 	}
 	if s.ctrl.Ledger().Budget() > 0 {
 		// The grant is enforced byte-accurately by the query's own
@@ -416,9 +417,17 @@ func (s *Server) resolveInput(req *Request) (cacheagg.Input, error) {
 // canonicalKey is the result-cache identity of a query: the input's
 // identity plus the aggregate list. Budgets, workers, priorities and
 // deadlines are deliberately absent — they cannot change the result.
+// A forced routine is included even though every routine produces the
+// same rows: an operator pinning a routine (usually to measure it) must
+// actually run it, not be handed another routine's cached result.
 func canonicalKey(req *Request, in cacheagg.Input) string {
 	var b strings.Builder
 	b.WriteString("v1\x00")
+	if rt := req.routine(); rt != cacheagg.RoutineAuto {
+		b.WriteString("r\x00")
+		b.WriteString(rt.String())
+		b.WriteByte('\x00')
+	}
 	if req.Dataset != "" {
 		b.WriteString("d\x00")
 		b.WriteString(req.Dataset)

@@ -145,9 +145,21 @@ const (
 	// into the merge stream. Part = the hot key (as int64),
 	// Value = rows folded into the accumulator since the last flush.
 	KindHotKeyBypass
+	// KindRoutineSelect: the three-way routine selector committed to an
+	// execution routine for the run, or demoted mid-run. Emitted once at
+	// run start (worker 0) and once more on demotion. Part = the chosen
+	// core.Routine as an int64, Value = the predicted (at selection) or
+	// observed (at demotion) reduction factor α that drove the decision.
+	KindRoutineSelect
+	// KindGlobalContention: a worker's bounded CAS-retry budget on the
+	// shared global table ran out and a batch of rows escaped to its local
+	// overflow table. Part = escaped rows in the batch, Value = contended
+	// slot encounters (claim-in-progress spins + CAS fold retries)
+	// observed while inserting the batch.
+	KindGlobalContention
 
 	// NumKinds is the number of kinds; valid Kind values are < NumKinds.
-	NumKinds = 19
+	NumKinds = 21
 )
 
 var kindNames = [NumKinds]string{
@@ -158,6 +170,7 @@ var kindNames = [NumKinds]string{
 	"gov-high-water",
 	"epoch-seal", "checkpoint-write", "recover", "backpressure",
 	"plan", "hot-key-bypass",
+	"routine-select", "global-contention",
 }
 
 func (k Kind) String() string {
