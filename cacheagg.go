@@ -207,6 +207,11 @@ type Options struct {
 	// Routine overrides the three-way execution-routine selection; the
 	// zero value selects automatically. See Routine.
 	Routine Routine
+	// Interner, when non-nil, is the shared key dictionary AggregateGeneral
+	// encodes through, so dense ids stay comparable across calls (and the
+	// dictionary builds once, not per query). Nil gives each general-key
+	// call a private dictionary. Ignored by uint64-keyed Aggregate.
+	Interner *Interner
 }
 
 // ErrMemoryBudget is wrapped by errors reporting that MemoryBudgetBytes is
@@ -294,6 +299,18 @@ type Stats struct {
 	// SpillRetries counts transient spill-I/O faults absorbed by the
 	// retry layer during a degraded run.
 	SpillRetries int64
+
+	// The general-key fields below are populated by AggregateGeneral (and
+	// its wrappers) independent of CollectStats; uint64-keyed calls leave
+	// them zero.
+
+	// InternedKeys is the key dictionary's distinct-key count after the
+	// encode phase (cumulative when Options.Interner is shared).
+	InternedKeys int64
+	// InternBytes is the total encoded size of the dictionary's keys.
+	InternBytes int64
+	// EncodeNanos is the wall time of the key-interning encode phase.
+	EncodeNanos int64
 }
 
 // Result is the aggregation output: row r describes one group.

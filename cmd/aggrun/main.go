@@ -10,6 +10,8 @@
 //	agggen -dist zipf -n 1000000 -format binary -o /tmp/z.bin && \
 //	  aggrun -in /tmp/z.bin -format binary
 //	aggrun -n 4194304 -k 4194304 -budget 16777216 -spill -spill-budget 1073741824
+//	aggrun -keytype strings -dist zipf -n 1048576 -k 65536 -verify
+//	aggrun -keytype composite2 -n 1048576 -k 65536 -routine global
 //
 // Exit codes are typed so scripts and load harnesses can assert on the
 // failure class instead of parsing stderr:
@@ -34,6 +36,7 @@ import (
 	"strconv"
 	"time"
 
+	"cacheagg"
 	"cacheagg/internal/core"
 	"cacheagg/internal/datagen"
 	"cacheagg/internal/external"
@@ -137,6 +140,7 @@ func run() error {
 		budget   = flag.Int64("budget", 0, "memory budget in bytes enforced by a governor (0 = unlimited)")
 		spill    = flag.Bool("spill", false, "degrade to the out-of-core path when -budget is exceeded")
 		spillCap = flag.Int64("spill-budget", 0, "cap on spill bytes for the degraded run (0 = no cap)")
+		keytype  = flag.String("keytype", "uint64", "group-by key shape: uint64 | strings | composite2 (general keys run through the interning layer)")
 	)
 	flag.Parse()
 	if *spill && *budget <= 0 {
@@ -144,6 +148,35 @@ func run() error {
 	}
 	if *spillCap != 0 && !*spill {
 		return usageError("-spill-budget only applies with -spill")
+	}
+	switch *keytype {
+	case "uint64":
+	case "strings", "composite2":
+		// General keys run through the public operator (interning + dense
+		// aggregation); the flags of the low-level distinct path that it
+		// does not expose are usage errors, not silent no-ops.
+		switch {
+		case *in != "":
+			return usageError("-keytype " + *keytype + " generates its own keys; -in is not supported")
+		case *spill:
+			return usageError("-keytype " + *keytype + " does not support -spill")
+		case *plan:
+			return usageError("-keytype " + *keytype + " does not support -plan")
+		case *traceOut != "":
+			return usageError("-keytype " + *keytype + " does not support -trace")
+		case *strat != "adaptive":
+			return usageError("-keytype " + *keytype + " does not support -strategy")
+		}
+		dist, err := datagen.ParseDist(*distName)
+		if err != nil {
+			return err
+		}
+		return runGeneral(*keytype, datagen.Spec{
+			Dist: dist, N: *n, K: *k, Seed: *seed,
+			Theta: *theta, HitFraction: *hitFrac, Window: *window,
+		}, *routine, *workers, *cache, *budget, *timeout, *topN, *verify)
+	default:
+		return usageError("unknown -keytype " + *keytype + " (uint64 | strings | composite2)")
 	}
 
 	var keys []uint64
@@ -282,6 +315,125 @@ func run() error {
 			return err
 		}
 		fmt.Println("verify     OK (matches reference aggregation)")
+	}
+	return nil
+}
+
+// runGeneral is the general-key mode of aggrun: string or composite keys
+// generated with the same distribution machinery, interned to dense ids
+// through the public operator, counted per group, and decoded back for
+// display and verification. It exercises the full encode → aggregate →
+// decode path the library exposes as AggregateGeneral.
+func runGeneral(keytype string, spec datagen.Spec, routineName string,
+	workers, cache int, budget int64, timeout time.Duration, topN int, verify bool) error {
+	rt, err := parseRoutine(routineName)
+	if err != nil {
+		return err
+	}
+	var gcols []cacheagg.KeyColumn
+	switch keytype {
+	case "strings":
+		gcols = []cacheagg.KeyColumn{{Strings: datagen.GenerateStrings(spec)}}
+	case "composite2":
+		cc := datagen.GenerateComposite(spec, 2)
+		gcols = []cacheagg.KeyColumn{{Uint64s: cc[0]}, {Uint64s: cc[1]}}
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := cacheagg.AggregateGeneralContext(ctx, cacheagg.GeneralInput{
+		GroupBy:    gcols,
+		Aggregates: []cacheagg.AggSpec{{Func: cacheagg.Count}},
+	}, cacheagg.Options{
+		Workers:           workers,
+		CacheBytes:        cache,
+		MemoryBudgetBytes: budget,
+		CollectStats:      true,
+		Routine:           cacheagg.Routine(rt),
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("aggregation exceeded -timeout %v: %w", timeout, err)
+		}
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("keytype    %s\n", keytype)
+	fmt.Printf("rows       %d\n", spec.N)
+	fmt.Printf("groups     %d\n", res.Len())
+	fmt.Printf("time       %v (%.1f ns/row)\n", elapsed.Round(time.Microsecond),
+		float64(elapsed.Nanoseconds())/float64(max(spec.N, 1)))
+	fmt.Printf("interned   %d keys, %d dictionary bytes\n",
+		res.Stats.InternedKeys, res.Stats.InternBytes)
+	fmt.Printf("encode     %v (%.1f ns/row)\n",
+		time.Duration(res.Stats.EncodeNanos).Round(time.Microsecond),
+		float64(res.Stats.EncodeNanos)/float64(max(spec.N, 1)))
+	fmt.Printf("routine    %s\n", res.Stats.Routine)
+
+	for i := 0; i < topN && i < res.Len(); i++ {
+		fmt.Printf("row %d:", i)
+		for c := range res.GroupCols {
+			col := &res.GroupCols[c]
+			switch {
+			case col.IsNull(i):
+				fmt.Printf(" NULL")
+			case col.Type() == cacheagg.KeyString:
+				fmt.Printf(" %q", col.Strings[i])
+			default:
+				fmt.Printf(" %d", col.Uint64s[i])
+			}
+		}
+		fmt.Printf("  count=%d\n", res.Aggs[0][i])
+	}
+
+	if verify {
+		if err := verifyGeneral(gcols, res); err != nil {
+			return err
+		}
+		fmt.Println("verify     OK (matches map-keyed reference aggregation)")
+	}
+	return nil
+}
+
+// verifyGeneral checks a general-key count result against a plain
+// map-keyed reference built from the original key columns.
+func verifyGeneral(gcols []cacheagg.KeyColumn, res *cacheagg.GeneralResult) error {
+	serialize := func(cols []cacheagg.KeyColumn, row int) string {
+		s := ""
+		for c := range cols {
+			col := &cols[c]
+			switch {
+			case col.IsNull(row):
+				s += "N|"
+			case col.Type() == cacheagg.KeyString:
+				s += "s:" + strconv.Quote(col.Strings[row]) + "|"
+			default:
+				s += "u:" + strconv.FormatUint(col.Uint64s[row], 10) + "|"
+			}
+		}
+		return s
+	}
+	ref := make(map[string]int64)
+	for i := 0; i < gcols[0].Len(); i++ {
+		ref[serialize(gcols, i)]++
+	}
+	if res.Len() != len(ref) {
+		return fmt.Errorf("verify: %d groups, reference has %d", res.Len(), len(ref))
+	}
+	for r := 0; r < res.Len(); r++ {
+		k := serialize(res.GroupCols, r)
+		want, ok := ref[k]
+		if !ok {
+			return fmt.Errorf("verify: phantom group %s", k)
+		}
+		if res.Aggs[0][r] != want {
+			return fmt.Errorf("verify: group %s count %d, want %d", k, res.Aggs[0][r], want)
+		}
 	}
 	return nil
 }

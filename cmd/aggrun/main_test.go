@@ -260,3 +260,33 @@ func TestCLIGenerousTimeoutSucceeds(t *testing.T) {
 		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
 	}
 }
+
+// TestCLIGeneralKeys runs the general-key mode end to end for both key
+// shapes, with the map-keyed verification on.
+func TestCLIGeneralKeys(t *testing.T) {
+	for _, kt := range []string{"strings", "composite2"} {
+		code, stderr := runSelf(t, "-keytype", kt, "-dist", "zipf",
+			"-n", "50000", "-k", "2000", "-verify", "-top", "2")
+		if code != 0 {
+			t.Fatalf("%s: exit code = %d, stderr: %s", kt, code, stderr)
+		}
+	}
+}
+
+// TestCLIGeneralKeysUsageErrors pins the typed usage refusals of flags
+// the general-key path does not support.
+func TestCLIGeneralKeysUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-keytype", "martian"},
+		{"-keytype", "strings", "-in", "/dev/null"},
+		{"-keytype", "strings", "-plan"},
+		{"-keytype", "strings", "-trace", "/tmp/t.jsonl"},
+		{"-keytype", "strings", "-strategy", "hashing-only"},
+		{"-keytype", "composite2", "-budget", "1", "-spill"},
+	} {
+		code, stderr := runSelf(t, args...)
+		if code != exitUsage {
+			t.Fatalf("%v: exit code = %d, want %d (stderr: %s)", args, code, exitUsage, stderr)
+		}
+	}
+}

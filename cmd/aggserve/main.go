@@ -8,6 +8,7 @@
 //	aggserve -datasets events=zipf:1048576:65536
 //	aggserve -addr :9090 -budget 268435456 \
 //	  -datasets 'events=zipf:4194304:65536:7,clicks=uniform:1048576:4096'
+//	aggserve -datasets 'urls=strings:1048576:65536,pairs=composite2:1048576:65536'
 //
 // Endpoints: POST /v1/aggregate (JSONL), GET /healthz, GET /metrics.
 // See docs/SERVING.md for the request format, the admission state machine,
@@ -42,7 +43,7 @@ func run() error {
 	var (
 		addr  = flag.String("addr", ":8080", "listen address")
 		specs = flag.String("datasets", "demo=zipf:1048576:65536",
-			"comma-separated dataset specs, each name=dist:rows:keydomain[:seed]")
+			"comma-separated dataset specs, each name=kind:rows:keydomain[:seed]; kind is a distribution (uniform | zipf | ...) or a general-key kind (strings | composite2) whose rows carry decoded keys")
 		budget   = flag.Int64("budget", 256<<20, "global memory budget in bytes (0 = unlimited)")
 		queue    = flag.Int("queue", 64, "admission queue depth")
 		maxWait  = flag.Duration("max-wait", 5*time.Second, "longest a query may wait for budget")

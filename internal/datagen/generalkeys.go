@@ -1,0 +1,99 @@
+package datagen
+
+// General-key generators: the uint64 distributions above, re-skinned as
+// URL-like string keys, composite multi-column tuples, and NULL masks,
+// for exercising the key-interning layer under every skew shape the
+// paper's evaluation uses. All are injective mappings from the underlying
+// uint64 key, so the realized group count of a general-key dataset equals
+// that of its uint64 twin — differential oracles can compare them 1:1.
+
+import (
+	"fmt"
+	"math"
+
+	"cacheagg/internal/xrand"
+)
+
+// stringKeyHosts is the host-name fan-out of StringKey; small enough that
+// generated URLs share hosts (realistic prefix redundancy for the
+// dictionary), large enough to spread hashing.
+const stringKeyHosts = 50
+
+// StringKey maps a uint64 key to a URL-like string. The mapping is
+// injective — distinct keys give distinct strings — so string-keyed
+// datasets have exactly the group structure of their uint64 source.
+func StringKey(k uint64) string {
+	return fmt.Sprintf("https://host-%02d.example.com/item/%s", k%stringKeyHosts, base36(k))
+}
+
+// base36 renders k in lowercase base-36, the path tail of StringKey.
+func base36(k uint64) string {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	if k == 0 {
+		return "0"
+	}
+	var buf [13]byte // ceil(64 / log2(36)) digits suffice
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = digits[k%36]
+		k /= 36
+	}
+	return string(buf[i:])
+}
+
+// GenerateStrings materializes the dataset of s as a string key column:
+// the uint64 dataset mapped through StringKey row by row.
+func GenerateStrings(s Spec) []string {
+	keys := Generate(s)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = StringKey(k)
+	}
+	return out
+}
+
+// GenerateComposite materializes the dataset of s as width uint64 key
+// columns whose row-wise tuples are an injective decomposition of the
+// uint64 keys (a division chain in a base just large enough to cover K),
+// so the composite dataset has exactly the group structure of the uint64
+// one. width must be at least 1.
+func GenerateComposite(s Spec, width int) [][]uint64 {
+	if width < 1 {
+		panic("datagen: composite width must be at least 1")
+	}
+	keys := Generate(s)
+	base := uint64(math.Ceil(math.Pow(float64(s.K), 1/float64(width))))
+	if base < 2 {
+		base = 2
+	}
+	cols := make([][]uint64, width)
+	for c := range cols {
+		cols[c] = make([]uint64, len(keys))
+	}
+	for i, k := range keys {
+		for c := 0; c < width; c++ {
+			cols[c][i] = k % base
+			k /= base
+		}
+		// Keys at or above base^width (possible for skewed realized keys
+		// only if K was undershot by the base rounding) keep their
+		// remainder in the last column, preserving injectivity.
+		cols[width-1][i] += k * base
+	}
+	return cols
+}
+
+// NullMask returns a deterministic mask marking ~frac of n rows NULL.
+func NullMask(n int, frac float64, seed uint64) []bool {
+	mask := make([]bool, n)
+	if frac <= 0 {
+		return mask
+	}
+	thresh := uint64(math.Min(frac, 1) * float64(math.MaxUint64))
+	rng := xrand.NewXoshiro256(seed)
+	for i := range mask {
+		mask[i] = rng.Next() <= thresh
+	}
+	return mask
+}

@@ -1,0 +1,91 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringKeyInjective(t *testing.T) {
+	seen := make(map[string]uint64)
+	for k := uint64(0); k < 50000; k++ {
+		s := StringKey(k)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("StringKey collides: %d and %d both map to %q", prev, k, s)
+		}
+		seen[s] = k
+		if !strings.HasPrefix(s, "https://") {
+			t.Fatalf("StringKey(%d) = %q lacks the https:// prefix", k, s)
+		}
+	}
+}
+
+func TestGenerateStringsMatchesUint64Structure(t *testing.T) {
+	for _, d := range Dists() {
+		spec := Spec{Dist: d, N: 4096, K: 256, Seed: 11}
+		keys := Generate(spec)
+		strs := GenerateStrings(spec)
+		if len(strs) != len(keys) {
+			t.Fatalf("%s: %d strings for %d keys", d, len(strs), len(keys))
+		}
+		for i := range keys {
+			if strs[i] != StringKey(keys[i]) {
+				t.Fatalf("%s row %d: %q != StringKey(%d)", d, i, strs[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestGenerateCompositeInjective(t *testing.T) {
+	for _, width := range []int{1, 2, 3} {
+		spec := Spec{Dist: Zipf, N: 8192, K: 1024, Seed: 5}
+		keys := Generate(spec)
+		cols := GenerateComposite(spec, width)
+		if len(cols) != width {
+			t.Fatalf("width %d: got %d columns", width, len(cols))
+		}
+		// Same tuple ⇔ same source key.
+		type tup [3]uint64
+		byTuple := make(map[tup]uint64)
+		for i := range keys {
+			var tp tup
+			for c := 0; c < width; c++ {
+				tp[c] = cols[c][i]
+			}
+			if prev, ok := byTuple[tp]; ok {
+				if prev != keys[i] {
+					t.Fatalf("width %d row %d: tuple %v maps to keys %d and %d", width, i, tp[:width], prev, keys[i])
+				}
+			} else {
+				byTuple[tp] = keys[i]
+			}
+		}
+		if len(byTuple) != CountDistinct(keys) {
+			t.Fatalf("width %d: %d distinct tuples for %d distinct keys", width, len(byTuple), CountDistinct(keys))
+		}
+	}
+}
+
+func TestNullMask(t *testing.T) {
+	mask := NullMask(100000, 0.1, 3)
+	nulls := 0
+	for _, m := range mask {
+		if m {
+			nulls++
+		}
+	}
+	if nulls < 8000 || nulls > 12000 {
+		t.Fatalf("10%% mask marked %d of 100000 rows", nulls)
+	}
+	for _, m := range NullMask(100, 0, 1) {
+		if m {
+			t.Fatal("zero-fraction mask must be all false")
+		}
+	}
+	// Deterministic.
+	again := NullMask(100000, 0.1, 3)
+	for i := range mask {
+		if mask[i] != again[i] {
+			t.Fatalf("NullMask not deterministic at row %d", i)
+		}
+	}
+}

@@ -3,23 +3,27 @@
 // technique that reduces any GROUP BY to the paper's setting (all columns
 // are 64-bit integers, Section 6.1).
 //
-// Encoding assigns each distinct key tuple (or string) a dense id in
-// first-appearance order; the aggregation operator then groups by the id
-// column, and the dictionary decodes the result's group ids back into the
-// original keys. Because ids are dense, they are also the friendliest
-// possible input for the operator's hash-digit partitioning.
+// It is now a thin single-threaded convenience wrapper over the concurrent
+// interning layer (internal/intern), which replaced the original
+// map[string]uint64 implementation and its per-row string([]byte) key
+// allocation: encoding is batched and hash-amortized, and the id space is
+// shared machinery with the general-key public API. Ids are dense in
+// first-appearance order, as before — the friendliest possible input for
+// the operator's hash-digit partitioning.
 package dict
 
 import (
-	"encoding/binary"
 	"fmt"
+
+	"cacheagg/internal/intern"
 )
 
 // TupleDict encodes rows of a fixed-width tuple of uint64 key columns.
 type TupleDict struct {
-	width  int
-	index  map[string]uint64
-	tuples []uint64 // decode storage: tuple id t occupies [t*width, (t+1)*width)
+	width int
+	it    *intern.Interner
+	enc   *intern.Encoder
+	vals  []intern.Value // decode scratch
 }
 
 // NewTupleDict creates a dictionary for tuples of the given column count.
@@ -27,25 +31,15 @@ func NewTupleDict(width int) *TupleDict {
 	if width < 1 {
 		panic("dict: tuple width must be at least 1")
 	}
-	return &TupleDict{width: width, index: make(map[string]uint64)}
+	it := intern.New()
+	return &TupleDict{width: width, it: it, enc: it.NewEncoder()}
 }
 
 // Width returns the tuple width.
 func (d *TupleDict) Width() int { return d.width }
 
 // Len returns the number of distinct tuples seen.
-func (d *TupleDict) Len() int { return len(d.tuples) / d.width }
-
-// key serializes one row of the columns into the scratch buffer.
-func (d *TupleDict) key(cols [][]uint64, row int, scratch []byte) []byte {
-	scratch = scratch[:0]
-	var b [8]byte
-	for c := 0; c < d.width; c++ {
-		binary.LittleEndian.PutUint64(b[:], cols[c][row])
-		scratch = append(scratch, b[:]...)
-	}
-	return scratch
-}
+func (d *TupleDict) Len() int { return d.it.Len() }
 
 // EncodeColumns encodes all rows of the key columns into dense ids,
 // appending new tuples to the dictionary. All columns must have equal
@@ -54,97 +48,111 @@ func (d *TupleDict) EncodeColumns(cols [][]uint64) ([]uint64, error) {
 	if len(cols) != d.width {
 		return nil, fmt.Errorf("dict: %d key columns, want %d", len(cols), d.width)
 	}
-	n := 0
-	if d.width > 0 {
-		n = len(cols[0])
-	}
+	n := len(cols[0])
+	icols := make([]intern.Column, d.width)
 	for c, col := range cols {
 		if len(col) != n {
 			return nil, fmt.Errorf("dict: key column %d has %d rows, want %d", c, len(col), n)
 		}
+		icols[c].U64 = col
 	}
 	ids := make([]uint64, n)
-	scratch := make([]byte, 0, 8*d.width)
-	for i := 0; i < n; i++ {
-		k := d.key(cols, i, scratch)
-		id, ok := d.index[string(k)]
-		if !ok {
-			id = uint64(d.Len())
-			d.index[string(k)] = id
-			for c := 0; c < d.width; c++ {
-				d.tuples = append(d.tuples, cols[c][i])
-			}
-		}
-		ids[i] = id
+	if err := d.enc.EncodeColumns(icols, ids); err != nil {
+		return nil, fmt.Errorf("dict: %w", err)
 	}
 	return ids, nil
 }
 
-// Decode returns the tuple of the given id. The returned slice aliases the
-// dictionary's storage; callers must not modify it.
+// Decode returns the tuple of the given id as a freshly allocated slice.
+// Unknown ids panic, as an out-of-range index into the original
+// slice-backed dictionary did.
 func (d *TupleDict) Decode(id uint64) []uint64 {
-	off := int(id) * d.width
-	return d.tuples[off : off+d.width]
+	b, err := d.it.KeyBytes(id)
+	if err != nil {
+		panic(err)
+	}
+	vals, err := intern.DecodeKey(b, d.vals[:0])
+	d.vals = vals[:0]
+	if err != nil || len(vals) != d.width {
+		panic(fmt.Sprintf("dict: id %d does not decode to a width-%d tuple", id, d.width))
+	}
+	out := make([]uint64, d.width)
+	for c, v := range vals {
+		out[c] = v.U64
+	}
+	return out
 }
 
-// DecodeColumn fills out[c][i] with column c of the tuple ids[i], for every
+// DecodeColumns fills out[c][i] with column c of the tuple ids[i], for every
 // key column — the columnar decode used to materialize result key columns.
 func (d *TupleDict) DecodeColumns(ids []uint64) [][]uint64 {
-	out := make([][]uint64, d.width)
-	for c := range out {
-		out[c] = make([]uint64, len(ids))
+	types := make([]intern.ColType, d.width)
+	cols, err := d.enc.DecodeColumns(ids, types)
+	if err != nil {
+		panic(err)
 	}
-	for i, id := range ids {
-		t := d.Decode(id)
-		for c := 0; c < d.width; c++ {
-			out[c][i] = t[c]
-		}
+	out := make([][]uint64, d.width)
+	for c := range cols {
+		out[c] = cols[c].U64
 	}
 	return out
 }
 
 // StringDict encodes string keys into dense ids.
 type StringDict struct {
-	index map[string]uint64
-	strs  []string
+	it   *intern.Interner
+	enc  *intern.Encoder
+	one  [1]intern.Value
+	vals []intern.Value
 }
 
 // NewStringDict creates an empty string dictionary.
 func NewStringDict() *StringDict {
-	return &StringDict{index: make(map[string]uint64)}
+	it := intern.New()
+	return &StringDict{it: it, enc: it.NewEncoder()}
 }
 
 // Len returns the number of distinct strings seen.
-func (d *StringDict) Len() int { return len(d.strs) }
+func (d *StringDict) Len() int { return d.it.Len() }
 
 // Encode returns the id of s, assigning a new one on first appearance.
 func (d *StringDict) Encode(s string) uint64 {
-	if id, ok := d.index[s]; ok {
-		return id
-	}
-	id := uint64(len(d.strs))
-	d.index[s] = id
-	d.strs = append(d.strs, s)
-	return id
+	d.one[0] = intern.Value{Kind: intern.StrValue, Str: s}
+	return d.enc.InternRow(d.one[:])
 }
 
 // EncodeAll encodes a whole column.
 func (d *StringDict) EncodeAll(vals []string) []uint64 {
 	ids := make([]uint64, len(vals))
-	for i, s := range vals {
-		ids[i] = d.Encode(s)
+	if len(vals) == 0 {
+		return ids
+	}
+	if err := d.enc.EncodeColumns([]intern.Column{{Str: vals}}, ids); err != nil {
+		panic(err) // unreachable: one well-formed column
 	}
 	return ids
 }
 
-// Value returns the string of the given id.
-func (d *StringDict) Value(id uint64) string { return d.strs[id] }
+// Value returns the string of the given id. Unknown ids panic, as an
+// out-of-range index into the original slice-backed dictionary did.
+func (d *StringDict) Value(id uint64) string {
+	b, err := d.it.KeyBytes(id)
+	if err != nil {
+		panic(err)
+	}
+	vals, err := intern.DecodeKey(b, d.vals[:0])
+	d.vals = vals[:0]
+	if err != nil || len(vals) != 1 || vals[0].Kind != intern.StrValue {
+		panic(fmt.Sprintf("dict: id %d does not decode to a string", id))
+	}
+	return vals[0].Str
+}
 
 // Values decodes a whole id column.
 func (d *StringDict) Values(ids []uint64) []string {
-	out := make([]string, len(ids))
-	for i, id := range ids {
-		out[i] = d.strs[id]
+	cols, err := d.enc.DecodeColumns(ids, []intern.ColType{intern.StrCol})
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return cols[0].Str
 }

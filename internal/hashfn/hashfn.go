@@ -162,6 +162,59 @@ func Murmur2Bytes(data []byte) uint64 {
 	return h
 }
 
+// Murmur2String computes MurmurHash64A over the bytes of a string with the
+// default seed, identical to Murmur2Bytes on the string's byte content but
+// without the []byte conversion (and its allocation) — the form the key
+// interning layer hashes string grouping keys with on its zero-alloc
+// steady-state path.
+func Murmur2String(s string) uint64 {
+	const m uint64 = 0xc6a4a7935bd1e995
+	const r = 47
+	h := Murmur2Seed ^ (uint64(len(s)) * m)
+
+	n := len(s) / 8 * 8
+	for i := 0; i < n; i += 8 {
+		k := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 |
+			uint64(s[i+3])<<24 | uint64(s[i+4])<<32 | uint64(s[i+5])<<40 |
+			uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+	}
+
+	tail := s[n:]
+	switch len(tail) {
+	case 7:
+		h ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(tail[0])
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
 // Multiplicative is Fibonacci (multiplicative) hashing: key times the 64-bit
 // golden-ratio constant. This is the hash the prior-work implementations of
 // Section 6.4 used before the authors switched them to MurmurHash2. It is

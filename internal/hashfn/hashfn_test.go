@@ -28,6 +28,15 @@ func TestMurmur2Deterministic(t *testing.T) {
 	}
 }
 
+func TestMurmur2StringMatchesBytesVariant(t *testing.T) {
+	f := func(data []byte) bool {
+		return Murmur2String(string(data)) == Murmur2Bytes(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMurmur2WithSeedDefault(t *testing.T) {
 	f := func(key uint64) bool {
 		return Murmur2WithSeed(key, Murmur2Seed) == Murmur2(key)

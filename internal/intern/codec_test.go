@@ -1,0 +1,99 @@
+package intern
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := [][]Value{
+		{{Kind: U64Value, U64: 0}},
+		{{Kind: U64Value, U64: ^uint64(0)}},
+		{{Kind: StrValue, Str: ""}},
+		{{Kind: StrValue, Str: "https://example.com/a/b?c=d"}},
+		{{Kind: NullValue}},
+		{{Kind: NullValue}, {Kind: NullValue}},
+		{{Kind: U64Value, U64: 7}, {Kind: StrValue, Str: "x"}, {Kind: NullValue}},
+		{{Kind: StrValue, Str: strings.Repeat("k", 300)}}, // multi-byte uvarint length
+	}
+	for _, vals := range cases {
+		enc := AppendKey(nil, vals)
+		dec, err := DecodeKey(enc, nil)
+		if err != nil {
+			t.Fatalf("decode %v: %v", vals, err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("decoded %d values, want %d", len(dec), len(vals))
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				t.Fatalf("value %d: got %+v want %+v", i, dec[i], vals[i])
+			}
+		}
+		// decode ∘ encode fixed point: re-encoding the decoded values must
+		// reproduce the bytes exactly.
+		if re := AppendKey(nil, dec); !bytes.Equal(re, enc) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, enc)
+		}
+	}
+}
+
+func TestCodecEmptyKeyDecodesEmpty(t *testing.T) {
+	dec, err := DecodeKey(nil, nil)
+	if err != nil || len(dec) != 0 {
+		t.Fatalf("empty key: got %v, %v", dec, err)
+	}
+}
+
+func TestCodecMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown tag":          {0x7f},
+		"truncated u64":        {tagU64, 1, 2, 3},
+		"truncated length":     {tagBytes, 0x80},
+		"truncated payload":    {tagBytes, 5, 'a', 'b'},
+		"non-minimal length":   {tagBytes, 0x81, 0x00, 'a'},
+		"overflowing length":   append([]byte{tagBytes}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02),
+		"trailing after value": {tagNull, tagU64, 1, 2, 3},
+	}
+	for name, enc := range cases {
+		if _, err := DecodeKey(enc, nil); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s (%x): want ErrMalformed, got %v", name, enc, err)
+		}
+	}
+}
+
+func TestCodecDistinctKeysDistinctBytes(t *testing.T) {
+	// Encodings that could be confused under a sloppy codec must differ:
+	// concatenation ambiguity, type ambiguity, NULL vs empty string.
+	keys := [][]Value{
+		{{Kind: StrValue, Str: "ab"}, {Kind: StrValue, Str: "c"}},
+		{{Kind: StrValue, Str: "a"}, {Kind: StrValue, Str: "bc"}},
+		{{Kind: StrValue, Str: "abc"}},
+		{{Kind: U64Value, U64: 'a'}},
+		{{Kind: StrValue, Str: "a"}},
+		{{Kind: NullValue}},
+		{{Kind: StrValue, Str: ""}},
+		{{Kind: U64Value, U64: 0}},
+	}
+	seen := map[string]int{}
+	for i, vals := range keys {
+		enc := string(AppendKey(nil, vals))
+		if j, dup := seen[enc]; dup {
+			t.Fatalf("keys %d and %d share encoding %x", i, j, enc)
+		}
+		seen[enc] = i
+	}
+}
+
+func TestCodecUvarintMinimal(t *testing.T) {
+	// Every length we emit must round-trip through the strict decoder.
+	for _, n := range []uint64{0, 1, 127, 128, 129, 16383, 16384, 1 << 40, ^uint64(0)} {
+		enc := appendUvarint(nil, n)
+		got, used, err := uvarint(enc)
+		if err != nil || got != n || used != len(enc) {
+			t.Fatalf("uvarint(%d): got %d (%d bytes), err %v", n, got, used, err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package intern
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzInternRoundTrip is the CI fuzz gate for the general-key layer. From
+// one arbitrary byte string it checks both halves of the tentpole:
+//
+//   - Codec: DecodeKey either fails with a typed ErrMalformed error or
+//     succeeds with AppendKey(decoded) == input (decode∘encode fixed
+//     point) — never panics, never accepts a non-canonical encoding.
+//   - Dictionary: keys derived from the input intern to stable, dense,
+//     collision-free ids that decode back to the exact bytes stored.
+func FuzzInternRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{tagNull})
+	f.Add(AppendKey(nil, []Value{{Kind: U64Value, U64: 12345}}))
+	f.Add(AppendKey(nil, []Value{{Kind: StrValue, Str: "https://example.com"}, {Kind: NullValue}}))
+	f.Add([]byte{tagBytes, 0x81, 0x00, 'a'}) // non-minimal length
+	f.Add([]byte{tagU64, 1, 2, 3})           // truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := DecodeKey(data, nil)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("decode error not wrapping ErrMalformed: %v", err)
+			}
+		} else if re := AppendKey(nil, vals); !bytes.Equal(re, data) {
+			t.Fatalf("decode∘encode not a fixed point: %x -> %x", data, re)
+		}
+
+		// Dictionary invariants on structured keys derived from the input:
+		// a string key of the raw bytes, a composite (u64, string) key, and
+		// a NULL-bearing variant.
+		it := New()
+		enc := it.NewEncoder()
+		keys := [][]Value{
+			{{Kind: StrValue, Str: string(data)}},
+			{{Kind: U64Value, U64: uint64(len(data))}, {Kind: StrValue, Str: string(data)}},
+			{{Kind: NullValue}, {Kind: StrValue, Str: string(data)}},
+		}
+		ids := make(map[uint64][]Value, len(keys))
+		for _, k := range keys {
+			id := enc.InternRow(k)
+			if prev, dup := ids[id]; dup {
+				t.Fatalf("dense-id collision: %v and %v both got id %d", prev, k, id)
+			}
+			ids[id] = k
+			if again := enc.InternRow(k); again != id {
+				t.Fatalf("re-intern of %v changed id %d -> %d", k, id, again)
+			}
+		}
+		if it.Len() != len(keys) {
+			t.Fatalf("dictionary holds %d keys, want %d", it.Len(), len(keys))
+		}
+		for id, k := range ids {
+			if id >= uint64(len(keys)) {
+				t.Fatalf("id %d not dense for %d keys", id, len(keys))
+			}
+			b, err := it.KeyBytes(id)
+			if err != nil {
+				t.Fatalf("KeyBytes(%d): %v", id, err)
+			}
+			if !bytes.Equal(b, AppendKey(nil, k)) {
+				t.Fatalf("stored bytes for id %d differ from encoding of %v", id, k)
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package intern
+
+// The concurrent dictionary. Design goals, in order:
+//
+//  1. Lock-free reads on the hot path. Encoding a batch whose keys are all
+//     already interned takes no lock and performs no allocation: each row
+//     hashes, probes one shard's published open-addressed index, and
+//     compares bytes. Writers synchronize with readers through the
+//     per-slot meta word (a release store publishes the slot's id and key
+//     bytes, an acquire load observes them) and through the shard's
+//     atomically republished index pointer on growth — the epoch publish.
+//  2. Dense ids. A global atomic counter assigns ids 0, 1, 2, … in intern
+//     order; the id → key-bytes directory is a lock-free paged array, so
+//     decode at emit time is an index, not a map lookup.
+//  3. Append-only storage. Key bytes live in per-shard slabs that are
+//     never moved or freed, so published references stay valid forever
+//     and a grow copies O(slots) words, never the key bytes themselves.
+//
+// Memory model notes: a writer fills slot.id and slot.key with plain
+// stores and then release-stores slot.meta; readers acquire-load meta
+// before touching id/key, which establishes the happens-before edge the
+// race detector (and the hardware) needs. Slots are never reused or
+// rewritten — an index is append-only until it is replaced wholesale by a
+// grow, and the old index stays valid (if stale) for readers still
+// probing it: a miss there falls through to the locked slow path, which
+// probes the current index again.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cacheagg/internal/hashfn"
+)
+
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+
+	// pageBits sizes the id → key directory pages (4096 refs each).
+	pageBits = 12
+	pageSize = 1 << pageBits
+
+	// slabChunk is the allocation unit of per-shard key-byte storage.
+	slabChunk = 64 << 10
+
+	// initialSlots is a fresh shard index's slot count (power of two).
+	initialSlots = 128
+)
+
+// slot is one entry of a shard's open-addressed index.
+type slot struct {
+	// meta is 0 when empty, else hash<<1|1. The release store of meta
+	// publishes id and key.
+	meta atomic.Uint64
+	id   uint64
+	key  []byte
+}
+
+// shardIndex is one published generation of a shard's hash index. Readers
+// treat it as immutable-except-appends; growth replaces it wholesale.
+type shardIndex struct {
+	mask  uint64
+	slots []slot
+}
+
+// lookup probes for the key with hash h. Lock-free; safe against
+// concurrent inserts into the same index.
+func (x *shardIndex) lookup(h uint64, key []byte) (uint64, bool) {
+	m := h<<1 | 1
+	i := h & x.mask
+	for {
+		s := &x.slots[i]
+		meta := s.meta.Load()
+		if meta == 0 {
+			return 0, false
+		}
+		if meta == m && bytes.Equal(s.key, key) {
+			return s.id, true
+		}
+		i = (i + 1) & x.mask
+	}
+}
+
+// shard is one lock-striped partition of the dictionary, selected by the
+// top shardBits of the key hash.
+type shard struct {
+	mu   sync.Mutex // writers only; readers never take it
+	idx  atomic.Pointer[shardIndex]
+	used int    // occupied slots in the current index (guarded by mu)
+	slab []byte // current append-only key-byte chunk (guarded by mu)
+}
+
+// page is one block of the id → key-bytes decode directory.
+type page [pageSize][]byte
+
+// Interner is the concurrent dictionary: encoded key bytes → dense uint64
+// ids, with a reverse directory for decode. Safe for concurrent use; the
+// zero value is not usable, construct with New.
+type Interner struct {
+	shards [numShards]shard
+	next   atomic.Uint64 // dense id allocator; also Len
+	bytes  atomic.Int64  // total interned key bytes
+	grows  atomic.Int64  // shard index growths (epoch republications)
+
+	dirMu sync.Mutex
+	dir   atomic.Pointer[[]*page]
+}
+
+// New returns an empty dictionary.
+func New() *Interner {
+	return &Interner{}
+}
+
+// Len returns the number of distinct keys interned so far.
+func (it *Interner) Len() int { return int(it.next.Load()) }
+
+// Bytes returns the total encoded size of all interned keys — the slab
+// footprint, excluding index overhead.
+func (it *Interner) Bytes() int64 { return it.bytes.Load() }
+
+// Grows returns how many times a shard index grew and republished.
+func (it *Interner) Grows() int64 { return it.grows.Load() }
+
+// Intern returns the dense id of the encoded key, assigning the next id on
+// first appearance. key is copied on insert; the caller may reuse the
+// buffer. onGrow, when non-nil, is called (under the shard lock) each time
+// the shard's index grows — the intern-grow trace hook.
+func (it *Interner) Intern(h uint64, key []byte, onGrow func(shard, newSlots int)) uint64 {
+	sh := &it.shards[h>>(64-shardBits)]
+	if idx := sh.idx.Load(); idx != nil {
+		if id, ok := idx.lookup(h, key); ok {
+			return id
+		}
+	}
+	return it.internSlow(sh, h, key, onGrow)
+}
+
+// Lookup returns the id of the encoded key without inserting.
+func (it *Interner) Lookup(h uint64, key []byte) (uint64, bool) {
+	idx := it.shards[h>>(64-shardBits)].idx.Load()
+	if idx == nil {
+		return 0, false
+	}
+	return idx.lookup(h, key)
+}
+
+func (it *Interner) internSlow(sh *shard, h uint64, key []byte, onGrow func(int, int)) uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx := sh.idx.Load()
+	if idx == nil {
+		idx = &shardIndex{mask: initialSlots - 1, slots: make([]slot, initialSlots)}
+		sh.idx.Store(idx)
+	} else if id, ok := idx.lookup(h, key); ok {
+		// Another writer interned this key between our lock-free miss and
+		// taking the lock.
+		return id
+	}
+	if (sh.used+1)*4 > len(idx.slots)*3 {
+		idx = sh.grow(idx)
+		it.grows.Add(1)
+		if onGrow != nil {
+			onGrow(int(h>>(64-shardBits)), len(idx.slots))
+		}
+	}
+
+	// Copy the key bytes into the shard's append-only slab.
+	if len(sh.slab)+len(key) > cap(sh.slab) {
+		sh.slab = make([]byte, 0, max(slabChunk, len(key)))
+	}
+	off := len(sh.slab)
+	sh.slab = append(sh.slab, key...)
+	kc := sh.slab[off:len(sh.slab):len(sh.slab)]
+	it.bytes.Add(int64(len(key)))
+
+	// Assign the dense id and make it decodable before publishing the
+	// slot, so any reader that observes the id can decode it.
+	id := it.next.Add(1) - 1
+	it.storeRef(id, kc)
+
+	// Publish: plain stores of id/key, then the release store of meta.
+	i := h & idx.mask
+	for idx.slots[i].meta.Load() != 0 {
+		i = (i + 1) & idx.mask
+	}
+	s := &idx.slots[i]
+	s.id = id
+	s.key = kc
+	s.meta.Store(h<<1 | 1)
+	sh.used++
+	return id
+}
+
+// grow doubles the shard's index and republishes it. Called under the
+// shard lock; readers keep probing the old (now frozen) index until they
+// next load the pointer.
+func (sh *shard) grow(old *shardIndex) *shardIndex {
+	nn := &shardIndex{mask: uint64(len(old.slots))*2 - 1, slots: make([]slot, len(old.slots)*2)}
+	for si := range old.slots {
+		s := &old.slots[si]
+		meta := s.meta.Load()
+		if meta == 0 {
+			continue
+		}
+		h := meta >> 1
+		i := h & nn.mask
+		for nn.slots[i].meta.Load() != 0 {
+			i = (i + 1) & nn.mask
+		}
+		nn.slots[i].id = s.id
+		nn.slots[i].key = s.key
+		nn.slots[i].meta.Store(meta)
+	}
+	sh.idx.Store(nn)
+	return nn
+}
+
+// storeRef records id → key in the decode directory, growing the paged
+// directory as needed.
+func (it *Interner) storeRef(id uint64, key []byte) {
+	p := int(id >> pageBits)
+	dir := it.dir.Load()
+	if dir == nil || p >= len(*dir) || (*dir)[p] == nil {
+		it.dirMu.Lock()
+		dir = it.dir.Load()
+		if dir == nil || p >= len(*dir) || (*dir)[p] == nil {
+			var nd []*page
+			if dir != nil {
+				nd = make([]*page, max(p+1, len(*dir)))
+				copy(nd, *dir)
+			} else {
+				nd = make([]*page, p+1)
+			}
+			if nd[p] == nil {
+				nd[p] = new(page)
+			}
+			it.dir.Store(&nd)
+			dir = &nd
+		}
+		it.dirMu.Unlock()
+	}
+	(*dir)[p][id&(pageSize-1)] = key
+}
+
+// KeyBytes returns the encoded bytes of an interned id. The returned slice
+// aliases the dictionary's append-only storage; callers must not modify
+// it. Unknown ids are a typed error, never a panic.
+func (it *Interner) KeyBytes(id uint64) ([]byte, error) {
+	if id >= it.next.Load() {
+		return nil, fmt.Errorf("intern: id %d not interned (dictionary holds %d)", id, it.next.Load())
+	}
+	dir := it.dir.Load()
+	p := int(id >> pageBits)
+	if dir == nil || p >= len(*dir) || (*dir)[p] == nil {
+		return nil, fmt.Errorf("intern: id %d has no decode entry", id)
+	}
+	key := (*dir)[p][id&(pageSize-1)]
+	if key == nil {
+		return nil, fmt.Errorf("intern: id %d has no decode entry", id)
+	}
+	return key, nil
+}
+
+// nullHash is the hash contribution of a NULL column value. Any constant
+// works; identity is decided by byte comparison, the hash only routes.
+const nullHash = 0x9e3779b97f4a7c15
+
+// rowSeed starts every row-hash combine chain.
+const rowSeed = 0x517cc1b727220a95
+
+// combine folds one column-value hash into the row hash. Multiplication
+// makes the fold order-sensitive, so (a, b) and (b, a) hash apart.
+func combine(h, ch uint64) uint64 {
+	return (h ^ ch) * 0xc6a4a7935bd1e995
+}
+
+// finish avalanches a combined row hash (the 64-bit murmur3 finalizer),
+// spreading entropy into the top bits (shard selection) and the low bits
+// (slot selection).
+func finish(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashValue is the single-key analogue of the batched per-column hashing:
+// the column-value hash a Value contributes to its row hash.
+func hashValue(v Value) uint64 {
+	switch v.Kind {
+	case NullValue:
+		return nullHash
+	case U64Value:
+		return hashfn.Murmur2(v.U64)
+	default:
+		return hashfn.Murmur2String(v.Str)
+	}
+}
+
+// HashKey computes the row hash of a key given as column values — the
+// same function the batched encoder computes per row, so single-key and
+// batched interning agree on shard and slot routing.
+func HashKey(vals []Value) uint64 {
+	h := uint64(rowSeed)
+	for _, v := range vals {
+		h = combine(h, hashValue(v))
+	}
+	return finish(h)
+}

@@ -1,0 +1,343 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cacheagg/internal/xrand"
+)
+
+func TestInternerDenseIDsAndRoundTrip(t *testing.T) {
+	it := New()
+	enc := it.NewEncoder()
+	const n = 5000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("https://host%d.example/%d", i%37, i)
+	}
+	ids := make([]uint64, n)
+	if err := enc.EncodeColumns([]Column{{Str: keys}}, ids); err != nil {
+		t.Fatal(err)
+	}
+	if it.Len() != n {
+		t.Fatalf("interned %d distinct keys, want %d", it.Len(), n)
+	}
+	seen := make([]bool, n)
+	for i, id := range ids {
+		if id >= n {
+			t.Fatalf("id %d out of dense range [0,%d)", id, n)
+		}
+		if seen[id] {
+			t.Fatalf("id %d assigned to two distinct keys (row %d)", id, i)
+		}
+		seen[id] = true
+	}
+	// Second pass must be a pure lookup: same ids, no growth.
+	ids2 := make([]uint64, n)
+	if err := enc.EncodeColumns([]Column{{Str: keys}}, ids2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Fatalf("row %d: id changed across passes (%d vs %d)", i, ids[i], ids2[i])
+		}
+	}
+	if it.Len() != n {
+		t.Fatalf("re-encode grew the dictionary to %d", it.Len())
+	}
+	// Decode streams the original keys back.
+	cols, err := enc.DecodeColumns(ids, []ColType{StrCol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if cols[0].Str[i] != keys[i] {
+			t.Fatalf("row %d decoded to %q, want %q", i, cols[0].Str[i], keys[i])
+		}
+	}
+}
+
+func TestInternerCompositeNullRoundTrip(t *testing.T) {
+	it := New()
+	enc := it.NewEncoder()
+	u := []uint64{1, 2, 1, 42, 42}
+	s := []string{"a", "a", "b", "", "x"}
+	nu := []bool{false, false, false, true, false}
+	ns := []bool{false, false, false, false, true}
+	ids := make([]uint64, len(u))
+	cols := []Column{{U64: u, Nulls: nu}, {Str: s, Nulls: ns}}
+	if err := enc.EncodeColumns(cols, ids); err != nil {
+		t.Fatal(err)
+	}
+	if it.Len() != 5 {
+		t.Fatalf("want 5 distinct keys, got %d", it.Len())
+	}
+	dec, err := enc.DecodeColumns(ids, []ColType{U64Col, StrCol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u {
+		if nu[i] {
+			if dec[0].Nulls == nil || !dec[0].Nulls[i] {
+				t.Fatalf("row %d: uint64 NULL lost", i)
+			}
+		} else if dec[0].U64[i] != u[i] {
+			t.Fatalf("row %d: u64 %d, want %d", i, dec[0].U64[i], u[i])
+		}
+		if ns[i] {
+			if dec[1].Nulls == nil || !dec[1].Nulls[i] {
+				t.Fatalf("row %d: string NULL lost", i)
+			}
+		} else if dec[1].Str[i] != s[i] {
+			t.Fatalf("row %d: str %q, want %q", i, dec[1].Str[i], s[i])
+		}
+	}
+	// NULL equals NULL, but NULL is not "" and not 0.
+	id0 := ids[3]
+	again := make([]uint64, 1)
+	if err := enc.EncodeColumns([]Column{{U64: []uint64{99}, Nulls: []bool{true}}, {Str: []string{""}}}, again); err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != id0 {
+		t.Fatalf("NULL group split: %d vs %d", again[0], id0)
+	}
+}
+
+func TestInternerTypeMismatchOnDecode(t *testing.T) {
+	it := New()
+	enc := it.NewEncoder()
+	ids := make([]uint64, 1)
+	if err := enc.EncodeColumns([]Column{{Str: []string{"s"}}}, ids); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.DecodeColumns(ids, []ColType{U64Col}); err == nil {
+		t.Fatal("decoding a string key as uint64 must fail")
+	}
+	if _, err := enc.DecodeColumns(ids, []ColType{StrCol, StrCol}); err == nil {
+		t.Fatal("decoding with wrong column count must fail")
+	}
+	if _, err := it.KeyBytes(99); err == nil {
+		t.Fatal("KeyBytes of unknown id must fail")
+	}
+}
+
+func TestInternerShapeErrors(t *testing.T) {
+	it := New()
+	enc := it.NewEncoder()
+	ids := make([]uint64, 4)
+	if err := enc.EncodeColumns(nil, ids); err == nil {
+		t.Fatal("zero columns must fail")
+	}
+	if err := enc.EncodeColumns([]Column{{}}, ids); err == nil {
+		t.Fatal("column with neither U64 nor Str must fail")
+	}
+	if err := enc.EncodeColumns([]Column{{U64: []uint64{1}, Str: []string{"x"}}}, ids); err == nil {
+		t.Fatal("column with both U64 and Str must fail")
+	}
+	if err := enc.EncodeColumns([]Column{{U64: []uint64{1, 2}}, {Str: []string{"x"}}}, ids); err == nil {
+		t.Fatal("ragged columns must fail")
+	}
+	if err := enc.EncodeColumns([]Column{{U64: []uint64{1, 2}, Nulls: []bool{true}}}, ids); err == nil {
+		t.Fatal("short null mask must fail")
+	}
+	if err := enc.EncodeColumns([]Column{{U64: []uint64{1, 2, 3, 4, 5}}}, ids); err == nil {
+		t.Fatal("short ids slice must fail")
+	}
+}
+
+func TestInternerGrowHook(t *testing.T) {
+	it := New()
+	enc := it.NewEncoder()
+	var grows int
+	enc.OnGrow = func(shard, newSlots int) {
+		grows++
+		if shard < 0 || shard >= numShards {
+			t.Errorf("grow hook shard %d out of range", shard)
+		}
+		if newSlots <= initialSlots {
+			t.Errorf("grow hook reported %d slots, want > %d", newSlots, initialSlots)
+		}
+	}
+	const n = 64 * initialSlots * 2 // enough to force growth in every shard
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	ids := make([]uint64, n)
+	if err := enc.EncodeColumns([]Column{{U64: keys}}, ids); err != nil {
+		t.Fatal(err)
+	}
+	if grows == 0 {
+		t.Fatal("no grow events for a dictionary that must have grown")
+	}
+	if it.Grows() != int64(grows) {
+		t.Fatalf("Grows() = %d, hook saw %d", it.Grows(), grows)
+	}
+	if it.Bytes() <= 0 {
+		t.Fatal("Bytes() must be positive after interning")
+	}
+}
+
+func TestInternerSteadyStateZeroAlloc(t *testing.T) {
+	// Acceptance criterion: encoding a batch whose keys are all already
+	// interned allocates nothing.
+	it := New()
+	enc := it.NewEncoder()
+	const n = 2048
+	u := make([]uint64, n)
+	s := make([]string, n)
+	nulls := make([]bool, n)
+	for i := range u {
+		u[i] = uint64(i % 97)
+		s[i] = fmt.Sprintf("https://example.com/p/%d", i%53)
+		nulls[i] = i%29 == 0
+	}
+	cols := []Column{{U64: u}, {Str: s, Nulls: nulls}}
+	ids := make([]uint64, n)
+	if err := enc.EncodeColumns(cols, ids); err != nil {
+		t.Fatal(err) // warm: everything interned now
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := enc.EncodeColumns(cols, ids); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state EncodeColumns allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+func TestInternerConcurrentSameIDs(t *testing.T) {
+	// The concurrency contract: every goroutine interning the same logical
+	// key must observe the same dense id, and ids stay dense. Run with
+	// -race in CI.
+	it := New()
+	const workers = 8
+	const n = 20000
+	const distinct = 3000
+	results := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			enc := it.NewEncoder()
+			rng := xrand.NewXoshiro256(uint64(w + 1))
+			u := make([]uint64, n)
+			s := make([]string, n)
+			for i := range u {
+				k := rng.Next() % distinct
+				u[i] = k
+				s[i] = fmt.Sprintf("https://host/%d", k)
+			}
+			ids := make([]uint64, n)
+			if err := enc.EncodeColumns([]Column{{U64: u}, {Str: s}}, ids); err != nil {
+				t.Error(err)
+				return
+			}
+			// Remap row ids back to logical key for cross-worker comparison.
+			// Keys this worker never drew keep the sentinel.
+			byKey := make([]uint64, distinct)
+			for k := range byKey {
+				byKey[k] = ^uint64(0)
+			}
+			for i := range u {
+				byKey[u[i]] = ids[i]
+			}
+			results[w] = byKey
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if it.Len() > distinct {
+		t.Fatalf("dictionary holds %d keys, want at most %d", it.Len(), distinct)
+	}
+	// Merge all workers' views, checking agreement wherever two overlap.
+	merged := make([]uint64, distinct)
+	for k := range merged {
+		merged[k] = ^uint64(0)
+	}
+	for w := 0; w < workers; w++ {
+		for k := 0; k < distinct; k++ {
+			id := results[w][k]
+			if id == ^uint64(0) {
+				continue
+			}
+			if merged[k] != ^uint64(0) && merged[k] != id {
+				t.Fatalf("worker %d saw id %d for key %d, another worker saw %d", w, id, k, merged[k])
+			}
+			merged[k] = id
+		}
+	}
+	// And every interned id decodes to its own key.
+	enc := it.NewEncoder()
+	var ids []uint64
+	var keys []int
+	for k, id := range merged {
+		if id != ^uint64(0) {
+			ids = append(ids, id)
+			keys = append(keys, k)
+		}
+	}
+	cols, err := enc.DecodeColumns(ids, []ColType{U64Col, StrCol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want := fmt.Sprintf("https://host/%d", k)
+		if cols[0].U64[i] != uint64(k) || cols[1].Str[i] != want {
+			t.Fatalf("id %d decoded to (%d, %q), want (%d, %q)", ids[i], cols[0].U64[i], cols[1].Str[i], k, want)
+		}
+	}
+}
+
+func TestInternRowMatchesBatch(t *testing.T) {
+	// Single-row interning must land in the same dictionary entry as the
+	// batched path: same serialization, same hash routing.
+	a, b := New(), New()
+	encA, encB := a.NewEncoder(), b.NewEncoder()
+	u := []uint64{10, 20, 10}
+	s := []string{"x", "y", "x"}
+	nulls := []bool{false, true, false}
+	ids := make([]uint64, 3)
+	if err := encA.EncodeColumns([]Column{{U64: u}, {Str: s, Nulls: nulls}}, ids); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u {
+		vals := []Value{{Kind: U64Value, U64: u[i]}, {Kind: StrValue, Str: s[i]}}
+		if nulls[i] {
+			vals[1] = Value{Kind: NullValue}
+		}
+		if got := encB.InternRow(vals); got != ids[i] {
+			t.Fatalf("row %d: InternRow id %d, batch id %d", i, got, ids[i])
+		}
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("dictionaries diverge: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+func TestInternerLargeKeySpansSlabChunk(t *testing.T) {
+	// A key bigger than the slab chunk must still intern and decode.
+	it := New()
+	enc := it.NewEncoder()
+	big := make([]byte, slabChunk+100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	s := string(big)
+	ids := make([]uint64, 2)
+	if err := enc.EncodeColumns([]Column{{Str: []string{s, "small"}}}, ids); err != nil {
+		t.Fatal(err)
+	}
+	cols, err := enc.DecodeColumns(ids, []ColType{StrCol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0].Str[0] != s || cols[0].Str[1] != "small" {
+		t.Fatal("large-key round trip failed")
+	}
+}

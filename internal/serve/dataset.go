@@ -12,21 +12,37 @@ import (
 	"strconv"
 	"strings"
 
+	"cacheagg"
 	"cacheagg/internal/datagen"
 )
 
 // Dataset is one hosted input: a grouping column plus derived aggregate
 // input columns. Immutable after registration; safe for concurrent reads.
+//
+// General-key datasets (string or composite grouping columns) are interned
+// at registration: Keys holds the dense ids, KeyTypes the declared schema,
+// and Interner the dictionary that decodes result group ids back into the
+// original keys at response time. The query path itself is key-type blind.
 type Dataset struct {
 	// Name is the registry key.
 	Name string
-	// Keys is the grouping column.
+	// Keys is the grouping column (dense interned ids for general-key
+	// datasets).
 	Keys []uint64
 	// Cols are the aggregate input columns.
 	Cols [][]int64
 	// Spec describes how the data was generated (diagnostics only).
 	Spec string
+	// KeyTypes, when non-nil, declares the general-key schema of the
+	// dataset; responses then carry decoded keys per row.
+	KeyTypes []cacheagg.KeyType
+	// Interner is the dictionary backing a general-key dataset.
+	Interner *cacheagg.Interner
 }
+
+// GeneralKeys reports whether the dataset's grouping column is interned
+// general keys (responses decode them back per row).
+func (d *Dataset) GeneralKeys() bool { return len(d.KeyTypes) > 0 }
 
 // Rows returns the dataset length.
 func (d *Dataset) Rows() int { return len(d.Keys) }
@@ -45,23 +61,37 @@ func NewDataset(name string, keys []uint64, cols [][]int64) (*Dataset, error) {
 	return &Dataset{Name: name, Keys: keys, Cols: cols, Spec: "explicit"}, nil
 }
 
-// ParseDatasetSpec builds a dataset from a "name=dist:n:k[:seed]" spec,
-// e.g. "events=zipf:1000000:65536" — the aggserve -dataset flag format.
-// Two deterministic value columns are derived from the keys so every
+// ParseDatasetSpec builds a dataset from a "name=kind:n:k[:seed]" spec —
+// the aggserve -dataset flag format. kind is either one of the datagen
+// distributions over raw uint64 keys (e.g. "events=zipf:1000000:65536"),
+// or a general-key kind exercising the interning layer:
+//
+//	strings    URL-like string keys (uniform raw keys through
+//	           datagen.StringKey, interned to dense ids)
+//	composite2 two-column composite keys (an injective decomposition of
+//	           uniform raw keys, interned to dense ids)
+//
+// Two deterministic value columns are derived from the raw keys so every
 // aggregate function has something to chew on: col 0 is key-correlated
 // (key mod 1000), col 1 is row-position noise.
 func ParseDatasetSpec(spec string) (*Dataset, error) {
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" {
-		return nil, fmt.Errorf("serve: dataset spec %q is not name=dist:n:k[:seed]", spec)
+		return nil, fmt.Errorf("serve: dataset spec %q is not name=kind:n:k[:seed]", spec)
 	}
 	parts := strings.Split(rest, ":")
 	if len(parts) < 3 || len(parts) > 4 {
-		return nil, fmt.Errorf("serve: dataset spec %q is not name=dist:n:k[:seed]", spec)
+		return nil, fmt.Errorf("serve: dataset spec %q is not name=kind:n:k[:seed]", spec)
 	}
-	dist, err := datagen.ParseDist(parts[0])
-	if err != nil {
-		return nil, fmt.Errorf("serve: dataset %s: %w", name, err)
+	kind := parts[0]
+	general := kind == "strings" || kind == "composite2"
+	var dist datagen.Dist
+	if !general {
+		var err error
+		dist, err = datagen.ParseDist(kind)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dataset %s: %w", name, err)
+		}
 	}
 	n, err := strconv.Atoi(parts[1])
 	if err != nil || n <= 0 {
@@ -78,19 +108,46 @@ func ParseDatasetSpec(spec string) (*Dataset, error) {
 			return nil, fmt.Errorf("serve: dataset %s: bad seed %q", name, parts[3])
 		}
 	}
-	keys := datagen.Generate(datagen.Spec{Dist: dist, N: n, K: k, Seed: seed})
+	dspec := datagen.Spec{Dist: dist, N: n, K: k, Seed: seed}
+	if general {
+		dspec.Dist = datagen.Uniform
+	}
+	raw := datagen.Generate(dspec)
 	col0 := make([]int64, n)
 	col1 := make([]int64, n)
-	for i, key := range keys {
+	for i, key := range raw {
 		col0[i] = int64(key % 1000)
 		col1[i] = int64((uint64(i)*2654435761 + seed) % 4096)
 	}
-	return &Dataset{
+	d := &Dataset{
 		Name: name,
-		Keys: keys,
+		Keys: raw,
 		Cols: [][]int64{col0, col1},
 		Spec: rest,
-	}, nil
+	}
+	if general {
+		var gcols []cacheagg.KeyColumn
+		switch kind {
+		case "strings":
+			strs := make([]string, n)
+			for i, key := range raw {
+				strs[i] = datagen.StringKey(key)
+			}
+			gcols = []cacheagg.KeyColumn{{Strings: strs}}
+			d.KeyTypes = []cacheagg.KeyType{cacheagg.KeyString}
+		case "composite2":
+			cc := datagen.GenerateComposite(dspec, 2)
+			gcols = []cacheagg.KeyColumn{{Uint64s: cc[0]}, {Uint64s: cc[1]}}
+			d.KeyTypes = []cacheagg.KeyType{cacheagg.KeyUint64, cacheagg.KeyUint64}
+		}
+		d.Interner = cacheagg.NewInterner()
+		ids, err := d.Interner.EncodeColumns(gcols)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dataset %s: %w", name, err)
+		}
+		d.Keys = ids
+	}
+	return d, nil
 }
 
 // Registry is the immutable set of hosted datasets, built before the

@@ -1,0 +1,277 @@
+package serve
+
+// Serve-layer coverage for general keys: string/composite datasets whose
+// responses decode group ids back to original key values, the KEYDICT
+// durable sidecar, and string-keyed ingest sessions across a restart.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cacheagg/internal/datagen"
+	"cacheagg/internal/testutil"
+)
+
+// TestStringDatasetQueryDecodesKeys hosts a strings-kind dataset and
+// checks every response row carries the decoded URL key, with counts
+// matching an independently regenerated oracle.
+func TestStringDatasetQueryDecodesKeys(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const n, k, seed = 1 << 14, 512, 3
+	d, err := ParseDatasetSpec(fmt.Sprintf("urls=strings:%d:%d:%d", n, k, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.GeneralKeys() {
+		t.Fatal("strings dataset is not general-keyed")
+	}
+	reg, err := NewRegistry(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Registry: reg})
+
+	// Independent oracle: regenerate the raw keys the spec parser used
+	// (general kinds force a uniform distribution) and count per string.
+	raw := datagen.Generate(datagen.Spec{Dist: datagen.Uniform, N: n, K: k, Seed: seed})
+	want := make(map[string]int64)
+	for _, key := range raw {
+		want[datagen.StringKey(key)]++
+	}
+
+	resp := postQuery(t, ts.URL, `{"dataset":"urls","aggregates":[{"func":"count"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	_, rows := parseResponse(t, resp)
+	if len(rows) != len(want) {
+		t.Fatalf("%d groups, oracle has %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if len(r.K) != 1 {
+			t.Fatalf("group %d: k = %v, want one column", r.G, r.K)
+		}
+		s, ok := r.K[0].(string)
+		if !ok || !strings.HasPrefix(s, "https://") {
+			t.Fatalf("group %d: decoded key %v is not a URL string", r.G, r.K[0])
+		}
+		if r.A[0] != want[s] {
+			t.Fatalf("key %q: count %d, want %d", s, r.A[0], want[s])
+		}
+	}
+}
+
+// TestCompositeDatasetQueryDecodesKeys does the same for the two-column
+// composite kind: each row's k holds both original uint64 columns.
+func TestCompositeDatasetQueryDecodesKeys(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const n, k, seed = 1 << 13, 256, 9
+	d, err := ParseDatasetSpec(fmt.Sprintf("pairs=composite2:%d:%d:%d", n, k, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Registry: reg})
+
+	spec := datagen.Spec{Dist: datagen.Uniform, N: n, K: k, Seed: seed}
+	cc := datagen.GenerateComposite(spec, 2)
+	want := make(map[[2]uint64]int64)
+	for i := 0; i < n; i++ {
+		want[[2]uint64{cc[0][i], cc[1][i]}]++
+	}
+
+	resp := postQuery(t, ts.URL, `{"dataset":"pairs","aggregates":[{"func":"count"}]}`)
+	_, rows := parseResponse(t, resp)
+	if len(rows) != len(want) {
+		t.Fatalf("%d groups, oracle has %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if len(r.K) != 2 {
+			t.Fatalf("group %d: k = %v, want two columns", r.G, r.K)
+		}
+		// JSON numbers decode as float64; the generator keeps values small
+		// enough for that to be exact.
+		tup := [2]uint64{uint64(r.K[0].(float64)), uint64(r.K[1].(float64))}
+		if r.A[0] != want[tup] {
+			t.Fatalf("tuple %v: count %d, want %d", tup, r.A[0], want[tup])
+		}
+	}
+}
+
+// TestInlineQueryHasNoKeyField pins that uint64 datasets and inline
+// queries are unchanged by the general-key path: no "k" in rows.
+func TestInlineQueryHasNoKeyField(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	_, ts := newTestServer(t, Config{})
+	resp := postQuery(t, ts.URL, `{"keys":[1,2,1],"aggregates":[{"func":"count"}]}`)
+	_, rows := parseResponse(t, resp)
+	for _, r := range rows {
+		if r.K != nil {
+			t.Fatalf("inline query row has k = %v", r.K)
+		}
+	}
+}
+
+// TestKeyDictRoundTripAndTornTail unit-tests the durable sidecar: dense
+// id assignment, reload equivalence, and torn-tail truncation.
+func TestKeyDictRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := createKeyDict(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := d.encode([]string{"alpha", "beta", "alpha", "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []uint64{0, 1, 0, 2}
+	for i, id := range ids {
+		if id != wantIDs[i] {
+			t.Fatalf("ids = %v, want %v", ids, wantIDs)
+		}
+	}
+	// Re-encoding known keys is stable and appends nothing.
+	again, err := d.encode([]string{"gamma", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 2 || again[1] != 1 {
+		t.Fatalf("re-encode = %v", again)
+	}
+	d.close()
+
+	// Reload assigns the same ids and decodes them back.
+	d2, ok, err := loadKeyDict(dir, true)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	strs, err := d2.decode([]uint64{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strs[0] != "gamma" || strs[1] != "alpha" || strs[2] != "beta" {
+		t.Fatalf("decode = %v", strs)
+	}
+	if _, err := d2.decode([]uint64{99}); err == nil {
+		t.Fatal("decoding an unknown id must fail")
+	}
+	d2.close()
+
+	// A torn tail — half an entry — is truncated at load; the entries
+	// before it survive.
+	f, err := os.OpenFile(filepath.Join(dir, keyDictName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 1, 'x'}); err != nil { // claims 200 bytes, has 1
+		t.Fatal(err)
+	}
+	f.Close()
+	d3, ok, err := loadKeyDict(dir, true)
+	if err != nil || !ok {
+		t.Fatalf("load after tear: ok=%v err=%v", ok, err)
+	}
+	if len(d3.strs) != 3 {
+		t.Fatalf("after tear: %d entries, want 3", len(d3.strs))
+	}
+	// The truncated file accepts new appends cleanly.
+	ids, err = d3.encode([]string{"delta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != 3 {
+		t.Fatalf("post-tear id = %d, want 3", ids[0])
+	}
+	d3.close()
+
+	// A directory without a KEYDICT reports ok=false (uint64 session).
+	if _, ok, err := loadKeyDict(t.TempDir(), true); err != nil || ok {
+		t.Fatalf("missing dict: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestIngestStringSession drives a string-keyed session over the wire —
+// begin, pushes, seal, query with decoded keys — then reboots the server
+// and checks the dictionary resumes with the checkpoint, so post-restart
+// pushes keep extending the same id space.
+func TestIngestStringSession(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	reg := testRegistry(t, 1<<12)
+	s1, ts1 := newTestServer(t, Config{Registry: reg, IngestDir: dir, IngestNoSync: true})
+
+	resp := postIngest(t, ts1.URL, `{"session":"urls","op":"begin","key_type":"string","aggregates":[{"func":"count"},{"func":"sum","col":0}]}`)
+	wantStatus(t, resp, http.StatusOK)
+	ingestJSON(t, resp)
+
+	// Key-type mismatches are typed 400s, both directions.
+	resp = postIngest(t, ts1.URL, `{"session":"urls","op":"push","keys":[1,2],"columns":[[1,1]]}`)
+	if code := errorCode(t, resp); code != "bad_request" {
+		t.Fatalf("uint64 push into string session: code %q", code)
+	}
+	resp = postIngest(t, ts1.URL, `{"session":"urls","op":"begin","key_type":"martian","aggregates":[{"func":"count"}]}`)
+	if code := errorCode(t, resp); code != "bad_request" {
+		t.Fatalf("bad key_type: code %q", code)
+	}
+	resp = postIngest(t, ts1.URL, `{"session":"urls","op":"push","keys":[1],"skeys":["a"],"columns":[[1]]}`)
+	if code := errorCode(t, resp); code != "bad_request" {
+		t.Fatalf("both key blocks: code %q", code)
+	}
+
+	resp = postIngest(t, ts1.URL, `{"session":"urls","op":"push","skeys":["/a","/b","/a"],"columns":[[10,20,30]]}`)
+	wantStatus(t, resp, http.StatusOK)
+	ingestJSON(t, resp)
+	resp = postIngest(t, ts1.URL, `{"session":"urls","op":"seal"}`)
+	wantStatus(t, resp, http.StatusOK)
+	ingestJSON(t, resp)
+
+	resp = postIngest(t, ts1.URL, `{"session":"urls","op":"query"}`)
+	wantStatus(t, resp, http.StatusOK)
+	_, rows := parseResponse(t, resp)
+	counts := map[string]int64{}
+	for _, r := range rows {
+		counts[r.K[0].(string)] = r.A[0]
+	}
+	if counts["/a"] != 2 || counts["/b"] != 1 {
+		t.Fatalf("pre-restart counts = %v", counts)
+	}
+
+	// Reboot around the live session.
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	_, ts2 := newTestServer(t, Config{Registry: reg, IngestDir: dir, IngestNoSync: true})
+
+	// The resumed session still refuses uint64 pushes…
+	resp = postIngest(t, ts2.URL, `{"session":"urls","op":"push","keys":[5],"columns":[[1]]}`)
+	if code := errorCode(t, resp); code != "bad_request" {
+		t.Fatalf("post-resume uint64 push: code %q", code)
+	}
+	// …and maps old strings to their old ids while interning new ones.
+	resp = postIngest(t, ts2.URL, `{"session":"urls","op":"push","skeys":["/b","/c"],"columns":[[7,9]]}`)
+	wantStatus(t, resp, http.StatusOK)
+	ingestJSON(t, resp)
+
+	resp = postIngest(t, ts2.URL, `{"session":"urls","op":"finish"}`)
+	wantStatus(t, resp, http.StatusOK)
+	_, rows = parseResponse(t, resp)
+	want := map[string][2]int64{"/a": {2, 40}, "/b": {2, 27}, "/c": {1, 9}}
+	if len(rows) != len(want) {
+		t.Fatalf("finish groups = %d, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		w, ok := want[r.K[0].(string)]
+		if !ok || r.A[0] != w[0] || r.A[1] != w[1] {
+			t.Fatalf("group %v = %v, want %v", r.K, r.A, w)
+		}
+	}
+}

@@ -57,18 +57,26 @@ type ingestRequest struct {
 	Op string `json:"op"`
 	// Aggregates configures a begin.
 	Aggregates []AggRef `json:"aggregates,omitempty"`
-	// Keys/Columns carry a push's block.
+	// KeyType configures a begin: "" or "uint64" for raw dense keys,
+	// "string" for a string-keyed session whose pushes carry skeys.
+	KeyType string `json:"key_type,omitempty"`
+	// Keys/Columns carry a push's block. A push sets exactly one of Keys
+	// (uint64 session) and SKeys (string session).
 	Keys    []uint64  `json:"keys,omitempty"`
+	SKeys   []string  `json:"skeys,omitempty"`
 	Columns [][]int64 `json:"columns,omitempty"`
 	// Window scopes a query to the last N sealed epochs (0 = all).
 	Window int `json:"window,omitempty"`
 }
 
-// ingestSession pairs a live stream with its wire metadata.
+// ingestSession pairs a live stream with its wire metadata. dict is nil
+// for uint64-keyed sessions; string-keyed sessions intern pushed keys
+// through it and decode result group ids back at query time.
 type ingestSession struct {
 	name   string
 	stream *cacheagg.StreamAggregator
 	hasAvg bool
+	dict   *keyDict
 }
 
 func sessionHasAvg(aggs []cacheagg.AggSpec) bool {
@@ -115,11 +123,20 @@ func (s *Server) resumeSessions() error {
 		st, err := cacheagg.ResumeStream(s.streamOptions(ent.Name(), nil))
 		switch {
 		case err == nil:
-			s.sessions[ent.Name()] = &ingestSession{
+			dict, hasDict, derr := loadKeyDict(filepath.Join(s.cfg.IngestDir, ent.Name()), s.cfg.IngestNoSync)
+			if derr != nil {
+				st.Close()
+				return fmt.Errorf("serve: resume ingest session %q: %w", ent.Name(), derr)
+			}
+			sess := &ingestSession{
 				name:   ent.Name(),
 				stream: st,
 				hasAvg: sessionHasAvg(st.Aggregates()),
 			}
+			if hasDict {
+				sess.dict = dict
+			}
+			s.sessions[ent.Name()] = sess
 			s.metrics.IngestResumed.Add(1)
 		case errors.Is(err, cacheagg.ErrNoCheckpoint), errors.Is(err, cacheagg.ErrStreamFinished):
 			continue
@@ -176,6 +193,9 @@ func (s *Server) drainSessions(ctx context.Context) error {
 		if err := sess.stream.Drain(ctx); err != nil {
 			errs = append(errs, fmt.Errorf("session %q: %w", sess.name, err))
 		}
+		if sess.dict != nil {
+			sess.dict.close()
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -207,6 +227,12 @@ func decodeIngest(r io.Reader, lim Limits) (*ingestRequest, error) {
 		if len(req.Aggregates) == 0 {
 			return nil, errf(ErrBadRequest, nil, "begin needs at least one aggregate")
 		}
+		switch req.KeyType {
+		case "", "uint64", "string":
+		default:
+			return nil, errf(ErrBadRequest, nil,
+				"unknown key_type %q (uint64 | string)", req.KeyType)
+		}
 		if len(req.Aggregates) > lim.MaxAggregates {
 			return nil, errf(ErrBadRequest, nil, "%d aggregates exceed the limit of %d",
 				len(req.Aggregates), lim.MaxAggregates)
@@ -220,16 +246,21 @@ func decodeIngest(r io.Reader, lim Limits) (*ingestRequest, error) {
 			}
 		}
 	case "push":
-		if len(req.Keys) == 0 {
-			return nil, errf(ErrBadRequest, nil, "push needs a non-empty keys block")
+		if (len(req.Keys) == 0) == (len(req.SKeys) == 0) {
+			return nil, errf(ErrBadRequest, nil,
+				"push needs exactly one non-empty key block (keys or skeys)")
 		}
-		if len(req.Keys) > lim.MaxInlineRows {
+		rows := len(req.Keys)
+		if rows == 0 {
+			rows = len(req.SKeys)
+		}
+		if rows > lim.MaxInlineRows {
 			return nil, errf(ErrBadRequest, nil, "block exceeds %d rows", lim.MaxInlineRows)
 		}
 		for i, col := range req.Columns {
-			if len(col) != len(req.Keys) {
+			if len(col) != rows {
 				return nil, errf(ErrBadRequest, nil,
-					"column %d has %d rows, keys have %d", i, len(col), len(req.Keys))
+					"column %d has %d rows, keys have %d", i, len(col), rows)
 			}
 		}
 	case "seal", "status", "finish":
@@ -306,8 +337,24 @@ func (s *Server) ingestBegin(w http.ResponseWriter, req *ingestRequest) error {
 	if _, ok := s.sessions[req.Session]; ok {
 		return errf(ErrSessionExists, nil, "session %q is live", req.Session)
 	}
+	// A string-keyed session creates its dictionary sidecar before the
+	// stream: Begin tolerates a KEYDICT-only directory (it only rejects on
+	// a checkpoint MANIFEST), and a crash between the two steps leaves a
+	// directory that resume skips (no checkpoint) and a future begin
+	// truncates.
+	var dict *keyDict
+	if req.KeyType == "string" {
+		var err error
+		dict, err = createKeyDict(filepath.Join(s.cfg.IngestDir, req.Session), s.cfg.IngestNoSync)
+		if err != nil {
+			return errf(ErrInternal, err, "create key dictionary: %v", err)
+		}
+	}
 	st, err := cacheagg.BeginStream(s.streamOptions(req.Session, specs))
 	if err != nil {
+		if dict != nil {
+			dict.close()
+		}
 		if strings.Contains(err.Error(), "use Resume") {
 			return errf(ErrSessionExists, err,
 				"session %q has durable state on disk (finish or remove it first)", req.Session)
@@ -315,7 +362,7 @@ func (s *Server) ingestBegin(w http.ResponseWriter, req *ingestRequest) error {
 		return errf(ErrInternal, err, "begin stream: %v", err)
 	}
 	s.sessions[req.Session] = &ingestSession{
-		name: req.Session, stream: st, hasAvg: sessionHasAvg(specs),
+		name: req.Session, stream: st, hasAvg: sessionHasAvg(specs), dict: dict,
 	}
 	s.metrics.IngestSessions.Add(1)
 	return writeIngestJSON(w, http.StatusOK, map[string]any{
@@ -328,12 +375,26 @@ func (s *Server) ingestPush(w http.ResponseWriter, req *ingestRequest) error {
 	if err != nil {
 		return err
 	}
-	err = sess.stream.TryPush(cacheagg.Block{Keys: req.Keys, Columns: req.Columns})
+	keys := req.Keys
+	switch {
+	case sess.dict != nil && len(req.SKeys) == 0:
+		return errf(ErrBadRequest, nil, "session %q is string-keyed; push skeys", req.Session)
+	case sess.dict == nil && len(req.SKeys) > 0:
+		return errf(ErrBadRequest, nil, "session %q is uint64-keyed; push keys", req.Session)
+	case sess.dict != nil:
+		// Intern + durably append the dictionary BEFORE the block enters
+		// the stream: any id a checkpoint can commit is already decodable.
+		keys, err = sess.dict.encode(req.SKeys)
+		if err != nil {
+			return errf(ErrInternal, err, "intern string keys: %v", err)
+		}
+	}
+	err = sess.stream.TryPush(cacheagg.Block{Keys: keys, Columns: req.Columns})
 	if err != nil {
 		return s.mapStreamErr(err)
 	}
 	s.metrics.IngestBlocks.Add(1)
-	s.metrics.IngestRows.Add(int64(len(req.Keys)))
+	s.metrics.IngestRows.Add(int64(len(keys)))
 	p := sess.stream.Progress()
 	return writeIngestJSON(w, http.StatusOK, map[string]any{
 		"ok": true, "rows_buffered": p.RowsBuffered, "rows_durable": p.RowsDurable,
@@ -401,13 +462,27 @@ func (s *Server) ingestFinish(ctx context.Context, w http.ResponseWriter, req *i
 		s.metrics.IngestSessions.Add(-1)
 	}
 	s.sessMu.Unlock()
-	return s.respondStream(w, sess, res)
+	err = s.respondStream(w, sess, res)
+	if sess.dict != nil {
+		sess.dict.close()
+	}
+	return err
 }
 
 // respondStream writes a snapshot as the JSONL result stream: header,
 // one line per group, done trailer — the same shape as /v1/aggregate
 // responses, so the load harness validates both with one parser.
 func (s *Server) respondStream(w http.ResponseWriter, sess *ingestSession, res *cacheagg.StreamResult) error {
+	// Decode before committing the response: a dictionary gap is an error
+	// response, not a truncated stream.
+	var skeys []string
+	if sess.dict != nil {
+		var err error
+		skeys, err = sess.dict.decode(res.Groups)
+		if err != nil {
+			return errf(ErrInternal, err, "decode group keys: %v", err)
+		}
+	}
 	w.Header().Set("Content-Type", "application/jsonl")
 	hdr, _ := json.Marshal(map[string]any{
 		"groups": res.Len(), "epochs": res.Epochs, "session": sess.name,
@@ -415,12 +490,16 @@ func (s *Server) respondStream(w http.ResponseWriter, sess *ingestSession, res *
 	w.Write(append(hdr, '\n'))
 	row := struct {
 		G uint64    `json:"g"`
+		K []any     `json:"k,omitempty"`
 		A []int64   `json:"a,omitempty"`
 		F []float64 `json:"f,omitempty"`
 	}{}
 	enc := json.NewEncoder(w)
 	for i := 0; i < res.Len(); i++ {
 		row.G = res.Groups[i]
+		if skeys != nil {
+			row.K = append(row.K[:0], skeys[i])
+		}
 		row.A = row.A[:0]
 		for _, col := range res.Aggs {
 			row.A = append(row.A, col[i])

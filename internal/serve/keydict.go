@@ -1,0 +1,194 @@
+package serve
+
+// The durable sidecar of a string-keyed ingest session: the stream
+// subsystem checkpoints dense uint64 ids (its codec and recovery story
+// stay untouched by general keys), so the session's id → string mapping
+// must be durable too, or a resumed stream would hold ids nobody can
+// decode. KEYDICT is an append-only file in the session directory:
+//
+//	"CAGDICT1" magic, then per interned string: uvarint length + bytes,
+//	in dense-id order (entry i is the string of id i).
+//
+// The invariant that makes recovery safe: the dictionary on disk is
+// always a superset of the ids in any committed checkpoint. Push appends
+// and fsyncs new entries BEFORE the block enters the stream, so an id can
+// only reach a checkpoint after its string is durable. The converse crash
+// (dict entry durable, block lost) leaves a harmless unused entry. A torn
+// tail — the fsync raced process death — is truncated at load, which is
+// safe for the same reason: a torn entry's id cannot be in any committed
+// checkpoint.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cacheagg"
+)
+
+const (
+	keyDictName  = "KEYDICT"
+	keyDictMagic = "CAGDICT1"
+)
+
+// keyDict pairs a session's string interner with its durable append log.
+type keyDict struct {
+	mu        sync.Mutex
+	f         *os.File
+	it        *cacheagg.Interner
+	strs      []string // id → string mirror; strs[:persisted] are durable
+	persisted int
+	noSync    bool
+}
+
+func keyDictPath(dir string) string { return filepath.Join(dir, keyDictName) }
+
+// createKeyDict starts a fresh dictionary file for a new string-keyed
+// session, truncating any leftover from an aborted begin.
+func createKeyDict(dir string, noSync bool) (*keyDict, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: create session dir: %w", err)
+	}
+	f, err := os.OpenFile(keyDictPath(dir), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: create key dictionary: %w", err)
+	}
+	d := &keyDict{f: f, it: cacheagg.NewInterner(), noSync: noSync}
+	if _, err := f.WriteString(keyDictMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: write key dictionary header: %w", err)
+	}
+	if err := d.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// loadKeyDict opens an existing session's dictionary. ok is false when the
+// session has no KEYDICT (a uint64-keyed session). A torn tail is
+// truncated; everything before it is re-interned in id order, so the
+// rebuilt interner assigns exactly the ids the file records.
+func loadKeyDict(dir string, noSync bool) (d *keyDict, ok bool, err error) {
+	path := keyDictPath(dir)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: read key dictionary: %w", err)
+	}
+	if len(raw) < len(keyDictMagic) || string(raw[:len(keyDictMagic)]) != keyDictMagic {
+		return nil, false, fmt.Errorf("serve: key dictionary %s has a corrupt header", path)
+	}
+	var strs []string
+	good := len(keyDictMagic) // offset of the last fully decoded entry's end
+	for off := good; off < len(raw); {
+		n, used := binary.Uvarint(raw[off:])
+		if used <= 0 || uint64(len(raw)-off-used) < n {
+			break // torn tail: truncate here
+		}
+		strs = append(strs, string(raw[off+used:off+used+int(n)]))
+		off += used + int(n)
+		good = off
+	}
+	if good < len(raw) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, false, fmt.Errorf("serve: truncate torn key dictionary tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: open key dictionary: %w", err)
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("serve: seek key dictionary: %w", err)
+	}
+	d = &keyDict{f: f, it: cacheagg.NewInterner(), strs: strs, persisted: len(strs), noSync: noSync}
+	if len(strs) > 0 {
+		ids, err := d.it.EncodeColumns([]cacheagg.KeyColumn{{Strings: strs}})
+		if err != nil {
+			f.Close()
+			return nil, false, err
+		}
+		for i, id := range ids {
+			if id != uint64(i) {
+				f.Close()
+				return nil, false, fmt.Errorf("serve: key dictionary %s holds duplicate entry %d", path, i)
+			}
+		}
+	}
+	return d, true, nil
+}
+
+// encode interns a push block's string keys, making every newly seen
+// string durable before returning — the ids handed to the stream are
+// always decodable by a future resume.
+func (d *keyDict) encode(skeys []string) ([]uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids, err := d.it.EncodeColumns([]cacheagg.KeyColumn{{Strings: skeys}})
+	if err != nil {
+		return nil, err
+	}
+	// New ids are assigned densely in row order, so the mirror appends in
+	// exactly file order.
+	for i, id := range ids {
+		if int(id) == len(d.strs) {
+			d.strs = append(d.strs, skeys[i])
+		} else if int(id) > len(d.strs) {
+			return nil, fmt.Errorf("serve: key dictionary id %d skips ahead of mirror size %d", id, len(d.strs))
+		}
+	}
+	if len(d.strs) > d.persisted {
+		var buf []byte
+		for _, s := range d.strs[d.persisted:] {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		if _, err := d.f.Write(buf); err != nil {
+			return nil, fmt.Errorf("serve: append key dictionary: %w", err)
+		}
+		if err := d.sync(); err != nil {
+			return nil, err
+		}
+		d.persisted = len(d.strs)
+	}
+	return ids, nil
+}
+
+// decode maps dense ids (result group ids) back to their strings.
+func (d *keyDict) decode(ids []uint64) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		if int(id) >= len(d.strs) {
+			return nil, fmt.Errorf("serve: group id %d not in the session key dictionary (%d keys)", id, len(d.strs))
+		}
+		out[i] = d.strs[id]
+	}
+	return out, nil
+}
+
+func (d *keyDict) sync() error {
+	if d.noSync {
+		return nil
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("serve: sync key dictionary: %w", err)
+	}
+	return nil
+}
+
+func (d *keyDict) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f != nil {
+		d.f.Close()
+		d.f = nil
+	}
+}

@@ -57,6 +57,7 @@ func postQuery(t *testing.T, url string, body string) *http.Response {
 // parseResponse decodes a success response: header line, rows, trailer.
 type wireRow struct {
 	G uint64    `json:"g"`
+	K []any     `json:"k"`
 	A []int64   `json:"a"`
 	F []float64 `json:"f"`
 }

@@ -224,7 +224,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	input, err := s.resolveInput(req)
+	input, ds, err := s.resolveInput(req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -253,7 +253,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	body, groups, meta, err := s.execute(ctx, req, input, key)
+	body, groups, meta, err := s.execute(ctx, req, input, ds, key)
 	if err != nil {
 		s.writeError(w, err)
 		s.observeOutcome(start)
@@ -274,7 +274,7 @@ type sessionMeta struct {
 
 // execute resolves the singleflight, admission and operator stages of one
 // query. It returns the marshaled rows+trailer body.
-func (s *Server) execute(ctx context.Context, req *Request, input cacheagg.Input, key string) ([]byte, int, sessionMeta, error) {
+func (s *Server) execute(ctx context.Context, req *Request, input cacheagg.Input, ds *Dataset, key string) ([]byte, int, sessionMeta, error) {
 	useCache := !req.NoCache && s.cache != nil
 	for {
 		var f *flight
@@ -301,14 +301,14 @@ func (s *Server) execute(ctx context.Context, req *Request, input cacheagg.Input
 				return nil, 0, sessionMeta{}, s.mapContextErr(ctx)
 			}
 		}
-		return s.leadFlight(ctx, req, input, key, f, useCache)
+		return s.leadFlight(ctx, req, input, ds, key, f, useCache)
 	}
 }
 
 // leadFlight runs the leader side of a singleflight. The flight is
 // finished on every exit path — including a panic unwinding through this
 // frame — so followers can never hang on a dead leader.
-func (s *Server) leadFlight(ctx context.Context, req *Request, input cacheagg.Input, key string, f *flight, useCache bool) (body []byte, groups int, meta sessionMeta, err error) {
+func (s *Server) leadFlight(ctx context.Context, req *Request, input cacheagg.Input, ds *Dataset, key string, f *flight, useCache bool) (body []byte, groups int, meta sessionMeta, err error) {
 	completed := false
 	if useCache {
 		defer func() {
@@ -317,7 +317,7 @@ func (s *Server) leadFlight(ctx context.Context, req *Request, input cacheagg.In
 			}
 		}()
 	}
-	body, groups, meta, err = s.admitAndRun(ctx, req, input)
+	body, groups, meta, err = s.admitAndRun(ctx, req, input, ds)
 	if useCache {
 		s.cache.finish(key, f, body, groups, err == nil)
 		completed = true
@@ -326,7 +326,7 @@ func (s *Server) leadFlight(ctx context.Context, req *Request, input cacheagg.In
 }
 
 // admitAndRun is the admission + execution stage of a leader session.
-func (s *Server) admitAndRun(ctx context.Context, req *Request, input cacheagg.Input) ([]byte, int, sessionMeta, error) {
+func (s *Server) admitAndRun(ctx context.Context, req *Request, input cacheagg.Input, ds *Dataset) ([]byte, int, sessionMeta, error) {
 	s.metrics.CacheMisses.Add(1)
 	est := EstimateCost(len(input.GroupBy), len(input.Aggregates),
 		s.cfg.QueryWorkers, s.cfg.QueryCacheBytes)
@@ -358,7 +358,7 @@ func (s *Server) admitAndRun(ctx context.Context, req *Request, input cacheagg.I
 	if err != nil {
 		return nil, 0, sessionMeta{}, s.mapExecErr(ctx, err)
 	}
-	body, err := marshalBody(res, hasAvg(req))
+	body, err := marshalBody(res, hasAvg(req), ds)
 	if err != nil {
 		s.metrics.InternalErrors.Add(1)
 		return nil, 0, sessionMeta{}, errf(ErrInternal, err, "marshaling result: %v", err)
@@ -391,27 +391,30 @@ func runContained(ctx context.Context, in cacheagg.Input, opts cacheagg.Options)
 var testHookExecute func()
 
 // resolveInput turns the wire request into an operator input, bounds
-// checking aggregate columns against the actual width.
-func (s *Server) resolveInput(req *Request) (cacheagg.Input, error) {
+// checking aggregate columns against the actual width. The resolved
+// dataset (nil for inline queries) rides along so the response stage can
+// decode general keys.
+func (s *Server) resolveInput(req *Request) (cacheagg.Input, *Dataset, error) {
 	var keys []uint64
 	var cols [][]int64
+	var ds *Dataset
 	if req.Dataset != "" {
 		d, err := s.cfg.Registry.Lookup(req.Dataset)
 		if err != nil {
-			return cacheagg.Input{}, err
+			return cacheagg.Input{}, nil, err
 		}
-		keys, cols = d.Keys, d.Cols
+		keys, cols, ds = d.Keys, d.Cols, d
 	} else {
 		keys, cols = req.Keys, req.Columns
 	}
 	for i, a := range req.Aggregates {
 		f, _ := parseFunc(a.Func)
 		if f != cacheagg.Count && a.Col >= len(cols) {
-			return cacheagg.Input{}, errf(ErrBadRequest, nil,
+			return cacheagg.Input{}, nil, errf(ErrBadRequest, nil,
 				"aggregate %d: column %d out of range (input has %d)", i, a.Col, len(cols))
 		}
 	}
-	return cacheagg.Input{GroupBy: keys, Columns: cols, Aggregates: req.aggSpecs()}, nil
+	return cacheagg.Input{GroupBy: keys, Columns: cols, Aggregates: req.aggSpecs()}, ds, nil
 }
 
 // canonicalKey is the result-cache identity of a query: the input's
@@ -480,18 +483,44 @@ func hasAvg(req *Request) bool {
 
 // marshalBody renders the row and trailer lines of a response. Rows carry
 // the group key and integer aggregates; float columns are included when
-// an AVG was requested (exact averages).
-func marshalBody(res *cacheagg.Result, withFloats bool) ([]byte, error) {
+// an AVG was requested (exact averages). For general-key datasets every
+// row additionally carries "k": the decoded original key values (one
+// array element per key column; NULL encodes as JSON null). "g" stays the
+// dense interned id — existing row parsers keep working unchanged.
+func marshalBody(res *cacheagg.Result, withFloats bool, ds *Dataset) ([]byte, error) {
+	var gcols []cacheagg.KeyColumn
+	if ds != nil && ds.GeneralKeys() {
+		var err error
+		gcols, err = ds.Interner.DecodeGroups(res.Groups, ds.KeyTypes)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var b strings.Builder
 	b.Grow(res.Len() * 32)
 	row := struct {
 		G uint64    `json:"g"`
+		K []any     `json:"k,omitempty"`
 		A []int64   `json:"a,omitempty"`
 		F []float64 `json:"f,omitempty"`
 	}{}
 	enc := json.NewEncoder(&b)
 	for i := 0; i < res.Len(); i++ {
 		row.G = res.Groups[i]
+		if gcols != nil {
+			row.K = row.K[:0]
+			for ci := range gcols {
+				c := &gcols[ci]
+				switch {
+				case c.IsNull(i):
+					row.K = append(row.K, nil)
+				case c.Uint64s != nil:
+					row.K = append(row.K, c.Uint64s[i])
+				default:
+					row.K = append(row.K, c.Strings[i])
+				}
+			}
+		}
 		row.A = row.A[:0]
 		for _, col := range res.Aggs {
 			row.A = append(row.A, col[i])

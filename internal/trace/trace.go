@@ -157,9 +157,14 @@ const (
 	// slot encounters (claim-in-progress spins + CAS fold retries)
 	// observed while inserting the batch.
 	KindGlobalContention
+	// KindInternGrow: a shard of the key-interning dictionary grew its
+	// open-addressed index and republished it (an epoch boundary for
+	// lock-free readers of that shard). Part = shard number,
+	// Value = the new slot count.
+	KindInternGrow
 
 	// NumKinds is the number of kinds; valid Kind values are < NumKinds.
-	NumKinds = 21
+	NumKinds = 22
 )
 
 var kindNames = [NumKinds]string{
@@ -171,6 +176,7 @@ var kindNames = [NumKinds]string{
 	"epoch-seal", "checkpoint-write", "recover", "backpressure",
 	"plan", "hot-key-bypass",
 	"routine-select", "global-contention",
+	"intern-grow",
 }
 
 func (k Kind) String() string {

@@ -1,19 +1,13 @@
 package cacheagg
 
-// Multi-column and string GROUP BY support, via dictionary encoding
-// (internal/dict). The paper's operator — like most column-store
-// aggregation kernels — works on 64-bit integer grouping keys; composite
-// and string keys are reduced to that setting by encoding each distinct
-// key (tuple) as a dense integer, aggregating over the ids, and decoding
-// the result's group ids back into the original columns.
+// Multi-column and string GROUP BY, as thin shapes over AggregateGeneral:
+// the key columns become a general-key schema, the concurrent interning
+// layer (internal/intern) collapses each distinct tuple to a dense id,
+// and the decoded result columns are returned in the historical forms.
 
-import (
-	"fmt"
+import "fmt"
 
-	"cacheagg/internal/dict"
-)
-
-// MultiInput is a GROUP BY over several key columns.
+// MultiInput is a GROUP BY over several uint64 key columns.
 type MultiInput struct {
 	// GroupBy holds the grouping key columns (all of equal length).
 	GroupBy [][]uint64
@@ -31,7 +25,7 @@ type MultiResult struct {
 	Aggs      [][]int64
 	Stats     Stats
 
-	inner *Result
+	inner *GeneralResult
 }
 
 // Len returns the number of groups.
@@ -45,31 +39,37 @@ func (r *MultiResult) Len() int {
 // Float returns aggregate column a of group idx as float64 (exact for Avg).
 func (r *MultiResult) Float(a, idx int) float64 { return r.inner.Float(a, idx) }
 
-// AggregateMulti executes a GROUP BY over multiple key columns.
+// AggregateMulti executes a GROUP BY over multiple uint64 key columns.
 //
-// The key columns are dictionary-encoded into dense 64-bit ids first; the
-// encoding pass is sequential and hash-based, so for very large inputs with
-// few columns consider packing keys manually (e.g. two 32-bit keys into one
-// uint64) to stay on the operator's fully parallel path.
+// The key columns are interned into dense 64-bit ids first through the
+// concurrent dictionary; the encoding is batched and hash-amortized, but
+// for very large inputs with few columns consider packing keys manually
+// (e.g. two 32-bit keys into one uint64) to skip the dictionary entirely.
 func AggregateMulti(in MultiInput, opt Options) (*MultiResult, error) {
 	if len(in.GroupBy) == 0 {
 		return nil, fmt.Errorf("cacheagg: AggregateMulti needs at least one key column")
 	}
-	d := dict.NewTupleDict(len(in.GroupBy))
-	ids, err := d.EncodeColumns(in.GroupBy)
-	if err != nil {
-		return nil, fmt.Errorf("cacheagg: %w", err)
+	gcols := make([]KeyColumn, len(in.GroupBy))
+	for i, col := range in.GroupBy {
+		if col == nil {
+			col = []uint64{}
+		}
+		gcols[i] = KeyColumn{Uint64s: col}
 	}
-	res, err := Aggregate(Input{
-		GroupBy:    ids,
+	res, err := AggregateGeneral(GeneralInput{
+		GroupBy:    gcols,
 		Columns:    in.Columns,
 		Aggregates: in.Aggregates,
 	}, opt)
 	if err != nil {
 		return nil, err
 	}
+	out := make([][]uint64, len(res.GroupCols))
+	for i := range res.GroupCols {
+		out[i] = res.GroupCols[i].Uint64s
+	}
 	return &MultiResult{
-		GroupCols: d.DecodeColumns(res.Groups),
+		GroupCols: out,
 		Aggs:      res.Aggs,
 		Stats:     res.Stats,
 		inner:     res,
@@ -89,7 +89,7 @@ type StringResult struct {
 	Aggs   [][]int64
 	Stats  Stats
 
-	inner *Result
+	inner *GeneralResult
 }
 
 // Len returns the number of groups.
@@ -99,12 +99,14 @@ func (r *StringResult) Len() int { return len(r.Groups) }
 func (r *StringResult) Float(a, idx int) float64 { return r.inner.Float(a, idx) }
 
 // AggregateStrings executes a GROUP BY over a string key column by
-// dictionary-encoding the strings into dense ids.
+// interning the strings into dense ids.
 func AggregateStrings(in StringInput, opt Options) (*StringResult, error) {
-	d := dict.NewStringDict()
-	ids := d.EncodeAll(in.GroupBy)
-	res, err := Aggregate(Input{
-		GroupBy:    ids,
+	keys := in.GroupBy
+	if keys == nil {
+		keys = []string{}
+	}
+	res, err := AggregateGeneral(GeneralInput{
+		GroupBy:    []KeyColumn{{Strings: keys}},
 		Columns:    in.Columns,
 		Aggregates: in.Aggregates,
 	}, opt)
@@ -112,7 +114,7 @@ func AggregateStrings(in StringInput, opt Options) (*StringResult, error) {
 		return nil, err
 	}
 	return &StringResult{
-		Groups: d.Values(res.Groups),
+		Groups: res.GroupCols[0].Strings,
 		Aggs:   res.Aggs,
 		Stats:  res.Stats,
 		inner:  res,

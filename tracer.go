@@ -46,7 +46,8 @@ type TraceEvent struct {
 	// "spill-write", "spill-read", "spill-retry", "merge-start",
 	// "merge-steal", "merge-finish", "prefetch-load", "prefetch-hit",
 	// "prefetch-drop", "gov-high-water", "epoch-seal", "checkpoint-write",
-	// "recover" or "backpressure".
+	// "recover", "backpressure", "plan", "hot-key-bypass", "routine-select",
+	// "global-contention" or "intern-grow".
 	Kind string `json:"kind"`
 	// Worker is the emitting worker's index (0 when not worker-scoped).
 	Worker int `json:"worker"`
